@@ -1,0 +1,130 @@
+// Ablation: the paper's periodic-calibration strategy. The delay line is
+// "not dynamically adjusted for temperature, voltage, or process
+// variations"; correctness rests on regular code-density calibration.
+// This bench sweeps junction temperature from -20 to 80 C and compares
+// the TDC's residual TOA error with (a) a stale LUT measured at 20 C,
+// (b) a fresh LUT at each temperature, and (c) no calibration at all.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "oci/analysis/report.hpp"
+#include "oci/link/calibration_controller.hpp"
+#include "oci/tdc/calibration.hpp"
+#include "oci/tdc/tdc.hpp"
+#include "oci/util/table.hpp"
+
+namespace {
+
+using namespace oci;
+using util::RngStream;
+using util::Temperature;
+using util::Time;
+using util::Voltage;
+
+constexpr std::uint64_t kSeed = 20080608;
+
+tdc::Tdc make_tdc(std::uint64_t seed) {
+  tdc::DelayLineParams p;
+  p.elements = 104;  // margin over the 93 needed so hot corners still cover
+  p.nominal_delay = Time::picoseconds(53.8);
+  p.mismatch_sigma = 0.12;
+  RngStream rng(seed, "cal-process");
+  tdc::DelayLine line(p, rng);
+  tdc::TdcConfig cfg;
+  cfg.coarse_bits = 2;
+  cfg.clock_period = Time::nanoseconds(5.0);
+  return tdc::Tdc(std::move(line), cfg);
+}
+
+double residual_rms_ps(const tdc::Tdc& tdc, const tdc::CalibrationLut* lut,
+                       RngStream& rng, int probes = 4000) {
+  double sum = 0.0;
+  for (int i = 0; i < probes; ++i) {
+    const Time toa = rng.uniform_time(tdc.toa_window());
+    const auto r = tdc.convert(toa, rng);
+    const Time est = lut != nullptr && lut->valid()
+                         ? lut->correct(r, tdc.clock_period())
+                         : r.estimate;
+    const double e = (est - toa).seconds();
+    sum += e * e;
+  }
+  return std::sqrt(sum / probes) * 1e12;
+}
+
+void print_reproduction() {
+  analysis::print_banner(std::cout, "Ablation 2: periodic calibration",
+                         "TDC residual TOA error across -20..80 C, stale vs fresh LUT",
+                         kSeed);
+
+  tdc::Tdc tdc = make_tdc(kSeed);
+  const Voltage vdd = Voltage::volts(1.5);
+
+  // LUT measured once at 20 C (the "stale" reference).
+  tdc.line().set_conditions(Temperature::celsius(20.0), vdd);
+  RngStream cal20(kSeed, "cal-20C");
+  const tdc::CalibrationLut stale(tdc::code_density_test(tdc, 500000, cal20));
+
+  util::Table t({"T [C]", "elements used", "RMS err, no cal [ps]",
+                 "RMS err, stale 20C LUT [ps]", "RMS err, fresh LUT [ps]"});
+  for (double celsius : {-20.0, 0.0, 20.0, 40.0, 60.0, 80.0}) {
+    tdc.line().set_conditions(Temperature::celsius(celsius), vdd);
+    RngStream fresh_rng(kSeed + static_cast<std::uint64_t>(celsius + 100), "cal-fresh");
+    const tdc::CalibrationLut fresh(tdc::code_density_test(tdc, 500000, fresh_rng));
+
+    RngStream p1(kSeed + 11, "probe-none");
+    RngStream p2(kSeed + 13, "probe-stale");
+    RngStream p3(kSeed + 17, "probe-fresh");
+    t.new_row()
+        .add_cell(celsius, 0)
+        .add_cell(static_cast<std::uint64_t>(
+            tdc.line().elements_used(tdc.clock_period())))
+        .add_cell(residual_rms_ps(tdc, nullptr, p1), 1)
+        .add_cell(residual_rms_ps(tdc, &stale, p2), 1)
+        .add_cell(residual_rms_ps(tdc, &fresh, p3), 1);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape check: the fresh LUT pins the residual near the quantisation\n"
+               "floor (LSB/sqrt(12) ~ "
+            << tdc.lsb().picoseconds() / std::sqrt(12.0)
+            << " ps) at every temperature, while the stale\n"
+               "LUT degrades with |T - 20C| -- exactly why the paper schedules\n"
+               "regular calibration instead of trimming the line.\n";
+
+  // Controller policy demo: how often must we recalibrate under drift?
+  link::CalibrationPolicy policy;
+  policy.max_temperature_drift_c = 5.0;
+  policy.samples = 200000;
+  link::CalibrationController ctl(tdc, policy);
+  RngStream cal(kSeed, "ctl");
+  int runs = 0;
+  for (int step = 0; step <= 60; ++step) {
+    const double temp = 20.0 + step;  // 1 C per step up to 80 C
+    tdc.line().set_conditions(Temperature::celsius(temp), vdd);
+    if (ctl.maybe_recalibrate(Time::milliseconds(10.0 * step), cal)) ++runs;
+  }
+  std::cout << "\nCalibrationController with 5 C drift budget over a 20->80 C ramp: "
+            << runs << " calibration runs (expected ~13: one initial + one per 5 C).\n";
+}
+
+void BM_ResidualProbe(benchmark::State& state) {
+  tdc::Tdc tdc = make_tdc(kSeed);
+  RngStream cal(kSeed, "bm-cal");
+  const tdc::CalibrationLut lut(tdc::code_density_test(tdc, 100000, cal));
+  RngStream probe(kSeed, "bm-probe");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(residual_rms_ps(tdc, &lut, probe, 500));
+  }
+}
+BENCHMARK(BM_ResidualProbe);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

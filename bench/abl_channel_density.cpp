@@ -1,0 +1,105 @@
+// Ablation: communication density (extension). The paper's abstract
+// promises "very high throughputs and communication density"; this
+// bench makes density first-class: bandwidth per mm of die edge versus
+// channel pitch under optical crosstalk, plus the Vernier-TDC
+// alternative for the fine interpolator (finer LSB, longer conversion).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "oci/analysis/report.hpp"
+#include "oci/link/channel_array.hpp"
+#include "oci/tdc/vernier.hpp"
+#include "oci/util/table.hpp"
+
+namespace {
+
+using namespace oci;
+using util::Length;
+using util::RngStream;
+using util::Time;
+
+constexpr std::uint64_t kSeed = 20080608;
+
+void print_reproduction() {
+  analysis::print_banner(std::cout, "Ablation 8: channel density + Vernier option",
+                         "bandwidth density vs pitch under crosstalk; delay-line "
+                         "vs Vernier fine interpolator",
+                         kSeed);
+
+  link::ChannelArrayConfig cfg;
+  cfg.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+
+  std::cout << "\n-- bandwidth density vs channel pitch (1-D edge array) --\n";
+  util::Table t({"pitch [um]", "crosstalk fraction", "P(crosstalk capture)",
+                 "channels/mm", "density [Gbps/mm]"});
+  for (double um : {25.0, 40.0, 60.0, 80.0, 100.0, 150.0, 250.0, 400.0}) {
+    const auto p = link::evaluate_pitch(cfg, Length::micrometres(um));
+    t.new_row()
+        .add_cell(um, 0)
+        .add_sci(p.crosstalk_fraction)
+        .add_cell(p.p_crosstalk_capture, 4)
+        .add_cell(p.channels_per_mm, 1)
+        .add_cell(p.bandwidth_density_gbps_mm, 3);
+  }
+  t.print(std::cout);
+
+  const auto best =
+      link::best_pitch(cfg, Length::micrometres(20.0), Length::micrometres(500.0), 128);
+  std::cout << "\noptimal pitch: " << best.pitch.micrometres()
+            << " um -> " << best.bandwidth_density_gbps_mm << " Gbps/mm of edge\n";
+  std::cout << "Shape check: density peaks where the endpoint footprint stops\n"
+               "paying for pitch reduction and crosstalk has not yet bitten.\n";
+
+  std::cout << "\n-- fine interpolator alternatives --\n";
+  tdc::VernierParams vp;
+  RngStream rng(kSeed, "vernier");
+  const tdc::VernierTdc vernier(vp, rng);
+  util::Table v({"interpolator", "LSB [ps]", "range [ns]", "conversion time [ns]"});
+  v.new_row()
+      .add_cell("tapped delay line (paper)")
+      .add_cell(52.0, 1)
+      .add_cell(96 * 0.052, 2)
+      .add_cell(96 * 0.052, 2);  // one clock period
+  v.new_row()
+      .add_cell("Vernier (2 lines)")
+      .add_cell(vernier.resolution().picoseconds(), 1)
+      .add_cell(vernier.range().nanoseconds(), 2)
+      .add_cell(vernier.conversion_time().nanoseconds(), 2);
+  v.print(std::cout);
+  std::cout << "\nShape check: the Vernier buys ~6x finer LSB (8 ps vs 52 ps) but\n"
+               "pays ~"
+            << vernier.conversion_time().nanoseconds() / (96 * 0.052)
+            << "x longer conversion -- usable for PPM only if the extra LSBs are\n"
+               "spent on bits (narrower slots need jitter below the new LSB).\n";
+}
+
+void BM_PitchSweep(benchmark::State& state) {
+  link::ChannelArrayConfig cfg;
+  cfg.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link::best_pitch(cfg, Length::micrometres(20.0),
+                                              Length::micrometres(500.0), 128));
+  }
+}
+BENCHMARK(BM_PitchSweep);
+
+void BM_VernierConvert(benchmark::State& state) {
+  tdc::VernierParams vp;
+  RngStream rng(kSeed, "bm-vernier");
+  const tdc::VernierTdc v(vp, rng);
+  RngStream t(kSeed, "bm-vernier-t");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.convert(t.uniform_time(v.range())));
+  }
+}
+BENCHMARK(BM_VernierConvert);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

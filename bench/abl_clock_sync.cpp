@@ -1,0 +1,166 @@
+// Ablation: optical local clock synchronisation -- the paper's closing
+// "further work" claim ("high-speed local clock synchronization,
+// expected to drastically reduce clock distribution power costs with
+// minimal or no area impact"), made quantitative:
+//
+//  (a) power -- distributing every edge electrically (H-tree) vs
+//      optically (LED blinking at f) vs the sync-loop architecture
+//      (LED blinking at f/N + one free-running oscillator per die);
+//  (b) precision vs sync interval -- the residual phase error a
+//      consumer must tolerate as the sync rate (and hence the optical
+//      power) is dialled down;
+//  (c) robustness -- residual error vs sync-pulse detection
+//      probability: how far the optical budget can be starved before
+//      the loop unlocks.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "oci/analysis/report.hpp"
+#include "oci/bus/clock_distribution.hpp"
+#include "oci/bus/clock_sync.hpp"
+#include "oci/util/table.hpp"
+
+namespace {
+
+using namespace oci;
+using bus::DisciplinedClock;
+using bus::LocalClockParams;
+using bus::SyncLoopParams;
+using util::RngStream;
+using util::Time;
+
+constexpr std::uint64_t kSeed = 20080617;
+constexpr std::uint64_t kCycles = 400000;
+constexpr std::uint64_t kSettle = 20000;
+
+LocalClockParams stock_clock() {
+  LocalClockParams c;
+  c.nominal = util::Frequency::megahertz(200.0);
+  c.frequency_error_ppm = 40.0;
+  c.cycle_jitter_rms = Time::picoseconds(2.0);
+  return c;
+}
+
+void power_table() {
+  // Electrical H-tree at 200 MHz.
+  bus::ElectricalClockTree htree;
+  const double htree_mw = htree.power().milliwatts();
+
+  // Optical every-edge distribution: LED blinks at f.
+  bus::OpticalClockConfig every_edge;
+  every_edge.dies = 8;
+  const bus::OpticalClockTree tree(every_edge);
+  const double optical_full_mw = tree.total_power().milliwatts();
+
+  util::Table t({"architecture", "sync rate", "power [mW]", "vs H-tree"});
+  t.new_row()
+      .add_cell(std::string("electrical H-tree"))
+      .add_cell(std::string("every edge"))
+      .add_cell(htree_mw, 2)
+      .add_cell(1.0, 3);
+  t.new_row()
+      .add_cell(std::string("optical broadcast"))
+      .add_cell(std::string("every edge"))
+      .add_cell(optical_full_mw, 2)
+      .add_cell(optical_full_mw / htree_mw, 3);
+  // Sync-loop variants: LED + receivers run at f/N; add ~0.1 mW per
+  // die for the free-running ring oscillator.
+  for (const std::uint64_t n : {16ull, 64ull, 256ull}) {
+    const double duty = 1.0 / static_cast<double>(n);
+    const double osc_mw = 0.1 * static_cast<double>(every_edge.dies);
+    const double mw = optical_full_mw * duty + osc_mw;
+    t.new_row()
+        .add_cell(std::string("optical sync loop"))
+        .add_cell(std::string("every ") + std::to_string(n) + " cycles")
+        .add_cell(mw, 2)
+        .add_cell(mw / htree_mw, 3);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (a): broadcasting every edge optically already beats\n"
+         "the H-tree; disciplining local oscillators from a 1-in-N sync\n"
+         "pulse cuts the optical term by N and leaves the (fixed, small)\n"
+         "per-die oscillator cost -- the paper's 'drastic' reduction.\n\n";
+}
+
+void interval_table() {
+  util::Table t({"sync every [cycles]", "rms error [ps]", "max |error| [ps]",
+                 "learned ppm"});
+  for (const std::uint64_t n : {8ull, 32ull, 128ull, 512ull, 2048ull}) {
+    SyncLoopParams loop;
+    loop.sync_interval_cycles = n;
+    const DisciplinedClock clk(stock_clock(), loop);
+    RngStream rng(kSeed, "interval" + std::to_string(n));
+    const auto r = clk.run(kCycles, rng, kSettle);
+    t.new_row()
+        .add_cell(static_cast<double>(n), 0)
+        .add_cell(r.rms_phase_error.picoseconds(), 1)
+        .add_cell(r.max_abs_phase_error.picoseconds(), 1)
+        .add_cell(r.learned_correction_ppm, 1);
+  }
+  const DisciplinedClock free_clk(stock_clock(), SyncLoopParams{});
+  RngStream rng(kSeed, "free");
+  const auto fr = free_clk.run_free(kCycles, rng);
+  std::cout << "free-running baseline: rms "
+            << fr.rms_phase_error.nanoseconds() << " ns, max |error| "
+            << fr.max_abs_phase_error.nanoseconds() << " ns\n";
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (b): the residual grows with the sync interval\n"
+         "(phase wanders ~sqrt(N) between corrections and the 40 ppm\n"
+         "offset contributes N x 0.2 ps of deterministic ramp), yet even\n"
+         "1-in-2048 sync holds ~100 ps RMS against a free-running drift\n"
+         "three orders of magnitude larger.\n\n";
+}
+
+void robustness_table() {
+  util::Table t({"detection probability", "syncs missed", "rms error [ps]",
+                 "max |error| [ps]"});
+  for (const double p : {0.999, 0.9, 0.7, 0.5, 0.2}) {
+    SyncLoopParams loop;
+    loop.detection_probability = p;
+    const DisciplinedClock clk(stock_clock(), loop);
+    RngStream rng(kSeed, "robust");
+    const auto r = clk.run(kCycles, rng, kSettle);
+    t.new_row()
+        .add_cell(p, 3)
+        .add_cell(static_cast<double>(r.syncs_missed), 0)
+        .add_cell(r.rms_phase_error.picoseconds(), 1)
+        .add_cell(r.max_abs_phase_error.picoseconds(), 1);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (c): missed pulses only stretch the effective sync\n"
+         "interval, so the loop degrades smoothly -- the optical budget for\n"
+         "the CLOCK channel can be starved far harder than a data channel\n"
+         "before anything breaks.\n";
+}
+
+void print_reproduction() {
+  analysis::print_banner(std::cout, "Ablation 14: optical local clock sync",
+                         "power, precision, and robustness of disciplining "
+                         "local oscillators from 1-in-N optical sync pulses",
+                         kSeed);
+  power_table();
+  interval_table();
+  robustness_table();
+}
+
+void BM_DisciplinedRun(benchmark::State& state) {
+  const DisciplinedClock clk(stock_clock(), SyncLoopParams{});
+  RngStream rng(kSeed, "bm");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clk.run(10000, rng).rms_phase_error);
+  }
+}
+BENCHMARK(BM_DisciplinedRun);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Ablation: SPAD dead time. The paper's matching rule sets the detection
+// cycle DC(N,C) = 2^C N delta to the TDC range; this bench sweeps the
+// physical dead time from 10 to 100 ns and reports the best feasible
+// (N,C) design and its throughput, plus a Monte Carlo validation that
+// violating the matching rule (DC < dead time) corrupts the link.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "oci/analysis/report.hpp"
+#include "oci/link/optical_link.hpp"
+#include "oci/link/tradeoff.hpp"
+#include "oci/util/table.hpp"
+
+namespace {
+
+using namespace oci;
+using util::RngStream;
+using util::Time;
+
+constexpr std::uint64_t kSeed = 20080608;
+const Time kDelta = Time::picoseconds(52.0);
+
+void print_reproduction() {
+  analysis::print_banner(std::cout, "Ablation 3: SPAD dead time",
+                         "best feasible (N,C) and TP vs dead time; matching-rule "
+                         "violation demo",
+                         kSeed);
+
+  util::Table t({"dead time [ns]", "best N", "best C", "DC [ns]", "TP", "bits/sample"});
+  for (double dead_ns : {10.0, 20.0, 30.0, 40.0, 60.0, 80.0, 100.0}) {
+    const auto best =
+        link::best_design(kDelta, Time::nanoseconds(dead_ns), 8, 512, 0, 8);
+    if (!best) continue;
+    t.new_row()
+        .add_cell(dead_ns, 0)
+        .add_cell(best->design.fine_elements)
+        .add_cell(static_cast<std::uint64_t>(best->design.coarse_bits))
+        .add_cell(best->dc.nanoseconds(), 1)
+        .add_cell(util::si_format(best->tp.bits_per_second(), "bps", 2))
+        .add_cell(best->bits, 0);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape check: TP decreases with dead time roughly as\n"
+               "(log2 N + C)/DC -- a slower detector pays in window length, not in\n"
+               "bits, so the loss is sub-linear (more coarse bits recover code).\n";
+
+  // Monte Carlo: three receiver configurations against a 40 ns SPAD.
+  //  (a) paper rule satisfied (DC >= dead), paper-exact windows
+  //  (b) paper rule violated (DC << dead), paper-exact windows
+  //  (c) paper rule satisfied + inter-symbol guard (this framework's
+  //      default), which pads the worst-case inter-pulse gap to the
+  //      dead time.
+  auto run = [&](unsigned coarse_bits, bool with_guard) {
+    link::OpticalLinkConfig cfg;
+    cfg.design = link::TdcDesign{64, coarse_bits, kDelta};
+    cfg.bits_per_symbol = 5;
+    cfg.channel_transmittance = 0.5;
+    cfg.led.peak_power = util::Power::microwatts(50.0);
+    cfg.spad.dead_time = Time::nanoseconds(40.0);
+    cfg.inter_symbol_guard =
+        with_guard ? Time::seconds(-1.0) : Time::zero();  // -1 = auto
+    RngStream rng(kSeed, "deadtime");
+    const link::OpticalLink link(cfg, rng);
+    RngStream tx(kSeed, "deadtime-tx");
+    return link.measure(10000, tx);
+  };
+
+  util::Table v({"configuration", "DC [ns]", "SER", "erasure fraction", "goodput"});
+  auto add_row = [&v](const char* label, double dc_ns, const link::LinkRunStats& s) {
+    v.new_row()
+        .add_cell(label)
+        .add_cell(dc_ns, 1)
+        .add_cell(s.symbol_error_rate(), 4)
+        .add_cell(static_cast<double>(s.erasures) / static_cast<double>(s.symbols_sent),
+                  4)
+        .add_cell(util::si_format(s.goodput().bits_per_second(), "bps", 2));
+  };
+  add_row("(a) DC>=dead, paper windows",
+          link::detection_cycle(link::TdcDesign{64, 4, kDelta}).nanoseconds(),
+          run(4, false));
+  add_row("(b) DC<dead, paper windows",
+          link::detection_cycle(link::TdcDesign{64, 2, kDelta}).nanoseconds(),
+          run(2, false));
+  add_row("(c) DC>=dead + guard",
+          link::detection_cycle(link::TdcDesign{64, 4, kDelta}).nanoseconds(),
+          run(4, true));
+  std::cout << "\nMatching-rule Monte Carlo (40 ns SPAD):\n";
+  v.print(std::cout);
+  std::cout
+      << "\nShape check: violating DC >= dead (b) erases most symbols. Note the\n"
+         "paper's rule alone (a) still loses ~1/4 of random symbols to\n"
+         "inter-symbol dead-time carry (a late pulse followed by an early\n"
+         "one); the guard (c) eliminates the effect at a modest rate cost --\n"
+         "an engineering detail the paper's analytic model does not cover.\n";
+}
+
+void BM_BestDesignPerDeadTime(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link::best_design(
+        kDelta, Time::nanoseconds(static_cast<double>(state.range(0))), 8, 512, 0, 8));
+  }
+}
+BENCHMARK(BM_BestDesignPerDeadTime)->Arg(10)->Arg(40)->Arg(100);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

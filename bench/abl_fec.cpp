@@ -1,0 +1,107 @@
+// Ablation: FEC below the integrity check. Plain CRC framing drops a
+// whole frame on any single bit error; Hamming(8,4) SECDED under the
+// CRC corrects the Gray-coded single-bit jitter spills that dominate a
+// guarded link's residual errors. This bench sweeps jitter and compares
+// delivery rate and net goodput of the two stacks at equal payload.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "oci/analysis/report.hpp"
+#include "oci/link/fec_link.hpp"
+#include "oci/link/optical_link.hpp"
+#include "oci/util/table.hpp"
+
+namespace {
+
+using namespace oci;
+using link::OpticalLink;
+using util::RngStream;
+using util::Time;
+
+constexpr std::uint64_t kSeed = 20080608;
+constexpr int kTransfers = 150;
+
+link::OpticalLinkConfig jittery_config(double jitter_ps) {
+  link::OpticalLinkConfig c;
+  c.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  c.bits_per_symbol = 8;  // ~208 ps slots: jitter-sensitive on purpose
+  c.channel_transmittance = 0.8;
+  c.led.peak_power = util::Power::microwatts(50.0);
+  c.led.pulse_width = Time::picoseconds(100.0);
+  c.spad.jitter_sigma = Time::picoseconds(jitter_ps);
+  c.spad.dcr_at_ref = util::Frequency::hertz(350.0);
+  c.calibration_samples = 150000;
+  return c;
+}
+
+void print_reproduction() {
+  analysis::print_banner(std::cout, "Ablation 9: FEC under the CRC",
+                         "frame delivery: CRC-only vs Hamming(8,4)+CRC vs SPAD "
+                         "timing jitter",
+                         kSeed);
+
+  const std::vector<std::uint8_t> payload(24, 0x5A);
+  util::Table t({"jitter sigma [ps]", "CRC-only delivery", "FEC delivery",
+                 "FEC corrections/transfer", "FEC net goodput factor"});
+  for (double jitter : {40.0, 80.0, 120.0, 160.0, 200.0}) {
+    RngStream rng(kSeed, "fec-process");
+    const OpticalLink link(jittery_config(jitter), rng);
+    const link::FecLink fec(link);
+
+    RngStream tx(kSeed + static_cast<std::uint64_t>(jitter), "fec-tx");
+    int crc_ok = 0, fec_ok = 0;
+    std::size_t corrections = 0;
+    for (int i = 0; i < kTransfers; ++i) {
+      modulation::Frame f;
+      f.payload = payload;
+      if (auto r = link.transmit_frame(f, tx); r.frame && r.frame->payload == payload) {
+        ++crc_ok;
+      }
+      if (auto r = fec.transfer(payload, tx); r.payload && *r.payload == payload) {
+        ++fec_ok;
+        corrections += r.corrections;
+      }
+    }
+    const double crc_rate = static_cast<double>(crc_ok) / kTransfers;
+    const double fec_rate = static_cast<double>(fec_ok) / kTransfers;
+    // Net goodput factor: delivery probability x code rate, relative to
+    // the CRC stack (rate 1).
+    const double factor =
+        crc_rate > 0.0 ? (fec_rate * link::FecLink::code_rate()) / crc_rate
+                       : (fec_rate > 0 ? 99.0 : 0.0);
+    t.new_row()
+        .add_cell(jitter, 0)
+        .add_cell(crc_rate, 3)
+        .add_cell(fec_rate, 3)
+        .add_cell(static_cast<double>(corrections) / kTransfers, 2)
+        .add_cell(factor, 3);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check: at low jitter the CRC stack wins (FEC pays 2x symbols\n"
+         "for nothing); past the knee the CRC stack's delivery collapses --\n"
+         "every frame contains >= 1 flipped bit -- while SECDED keeps\n"
+         "delivering and the net-goodput factor crosses above 1.\n";
+}
+
+void BM_FecTransfer(benchmark::State& state) {
+  RngStream rng(kSeed, "bm-fec");
+  const OpticalLink link(jittery_config(120.0), rng);
+  const link::FecLink fec(link);
+  RngStream tx(kSeed, "bm-fec-tx");
+  const std::vector<std::uint8_t> payload(24, 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fec.transfer(payload, tx).corrections);
+  }
+}
+BENCHMARK(BM_FecTransfer);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

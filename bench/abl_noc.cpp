@@ -1,0 +1,204 @@
+// Ablation: MAC discipline on the shared optical stack bus.
+//
+// The paper proposes the physical medium (one optical channel seen by
+// every die); turning it into a *network* needs medium access. This
+// bench sweeps the three classic disciplines at packet granularity:
+//
+//  (a) saturation curves -- carried load and p99 latency vs offered
+//      load for TDMA, token (with/without pass cost), and slotted
+//      ALOHA; the textbook shapes (TDMA flat to 1.0, ALOHA capped
+//      near 1/e) must emerge from the slot simulation;
+//  (b) hot-spot traffic -- one bursty die among idle ones: the static
+//      TDMA schedule strands bandwidth that the work-conserving token
+//      recovers;
+//  (c) layer coupling -- the per-transfer delivery probability comes
+//      from the photon-level Monte Carlo link (FEC frame delivery at
+//      measured jitter), and ARQ turns residual loss into latency.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "oci/analysis/report.hpp"
+#include "oci/link/fec_link.hpp"
+#include "oci/link/optical_link.hpp"
+#include "oci/net/stack_network.hpp"
+#include "oci/util/table.hpp"
+
+namespace {
+
+using namespace oci;
+using net::StackNetwork;
+using net::StackNetworkConfig;
+using util::RngStream;
+using util::Time;
+
+constexpr std::uint64_t kSeed = 20080616;
+constexpr std::uint64_t kSlots = 60000;
+constexpr std::size_t kDies = 8;
+
+StackNetworkConfig traffic_config(double aggregate_load) {
+  StackNetworkConfig c;
+  c.dies = kDies;
+  c.traffic.resize(kDies);
+  for (auto& t : c.traffic) {
+    t.packets_per_slot = aggregate_load / static_cast<double>(kDies);
+    t.uniform_destinations = true;
+  }
+  c.queue_capacity = 512;
+  return c;
+}
+
+std::unique_ptr<net::MacPolicy> make_mac(const std::string& kind) {
+  if (kind == "tdma") {
+    return std::make_unique<net::TdmaMac>(bus::TdmaSchedule::equal(kDies));
+  }
+  if (kind == "token") return std::make_unique<net::TokenMac>(kDies, 0);
+  if (kind == "token+pass") return std::make_unique<net::TokenMac>(kDies, 1);
+  return std::make_unique<net::AlohaMac>(1.0 / static_cast<double>(kDies));
+}
+
+void saturation_table() {
+  util::Table t({"offered load", "tdma carried", "tdma p99", "token carried",
+                 "token p99", "token+pass carried", "aloha carried"});
+  for (double load : {0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3}) {
+    std::vector<double> carried;
+    std::vector<double> p99;
+    for (const std::string kind : {"tdma", "token", "token+pass", "aloha"}) {
+      StackNetwork netw(traffic_config(load), make_mac(kind));
+      RngStream rng(kSeed + static_cast<std::uint64_t>(load * 100), kind);
+      const auto r = netw.run(kSlots, rng);
+      carried.push_back(r.carried_load());
+      p99.push_back(r.latency.p99_slots);
+    }
+    t.new_row()
+        .add_cell(load, 1)
+        .add_cell(carried[0], 3)
+        .add_cell(p99[0], 0)
+        .add_cell(carried[1], 3)
+        .add_cell(p99[1], 0)
+        .add_cell(carried[2], 3)
+        .add_cell(carried[3], 3);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (a): TDMA and token both carry the offered load up to\n"
+         "~1.0 and saturate there; the token's p99 stays lower below\n"
+         "saturation (no waiting for your slot) but a 1-slot pass cost eats\n"
+         "into its ceiling under scattered traffic; slotted ALOHA tops out\n"
+         "near 1/e ~ 0.37 and sheds everything beyond it.\n\n";
+}
+
+void hotspot_table() {
+  util::Table t({"policy", "hot-die delivered/slot", "p99 [slots]",
+                 "bus utilisation"});
+  for (const std::string kind : {"tdma", "token"}) {
+    auto cfg = traffic_config(0.08);  // light background everywhere
+    cfg.traffic[3].packets_per_slot = 0.9;  // hot die
+    cfg.queue_capacity = 4096;
+    StackNetwork netw(cfg, make_mac(kind));
+    RngStream rng(kSeed, kind + "-hot");
+    const auto r = netw.run(kSlots, rng);
+    const double hot_rate = static_cast<double>(r.per_die[3].delivered) /
+                            static_cast<double>(r.slots);
+    const double util =
+        1.0 - static_cast<double>(r.idle_slots) / static_cast<double>(r.slots);
+    t.new_row()
+        .add_cell(std::string(kind))
+        .add_cell(hot_rate, 3)
+        .add_cell(r.latency.p99_slots, 0)
+        .add_cell(util, 3);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (b): static TDMA caps the hot die at its 1/8 share\n"
+         "and strands the idle dies' slots; the work-conserving token hands\n"
+         "those slots to the backlog, roughly octupling the hot die's\n"
+         "delivered rate and deflating the hot queue's p99 by two orders\n"
+         "of magnitude.\n\n";
+}
+
+void layer_coupling_table() {
+  // Per-transfer delivery probability measured on the photon-level
+  // link at each jitter, then fed to the packet simulation with ARQ.
+  link::OpticalLinkConfig lc;
+  lc.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  lc.bits_per_symbol = 8;
+  lc.channel_transmittance = 0.8;
+  lc.led.peak_power = util::Power::microwatts(50.0);
+  lc.led.pulse_width = Time::picoseconds(100.0);
+  lc.spad.dcr_at_ref = util::Frequency::hertz(350.0);
+  lc.calibration_samples = 100000;
+
+  const std::vector<std::uint8_t> payload(12, 0xA5);
+
+  util::Table t({"jitter [ps]", "frame delivery p", "net goodput [pkt/slot]",
+                 "mean latency [slots]", "p99 [slots]", "retry drops"});
+  for (double jitter : {60.0, 120.0, 150.0, 180.0}) {
+    lc.spad.jitter_sigma = Time::picoseconds(jitter);
+    RngStream process(kSeed, "noc-link");
+    const link::OpticalLink link(lc, process);
+    const link::FecLink fec(link);
+    RngStream tx(kSeed, "noc-link-tx");
+    int ok = 0;
+    const int probes = 150;
+    for (int i = 0; i < probes; ++i) {
+      if (auto r = fec.transfer(payload, tx); r.payload && *r.payload == payload) ++ok;
+    }
+    const double p = static_cast<double>(ok) / probes;
+
+    auto cfg = traffic_config(0.6);
+    cfg.delivery_probability = std::max(p, 0.01);
+    cfg.max_attempts = 6;
+    // Slot wall-clock: framed packet symbols x the link symbol period.
+    const std::uint64_t symbols =
+        net::symbols_per_packet(payload.size(), link.bits_per_symbol());
+    cfg.slot_duration = link.symbol_period() * static_cast<double>(symbols);
+    StackNetwork netw(cfg, make_mac("token"));
+    RngStream rng(kSeed + static_cast<std::uint64_t>(jitter), "noc-run");
+    const auto r = netw.run(kSlots, rng);
+    std::uint64_t drops = 0;
+    for (const auto& d : r.per_die) drops += d.retry_drops;
+    t.new_row()
+        .add_cell(jitter, 0)
+        .add_cell(p, 3)
+        .add_cell(r.carried_load(), 3)
+        .add_cell(r.latency.mean_slots, 1)
+        .add_cell(r.latency.p99_slots, 0)
+        .add_cell(static_cast<double>(drops), 0);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (c): as physical-layer jitter erodes frame delivery,\n"
+         "ARQ first converts loss into latency (mean and p99 inflate while\n"
+         "goodput holds), then the retry budget exhausts and packets drop --\n"
+         "the cross-layer story a link-only analysis cannot show.\n";
+}
+
+void print_reproduction() {
+  analysis::print_banner(std::cout, "Ablation 13: MAC on the optical stack bus",
+                         "TDMA vs token vs slotted ALOHA at packet granularity, "
+                         "coupled to the photon-level link",
+                         kSeed);
+  saturation_table();
+  hotspot_table();
+  layer_coupling_table();
+}
+
+void BM_NetworkSlot(benchmark::State& state) {
+  StackNetwork netw(traffic_config(0.8), make_mac("token"));
+  RngStream rng(kSeed, "bm-noc");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netw.run(1000, rng).total_delivered());
+  }
+}
+BENCHMARK(BM_NetworkSlot);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

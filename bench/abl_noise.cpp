@@ -1,0 +1,121 @@
+// Ablation: noise floor. The paper requires "potential errors due to
+// jitter and afterpulse probability below a certain bound" when matching
+// the TDC range to the SPAD. This bench sweeps DCR (via temperature) and
+// afterpulse probability and reports the measured SER against the
+// analytic error budget, locating the operating region where the
+// paper's bound holds.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "oci/analysis/report.hpp"
+#include "oci/link/error_model.hpp"
+#include "oci/link/optical_link.hpp"
+#include "oci/util/table.hpp"
+
+namespace {
+
+using namespace oci;
+using util::Frequency;
+using util::RngStream;
+using util::Time;
+
+constexpr std::uint64_t kSeed = 20080608;
+constexpr std::uint64_t kSymbols = 20000;
+
+link::OpticalLinkConfig noise_config() {
+  link::OpticalLinkConfig c;
+  c.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  c.bits_per_symbol = 5;
+  c.channel_transmittance = 0.5;
+  c.led.peak_power = util::Power::microwatts(50.0);
+  c.calibration_samples = 150000;
+  return c;
+}
+
+double analytic_ser(const link::OpticalLink& link, Frequency noise, double p_ap) {
+  link::ErrorBudgetInputs in;
+  in.pulse_detection_probability = 1.0;  // photon budget is generous here
+  in.noise_rate = noise;
+  in.afterpulse_probability = p_ap;
+  in.toa_window = link.toa_window();
+  in.slot_width = link.ppm().config().slot_width;
+  in.timing_sigma = link::rss_sigma(
+      link.detector().params().jitter_sigma,
+      Time::seconds(link.led().params().pulse_width.seconds() / std::sqrt(12.0)),
+      Time::seconds(link.tdc().lsb().seconds() / std::sqrt(12.0)));
+  in.bits_per_symbol = link.bits_per_symbol();
+  return link::compute_error_budget(in).symbol_error_rate;
+}
+
+void print_reproduction() {
+  analysis::print_banner(std::cout, "Ablation 4: noise floor (DCR + afterpulse)",
+                         "SER vs dark-count rate and afterpulse probability; "
+                         "Monte Carlo vs analytic budget",
+                         kSeed);
+
+  std::cout << "\n-- DCR sweep (afterpulse fixed at 1%) --\n";
+  util::Table t({"DCR [kHz]", "measured SER", "analytic SER", "noise captures"});
+  for (double dcr_khz : {0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    auto cfg = noise_config();
+    cfg.spad.dcr_at_ref = Frequency::kilohertz(dcr_khz);
+    cfg.spad.afterpulse_probability = 0.01;
+    RngStream rng(kSeed, "noise-dcr");
+    const link::OpticalLink link(cfg, rng);
+    RngStream tx(kSeed + static_cast<std::uint64_t>(dcr_khz * 10), "noise-dcr-tx");
+    const auto stats = link.measure(kSymbols, tx);
+    t.new_row()
+        .add_cell(dcr_khz, 1)
+        .add_cell(stats.symbol_error_rate(), 5)
+        .add_cell(analytic_ser(link, Frequency::kilohertz(dcr_khz), 0.01), 5)
+        .add_cell(stats.noise_captures);
+  }
+  t.print(std::cout);
+
+  std::cout << "\n-- afterpulse sweep (DCR fixed at 350 Hz) --\n";
+  util::Table a({"P(afterpulse)", "measured SER", "analytic SER", "noise captures"});
+  for (double p_ap : {0.0, 0.01, 0.05, 0.1, 0.2, 0.4}) {
+    auto cfg = noise_config();
+    cfg.spad.dcr_at_ref = Frequency::hertz(350.0);
+    cfg.spad.afterpulse_probability = p_ap;
+    RngStream rng(kSeed, "noise-ap");
+    const link::OpticalLink link(cfg, rng);
+    RngStream tx(kSeed + static_cast<std::uint64_t>(p_ap * 1000), "noise-ap-tx");
+    const auto stats = link.measure(kSymbols, tx);
+    a.new_row()
+        .add_cell(p_ap, 2)
+        .add_cell(stats.symbol_error_rate(), 5)
+        .add_cell(analytic_ser(link, Frequency::hertz(350.0), p_ap), 5)
+        .add_cell(stats.noise_captures);
+  }
+  a.print(std::cout);
+
+  std::cout << "\nShape check: SER stays at the jitter floor until the noise rate\n"
+               "approaches 1/window (~MHz for a 53 ns window), then grows as\n"
+               "1 - exp(-rate x window / 2); afterpulse adds ~p_ap/2 directly.\n"
+               "Paper-era devices (350 Hz DCR, ~1% afterpulse) sit comfortably\n"
+               "inside the bound -- the regime the paper asserts.\n";
+}
+
+void BM_NoisyLinkSymbols(benchmark::State& state) {
+  auto cfg = noise_config();
+  cfg.spad.dcr_at_ref = Frequency::kilohertz(100.0);
+  RngStream rng(kSeed, "bm-noise");
+  const link::OpticalLink link(cfg, rng);
+  RngStream tx(kSeed, "bm-noise-tx");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link.measure(500, tx).symbol_errors);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_NoisyLinkSymbols);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation: PPM order. The paper fixes K = log2(N) + C, assuming the
+// full TDC resolution is usable. This bench sweeps the bits carried per
+// symbol on a fixed TDC and shows the realistic trade: more bits per
+// pulse raise raw throughput linearly but shrink the slot width until
+// timing noise dominates, collapsing goodput. The knee locates the
+// usable PPM order for a given jitter budget.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "oci/analysis/report.hpp"
+#include "oci/link/optical_link.hpp"
+#include "oci/modulation/ook.hpp"
+#include "oci/util/table.hpp"
+
+namespace {
+
+using namespace oci;
+using link::OpticalLink;
+using link::OpticalLinkConfig;
+using util::RngStream;
+using util::Time;
+
+constexpr std::uint64_t kSeed = 20080608;
+constexpr std::uint64_t kSymbols = 20000;
+
+OpticalLinkConfig base_config() {
+  OpticalLinkConfig c;
+  c.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};  // 10-bit TDC
+  c.channel_transmittance = 0.5;
+  c.led.peak_power = util::Power::microwatts(50.0);
+  c.led.pulse_width = Time::picoseconds(300.0);
+  c.spad.jitter_sigma = Time::picoseconds(42.5);
+  c.spad.dcr_at_ref = util::Frequency::hertz(350.0);
+  c.calibration_samples = 200000;
+  return c;
+}
+
+void print_reproduction() {
+  analysis::print_banner(std::cout, "Ablation 1: PPM order",
+                         "bits/symbol sweep on a fixed N=64, C=4 TDC, 40 ns SPAD",
+                         kSeed);
+
+  const auto cfg0 = base_config();
+  std::cout << "\nOOK baseline on the same SPAD: "
+            << util::si_format(modulation::OokCodec::dead_time_limited_rate(
+                                   cfg0.spad.dead_time)
+                                   .bits_per_second(),
+                               "bps", 2)
+            << " (1 bit per detection cycle)\n\n";
+
+  util::Table t({"K [bits/sym]", "slot width", "SER", "BER", "raw TP", "goodput"});
+  for (unsigned k = 1; k <= 10; ++k) {
+    auto cfg = base_config();
+    cfg.bits_per_symbol = k;
+    RngStream rng(kSeed, "ppm-order");
+    const OpticalLink link(cfg, rng);
+    RngStream tx(kSeed + k, "ppm-order-tx");
+    const auto stats = link.measure(kSymbols, tx);
+    t.new_row()
+        .add_cell(static_cast<std::uint64_t>(k))
+        .add_cell(util::si_format(link.ppm().config().slot_width.seconds(), "s", 2))
+        .add_cell(stats.symbol_error_rate(), 5)
+        .add_cell(stats.bit_error_rate(), 5)
+        .add_cell(util::si_format(stats.raw_throughput().bits_per_second(), "bps", 2))
+        .add_cell(util::si_format(stats.goodput().bits_per_second(), "bps", 2));
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: goodput rises ~linearly with K while slots remain\n"
+               "wide relative to jitter, then collapses once slot width nears the\n"
+               "combined timing noise -- every PPM-over-SPAD design faces this knee.\n";
+}
+
+void BM_TransmitSymbolStream(benchmark::State& state) {
+  auto cfg = base_config();
+  cfg.bits_per_symbol = static_cast<unsigned>(state.range(0));
+  RngStream rng(kSeed, "bm-ppm");
+  const OpticalLink link(cfg, rng);
+  RngStream tx(kSeed, "bm-ppm-tx");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link.measure(1000, tx).symbol_errors);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TransmitSymbolStream)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

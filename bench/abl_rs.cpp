@@ -1,0 +1,267 @@
+// Ablation: Reed-Solomon outer code vs Hamming SECDED vs plain CRC.
+//
+// Three impairment regimes stress the codes differently, and the point
+// of this ablation is that NO single code dominates:
+//
+//  (a) jitter regime -- frequent ONE-slot Gray spills, one per symbol.
+//      Per-symbol SECDED corrects every isolated single-bit spill, so
+//      it tolerates a high spill *rate*; RS shares a t = parity/2 byte
+//      budget across the whole block and saturates first.
+//
+//  (b) noise-capture regime -- a dark/background avalanche fires before
+//      the signal and the whole symbol decodes to a random slot. For
+//      SECDED that is an uncorrectable multi-bit nibble error (drop);
+//      RS corrects it like any other byte error.
+//
+//  (c) photon-starved regime -- no-detection windows at KNOWN positions.
+//      RS with erasure flags corrects up to `parity` per block, twice
+//      its unknown-error budget; the flag ablation isolates that gain.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "oci/analysis/report.hpp"
+#include "oci/link/fec_link.hpp"
+#include "oci/link/optical_link.hpp"
+#include "oci/link/rs_link.hpp"
+#include "oci/util/table.hpp"
+
+namespace {
+
+using namespace oci;
+using link::OpticalLink;
+using util::RngStream;
+using util::Time;
+
+constexpr std::uint64_t kSeed = 20080613;
+constexpr int kTransfers = 120;
+
+link::OpticalLinkConfig base_config() {
+  link::OpticalLinkConfig c;
+  c.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  c.bits_per_symbol = 8;
+  c.channel_transmittance = 0.8;
+  c.led.peak_power = util::Power::microwatts(50.0);
+  c.led.pulse_width = Time::picoseconds(100.0);
+  c.spad.dcr_at_ref = util::Frequency::hertz(350.0);
+  c.calibration_samples = 150000;
+  return c;
+}
+
+struct Delivery {
+  double rate = 0.0;
+  double fixes_per_transfer = 0.0;
+};
+
+Delivery run_rs(const OpticalLink& link, const link::RsLinkConfig& rs_cfg,
+                const std::vector<std::uint8_t>& payload, RngStream& tx) {
+  const link::RsLink rs(link, rs_cfg);
+  int ok = 0;
+  std::size_t fixes = 0;
+  for (int i = 0; i < kTransfers; ++i) {
+    const auto r = rs.transfer(payload, tx);
+    if (r.payload && *r.payload == payload) {
+      ++ok;
+      fixes += r.corrected_errors + r.corrected_erasures;
+    }
+  }
+  return {static_cast<double>(ok) / kTransfers,
+          static_cast<double>(fixes) / kTransfers};
+}
+
+double run_hamming(const OpticalLink& link, const std::vector<std::uint8_t>& payload,
+                   RngStream& tx) {
+  const link::FecLink hamming(link);
+  int ok = 0;
+  for (int i = 0; i < kTransfers; ++i) {
+    if (auto r = hamming.transfer(payload, tx); r.payload && *r.payload == payload) {
+      ++ok;
+    }
+  }
+  return static_cast<double>(ok) / kTransfers;
+}
+
+const std::vector<std::uint8_t> kPayload(24, 0x5A);
+
+void jitter_table() {
+  link::RsLinkConfig rs_cfg;
+  rs_cfg.block_data_bytes = 25;  // payload + CRC in one block
+  rs_cfg.parity_bytes = 8;
+
+  util::Table t({"jitter sigma [ps]", "CRC-only", "Hamming(8,4)", "RS(33,25)"});
+  for (double jitter : {40.0, 80.0, 120.0, 160.0, 200.0}) {
+    auto cfg = base_config();
+    cfg.spad.jitter_sigma = Time::picoseconds(jitter);
+    RngStream rng(kSeed, "rs-process");
+    const OpticalLink link(cfg, rng);
+
+    RngStream tx(kSeed + static_cast<std::uint64_t>(jitter), "rs-tx");
+    int crc_ok = 0;
+    for (int i = 0; i < kTransfers; ++i) {
+      modulation::Frame f;
+      f.payload = kPayload;
+      if (auto r = link.transmit_frame(f, tx); r.frame && r.frame->payload == kPayload) {
+        ++crc_ok;
+      }
+    }
+    const double ham = run_hamming(link, kPayload, tx);
+    const Delivery rs = run_rs(link, rs_cfg, kPayload, tx);
+    t.new_row()
+        .add_cell(jitter, 0)
+        .add_cell(static_cast<double>(crc_ok) / kTransfers, 3)
+        .add_cell(ham, 3)
+        .add_cell(rs.rate, 3);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (a): CRC-only collapses first. In THIS regime the\n"
+         "errors are frequent-but-small (one-slot Gray spills): per-symbol\n"
+         "SECDED fixes each one independently and outlasts RS, whose shared\n"
+         "t = 4 byte budget saturates once spills/block exceed 4. The next\n"
+         "two regimes invert the ranking.\n\n";
+}
+
+void noise_capture_table() {
+  // Ambient background light fires the SPAD before the signal pulse in
+  // a fraction of windows; the symbol decodes to a random slot -- an
+  // arbitrary byte error.
+  link::RsLinkConfig rs_cfg;
+  rs_cfg.block_data_bytes = 25;
+  rs_cfg.parity_bytes = 16;  // t = 8
+
+  util::Table t({"background [MHz]", "noise capture prob", "CRC-only",
+                 "Hamming(8,4)", "RS(41,25)", "RS fixes/transfer"});
+  for (double mhz : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    auto cfg = base_config();
+    cfg.spad.jitter_sigma = Time::picoseconds(40.0);
+    cfg.background_rate = util::Frequency::hertz(mhz * 1e6);
+    RngStream rng(kSeed, "rs-noise-process");
+    const OpticalLink link(cfg, rng);
+
+    // A capture needs a detected background photon before the signal
+    // pulse (mid-window on average).
+    const double window_s = link.toa_window().seconds();
+    const double p_capture =
+        1.0 - std::exp(-mhz * 1e6 * link.detector().pdp() * window_s / 2.0);
+
+    RngStream tx(kSeed + static_cast<std::uint64_t>(mhz * 10), "rs-noise-tx");
+    int crc_ok = 0;
+    for (int i = 0; i < kTransfers; ++i) {
+      modulation::Frame f;
+      f.payload = kPayload;
+      if (auto r = link.transmit_frame(f, tx); r.frame && r.frame->payload == kPayload) {
+        ++crc_ok;
+      }
+    }
+    const double ham = run_hamming(link, kPayload, tx);
+    const Delivery rs = run_rs(link, rs_cfg, kPayload, tx);
+    t.new_row()
+        .add_cell(mhz, 1)
+        .add_cell(p_capture, 3)
+        .add_cell(static_cast<double>(crc_ok) / kTransfers, 3)
+        .add_cell(ham, 3)
+        .add_cell(rs.rate, 3)
+        .add_cell(rs.fixes_per_transfer, 2);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (b): a noise capture scrambles the whole byte. SECDED\n"
+         "only *detects* those (drops the frame) so it tracks CRC-only down;\n"
+         "RS corrects up to 8 scrambled bytes per block and keeps delivering\n"
+         "an order of magnitude deeper into the background flood.\n\n";
+}
+
+void erasure_table() {
+  // Dim the transmitter: wide slots (6 bits -> 832 ps) keep the
+  // first-photon timing spread harmless, so no-detection windows are
+  // the only impairment.
+  link::RsLinkConfig with_flags;
+  with_flags.block_data_bytes = 25;
+  with_flags.parity_bytes = 16;
+  link::RsLinkConfig without_flags = with_flags;
+  without_flags.use_erasure_flags = false;
+
+  util::Table t({"peak power [nW]", "mean det. photons", "erasure prob",
+                 "RS w/ flags", "RS w/o flags", "Hamming(8,4)"});
+  for (double nw : {150.0, 90.0, 60.0, 45.0, 30.0}) {
+    auto cfg = base_config();
+    cfg.bits_per_symbol = 6;
+    cfg.spad.jitter_sigma = Time::picoseconds(60.0);
+    cfg.led.peak_power = util::Power::nanowatts(nw);
+    cfg.channel_transmittance = 0.5;
+    RngStream rng(kSeed, "rs-erasure-process");
+    const OpticalLink link(cfg, rng);
+
+    const double mean_detected = link.detector().pdp() *
+                                 link.led().photons_per_pulse() *
+                                 cfg.channel_transmittance;
+    const double p_erase = std::exp(-mean_detected);
+
+    RngStream tx(kSeed + static_cast<std::uint64_t>(nw), "rs-erasure-tx");
+    const Delivery rs_flags = run_rs(link, with_flags, kPayload, tx);
+    const Delivery rs_plain = run_rs(link, without_flags, kPayload, tx);
+    const double ham = run_hamming(link, kPayload, tx);
+
+    t.new_row()
+        .add_cell(nw, 0)
+        .add_cell(mean_detected, 2)
+        .add_cell(p_erase, 3)
+        .add_cell(rs_flags.rate, 3)
+        .add_cell(rs_plain.rate, 3)
+        .add_cell(ham, 3);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (c): the link KNOWS which windows were silent. With\n"
+         "erasure flags RS repairs up to 16 missing bytes per block (2e+f\n"
+         "<= 16); without them each loss costs double, so delivery dies\n"
+         "roughly one power octave earlier. Hamming cannot reconstruct a\n"
+         "missing nibble pair at all and collapses first.\n";
+}
+
+void print_reproduction() {
+  analysis::print_banner(std::cout, "Ablation 10: Reed-Solomon outer code",
+                         "RS errors+erasures vs Hamming SECDED vs CRC over "
+                         "jitter, noise captures, and photon starvation",
+                         kSeed);
+  jitter_table();
+  noise_capture_table();
+  erasure_table();
+}
+
+void BM_RsEncodeDecode(benchmark::State& state) {
+  const modulation::ReedSolomon rs(223, 32);
+  RngStream rng(kSeed, "bm-rs");
+  std::vector<std::uint8_t> data(223);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  auto code = rs.encode(data);
+  code[10] ^= 0x42;
+  code[100] ^= 0x24;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.decode(code));
+  }
+}
+BENCHMARK(BM_RsEncodeDecode);
+
+void BM_RsTransfer(benchmark::State& state) {
+  auto cfg = base_config();
+  cfg.spad.jitter_sigma = Time::picoseconds(120.0);
+  RngStream rng(kSeed, "bm-rs-link");
+  const OpticalLink link(cfg, rng);
+  const link::RsLink rs(link);
+  RngStream tx(kSeed, "bm-rs-link-tx");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.transfer(kPayload, tx).corrected_errors);
+  }
+}
+BENCHMARK(BM_RsTransfer);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

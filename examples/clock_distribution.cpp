@@ -1,0 +1,63 @@
+// Optical clock distribution example -- the "further work" the paper's
+// conclusion announces. A master die broadcasts a 200 MHz optical pulse
+// train down the stack; every die derives its local clock from the
+// detected edges. Compares skew, jitter and power against a conventional
+// electrical H-tree.
+#include <cstdlib>
+#include <iostream>
+
+#include "oci/bus/clock_distribution.hpp"
+#include "oci/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oci;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  bus::OpticalClockConfig cfg;
+  cfg.dies = 8;
+  cfg.clock = util::Frequency::megahertz(200.0);
+  cfg.led.peak_power = util::Power::microwatts(200.0);
+  cfg.led.wavelength = util::Wavelength::nanometres(850.0);
+  const bus::OpticalClockTree tree(cfg);
+
+  std::cout << "== optical clock broadcast, 200 MHz, 8-die stack ==\n";
+  util::Table t({"die", "path skew", "predicted jitter (rms)", "P(edge detected)",
+                 "measured jitter (rms)"});
+  util::RngStream rng(seed, "clock-example");
+  for (const auto& r : tree.reports()) {
+    t.new_row()
+        .add_cell(static_cast<std::uint64_t>(r.die))
+        .add_cell(util::si_format(r.path_skew.seconds(), "s", 2))
+        .add_cell(util::si_format(r.jitter_rms.seconds(), "s", 2))
+        .add_cell(r.edge_detection_probability, 5)
+        .add_cell(r.die == cfg.master
+                      ? "0 (master)"
+                      : util::si_format(
+                            tree.measured_edge_jitter(r.die, 3000, rng).seconds(), "s",
+                            2));
+  }
+  t.print(std::cout);
+
+  bus::ElectricalClockTree htree{bus::ElectricalClockTreeParams{}};
+  std::cout << "\n== optical vs electrical H-tree ==\n";
+  util::Table c({"metric", "optical broadcast", "electrical H-tree"});
+  c.new_row()
+      .add_cell("distribution power")
+      .add_cell(util::si_format(tree.total_power().watts(), "W", 2))
+      .add_cell(util::si_format(htree.power().watts(), "W", 2));
+  c.new_row()
+      .add_cell("worst deterministic skew")
+      .add_cell(util::si_format(tree.max_skew().seconds(), "s", 2))
+      .add_cell(util::si_format(htree.skew_3sigma().seconds(), "s", 2));
+  c.new_row()
+      .add_cell("insertion delay")
+      .add_cell(util::si_format(tree.max_skew().seconds(), "s", 2))
+      .add_cell(util::si_format(htree.insertion_delay().seconds(), "s", 2));
+  c.print(std::cout);
+
+  const double ratio = htree.power().watts() / tree.total_power().watts();
+  std::cout << "\noptical distribution uses " << ratio
+            << "x less power than the H-tree -- the paper's expected\n"
+               "\"drastic reduction of clock distribution power costs\".\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Intra-chip optical link example: the horizontal half of the paper's
+// title. A micro-LED drives an on-die waveguide to a SPAD receiver
+// across the chip; a splitter tree broadcasts the same pulse train to
+// many on-die endpoints (optical bus / clock spine).
+#include <cstdlib>
+#include <iostream>
+
+#include "oci/link/budget.hpp"
+#include "oci/link/optical_link.hpp"
+#include "oci/photonics/waveguide.hpp"
+#include "oci/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oci;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  photonics::WaveguideParams wp;
+  wp.propagation_loss_db_per_cm = 1.0;
+  wp.bend_loss_db = 0.1;
+  wp.coupling_loss_db = 1.5;
+  const photonics::Waveguide wg(wp);
+
+  std::cout << "== point-to-point on-die routes (1 dB/cm polymer guide) ==\n";
+  util::Table t({"route [mm]", "bends", "loss [dB]", "transmittance", "SER @ 50uW LED"});
+  for (double mm : {2.0, 5.0, 10.0, 20.0}) {
+    const auto route = util::Length::millimetres(mm);
+    const std::size_t bends = static_cast<std::size_t>(mm / 5.0) + 1;
+    const double transmittance = wg.transmittance(route, bends);
+
+    link::OpticalLinkConfig cfg;
+    cfg.design = link::TdcDesign{64, 4, util::Time::picoseconds(52.0)};
+    cfg.bits_per_symbol = 5;
+    cfg.channel_transmittance = transmittance;
+    cfg.led.peak_power = util::Power::microwatts(50.0);
+    util::RngStream process(seed, "intra-process");
+    const link::OpticalLink link(cfg, process);
+    util::RngStream meas(seed + static_cast<std::uint64_t>(mm), "intra-meas");
+    const auto stats = link.measure(5000, meas);
+
+    t.new_row()
+        .add_cell(mm, 1)
+        .add_cell(static_cast<std::uint64_t>(bends))
+        .add_cell(wg.loss_db(route, bends), 2)
+        .add_cell(transmittance, 4)
+        .add_cell(stats.symbol_error_rate(), 5);
+  }
+  t.print(std::cout);
+
+  std::cout << "\n== broadcast splitter tree (optical bus spine) ==\n";
+  util::Table s({"leaves", "stages", "per-leaf transmittance", "per-leaf P(detect)"});
+  photonics::MicroLedParams lp;
+  lp.peak_power = util::Power::microwatts(200.0);
+  const photonics::MicroLed led(lp);
+  const spad::Spad det(spad::SpadParams{}, lp.wavelength);
+  for (std::size_t stages : {1, 2, 3, 4, 5, 6}) {
+    const double transmittance =
+        wg.split_transmittance(util::Length::millimetres(10.0), stages, 4);
+    const double p_det =
+        det.pulse_detection_probability(led.photons_per_pulse() * transmittance);
+    s.new_row()
+        .add_cell(static_cast<std::uint64_t>(std::size_t{1} << stages))
+        .add_cell(static_cast<std::uint64_t>(stages))
+        .add_sci(transmittance)
+        .add_cell(p_det, 5);
+  }
+  s.print(std::cout);
+  std::cout << "\nEven after a 64-leaf split the SPAD's single-photon sensitivity\n"
+               "keeps the broadcast reliable -- the receiver, not the source,\n"
+               "carries the optical budget (the paper's core enabler).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: send a text message over one SPAD/PPM optical link and
+// print what arrives, along with the link's vital statistics.
+//
+//   $ ./quickstart [seed]
+//
+// Walks the canonical API path: configure -> construct (draws process
+// variation, runs calibration) -> frame -> transmit -> inspect stats.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "oci/link/optical_link.hpp"
+#include "oci/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oci;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // 1. Describe the receiver: a 64-element delay line with 4 coarse bits
+  //    gives a 10-bit TDC; we carry 5 bits per pulse for jitter margin.
+  link::OpticalLinkConfig cfg;
+  cfg.design = link::TdcDesign{64, 4, util::Time::picoseconds(52.0)};
+  cfg.bits_per_symbol = 5;
+  cfg.channel_transmittance = 0.5;  // one thinned die + coupling losses
+  cfg.led.peak_power = util::Power::microwatts(50.0);
+  cfg.spad.dcr_at_ref = util::Frequency::hertz(350.0);
+
+  // 2. Construct. The RNG stream seeds process variation (delay-line
+  //    mismatch) and the construction-time code-density calibration.
+  util::RngStream process(seed, "quickstart-process");
+  const link::OpticalLink link(cfg, process);
+
+  std::cout << "link configured: " << link.bits_per_symbol() << " bits/symbol, "
+            << util::si_format(link.symbol_period().seconds(), "s", 2)
+            << " per symbol, analytic TP = "
+            << util::si_format(link.analytic_throughput().bits_per_second(), "bps", 2)
+            << "\n";
+
+  // 3. Frame a payload and push it through the channel.
+  const std::string message = "hello through silicon!";
+  modulation::Frame frame;
+  frame.payload.assign(message.begin(), message.end());
+
+  util::RngStream channel(seed, "quickstart-channel");
+  const auto result = link.transmit_frame(frame, channel);
+
+  if (result.frame) {
+    std::cout << "received : \""
+              << std::string(result.frame->payload.begin(), result.frame->payload.end())
+              << "\"  (CRC ok)\n";
+  } else {
+    std::cout << "frame lost (CRC/preamble failure)\n";
+  }
+
+  // 4. Error-rate measurement over a longer random stream.
+  util::RngStream meas(seed, "quickstart-measure");
+  const auto stats = link.measure(20000, meas);
+  util::Table t({"metric", "value"});
+  t.new_row().add_cell("symbols sent").add_cell(stats.symbols_sent);
+  t.new_row().add_cell("symbol error rate").add_cell(stats.symbol_error_rate(), 6);
+  t.new_row().add_cell("bit error rate").add_cell(stats.bit_error_rate(), 6);
+  t.new_row().add_cell("erasures (missed pulses)").add_cell(stats.erasures);
+  t.new_row().add_cell("noise captures").add_cell(stats.noise_captures);
+  t.new_row()
+      .add_cell("raw throughput")
+      .add_cell(util::si_format(stats.raw_throughput().bits_per_second(), "bps", 2));
+  t.new_row()
+      .add_cell("goodput")
+      .add_cell(util::si_format(stats.goodput().bits_per_second(), "bps", 2));
+  t.new_row()
+      .add_cell("energy per bit")
+      .add_cell(util::si_format(stats.energy_per_bit().joules(), "J", 2));
+  t.print(std::cout);
+  return 0;
+}

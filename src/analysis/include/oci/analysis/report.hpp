@@ -1,0 +1,36 @@
+// Shared reporting helpers so every bench prints its experiment in a
+// uniform, grep-friendly format: a banner naming the paper artifact
+// being reproduced, the fixed RNG seed, and ASCII renderings of series.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace oci::analysis {
+
+/// Prints a standard experiment banner.
+void print_banner(std::ostream& os, const std::string& experiment_id,
+                  const std::string& description, std::uint64_t seed);
+
+/// Renders a numeric profile (e.g. DNL per code) as an ASCII bar chart,
+/// one row per sample, centred on zero. `max_rows` decimates long
+/// profiles evenly; `half_width` is the bar width for |value| == scale.
+void ascii_profile(std::ostream& os, std::span<const double> values, double scale,
+                   std::size_t max_rows = 48, std::size_t half_width = 30);
+
+/// Renders a 2D field (rows x cols) as a shade map using a fixed ramp
+/// ' .:-=+*#%@' between min and max of the data -- used for the Fig. 4
+/// throughput sheet.
+void ascii_shademap(std::ostream& os, const std::vector<std::vector<double>>& field,
+                    const std::vector<std::string>& row_labels,
+                    const std::vector<std::string>& col_labels);
+
+/// Simple linear-interpolated contour crossing detector for one row of a
+/// field: returns the column positions (fractional) where the row
+/// crosses `level`. Used to print DC contour positions.
+[[nodiscard]] std::vector<double> contour_crossings(std::span<const double> row, double level);
+
+}  // namespace oci::analysis

@@ -1,0 +1,92 @@
+#include "oci/analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+namespace oci::analysis {
+
+void print_banner(std::ostream& os, const std::string& experiment_id,
+                  const std::string& description, std::uint64_t seed) {
+  os << "\n================================================================\n"
+     << "  " << experiment_id << "\n"
+     << "  " << description << "\n"
+     << "  seed = " << seed << "\n"
+     << "================================================================\n";
+}
+
+void ascii_profile(std::ostream& os, std::span<const double> values, double scale,
+                   std::size_t max_rows, std::size_t half_width) {
+  if (values.empty() || scale <= 0.0) return;
+  const std::size_t n = values.size();
+  const std::size_t step = n > max_rows ? (n + max_rows - 1) / max_rows : 1;
+  for (std::size_t i = 0; i < n; i += step) {
+    const double v = values[i];
+    const double clipped = std::clamp(v / scale, -1.0, 1.0);
+    const auto bar = static_cast<long>(std::lround(clipped * static_cast<double>(half_width)));
+    std::string left(half_width, ' ');
+    std::string right(half_width, ' ');
+    if (bar < 0) {
+      for (long b = 0; b < -bar; ++b) left[half_width - 1 - static_cast<std::size_t>(b)] = '#';
+    } else {
+      for (long b = 0; b < bar; ++b) right[static_cast<std::size_t>(b)] = '#';
+    }
+    os << std::setw(5) << i << " " << left << '|' << right << "  " << std::showpos
+       << std::fixed << std::setprecision(3) << v << std::noshowpos << '\n';
+  }
+}
+
+void ascii_shademap(std::ostream& os, const std::vector<std::vector<double>>& field,
+                    const std::vector<std::string>& row_labels,
+                    const std::vector<std::string>& col_labels) {
+  if (field.empty()) return;
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kRampLen = sizeof(kRamp) - 2;  // last usable index
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& row : field) {
+    for (double v : row) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  std::size_t label_w = 0;
+  for (const auto& l : row_labels) label_w = std::max(label_w, l.size());
+
+  for (std::size_t r = 0; r < field.size(); ++r) {
+    os << std::setw(static_cast<int>(label_w))
+       << (r < row_labels.size() ? row_labels[r] : "") << " |";
+    for (double v : field[r]) {
+      const auto idx =
+          static_cast<std::size_t>(std::lround((v - lo) / span * static_cast<double>(kRampLen)));
+      const char c = kRamp[std::min(idx, kRampLen)];
+      os << c << c << c;  // triple width for visibility
+    }
+    os << "|\n";
+  }
+  os << std::setw(static_cast<int>(label_w)) << "" << "  ";
+  for (const auto& cl : col_labels) {
+    os << std::setw(3) << (cl.size() > 3 ? cl.substr(0, 3) : cl);
+  }
+  os << "\n  (shade ramp: '" << kRamp << "' from " << lo << " to " << hi << ")\n";
+}
+
+std::vector<double> contour_crossings(std::span<const double> row, double level) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+    const double a = row[i];
+    const double b = row[i + 1];
+    if ((a <= level && b > level) || (a >= level && b < level)) {
+      const double t = (level - a) / (b - a);
+      out.push_back(static_cast<double>(i) + t);
+    }
+  }
+  return out;
+}
+
+}  // namespace oci::analysis

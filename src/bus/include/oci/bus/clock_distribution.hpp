@@ -1,0 +1,96 @@
+// Optical clock distribution across the die stack -- the "further work"
+// the paper's conclusion announces ("high-speed local clock
+// synchronization, expected to drastically reduce clock distribution
+// power costs with minimal or no area impact"). A master die broadcasts
+// a periodic optical pulse; each die's SPAD + local regenerator derives
+// its clock from the detected edge. We model the per-die skew
+// (deterministic path-length difference) and jitter (SPAD timing noise
+// thinned by photon statistics), and an electrical H-tree baseline for
+// the power comparison.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "oci/photonics/die_stack.hpp"
+#include "oci/photonics/led.hpp"
+#include "oci/spad/spad.hpp"
+#include "oci/util/random.hpp"
+#include "oci/util/units.hpp"
+
+namespace oci::bus {
+
+using util::Energy;
+using util::Frequency;
+using util::Power;
+using util::Time;
+
+struct OpticalClockConfig {
+  photonics::DieSpec die;
+  std::size_t dies = 8;
+  std::size_t master = 0;
+  Frequency clock = Frequency::megahertz(200.0);
+  photonics::MicroLedParams led;
+  spad::SpadParams spad;
+};
+
+struct DieClockReport {
+  std::size_t die = 0;
+  Time path_skew;        ///< deterministic optical flight-time offset
+  Time jitter_rms;       ///< cycle-to-cycle edge jitter at this die
+  double edge_detection_probability = 0.0;  ///< per-cycle pulse detection
+};
+
+class OpticalClockTree {
+ public:
+  explicit OpticalClockTree(const OpticalClockConfig& config);
+
+  [[nodiscard]] const OpticalClockConfig& config() const { return config_; }
+
+  /// Per-die skew/jitter/detection reports.
+  [[nodiscard]] std::vector<DieClockReport> reports() const;
+
+  /// Worst-case deterministic skew across the serviceable stack.
+  [[nodiscard]] Time max_skew() const;
+
+  /// Transmit power of the master LED blinking at the clock rate.
+  [[nodiscard]] Power master_power() const;
+
+  /// Total distribution power: LED + one SPAD front-end per die.
+  [[nodiscard]] Power total_power(Power spad_frontend_power = Power::microwatts(50.0)) const;
+
+  /// Monte Carlo of `cycles` clock edges at one die: returns the
+  /// realised RMS error of detected edge times against the ideal grid
+  /// (accounts for photon-sampling + SPAD jitter + missed edges).
+  [[nodiscard]] Time measured_edge_jitter(std::size_t die, std::size_t cycles,
+                                          util::RngStream& rng) const;
+
+ private:
+  OpticalClockConfig config_;
+  photonics::DieStack stack_;
+};
+
+/// Conventional electrical clock tree baseline: an H-tree of `levels`
+/// buffer stages driving a total load; skew grows with process mismatch
+/// per level, power is the full C V^2 f of the distributed capacitance.
+struct ElectricalClockTreeParams {
+  unsigned levels = 6;
+  util::Capacitance wire_load_per_level = util::Capacitance::picofarads(20.0);
+  util::Voltage supply = util::Voltage::volts(1.2);
+  Frequency clock = Frequency::megahertz(200.0);
+  Time buffer_delay = Time::picoseconds(60.0);
+  double buffer_mismatch_sigma = 0.04;  ///< relative per-buffer delay mismatch
+};
+
+struct ElectricalClockTree {
+  ElectricalClockTreeParams params;
+
+  /// Dynamic power: sum of level loads switching at f.
+  [[nodiscard]] Power power() const;
+  /// 3-sigma skew across leaves: mismatch accumulates over levels.
+  [[nodiscard]] Time skew_3sigma() const;
+  /// Insertion delay root-to-leaf.
+  [[nodiscard]] Time insertion_delay() const;
+};
+
+}  // namespace oci::bus

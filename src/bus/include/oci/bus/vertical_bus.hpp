@@ -1,0 +1,75 @@
+// The paper's headline system (Figure 1, right): a fully optical
+// through-chip bus servicing a stack of thinned dies. One optical
+// channel is a broadcast medium -- a pulse launched by any die is seen
+// by every SPAD along the stack -- so downstream traffic is a natural
+// broadcast and upstream traffic is TDMA-arbitrated.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "oci/bus/arbitration.hpp"
+#include "oci/link/budget.hpp"
+#include "oci/link/optical_link.hpp"
+#include "oci/link/tradeoff.hpp"
+#include "oci/photonics/die_stack.hpp"
+#include "oci/util/units.hpp"
+
+namespace oci::bus {
+
+using util::BitRate;
+using util::Energy;
+using util::Time;
+
+struct VerticalBusConfig {
+  photonics::DieSpec die;                 ///< uniform die spec for the stack
+  std::size_t dies = 8;
+  std::size_t master = 0;                 ///< die hosting the bus master
+  link::TdcDesign design;                 ///< per-receiver TDC design
+  photonics::MicroLedParams led;
+  spad::SpadParams spad;
+  /// Minimum per-pulse detection probability for a die to be considered
+  /// serviceable by the bus.
+  double min_detection_probability = 0.95;
+};
+
+struct DieLinkReport {
+  std::size_t die = 0;
+  double transmittance = 0.0;
+  double detection_probability = 0.0;
+  bool serviceable = false;
+};
+
+class VerticalBus {
+ public:
+  explicit VerticalBus(const VerticalBusConfig& config);
+
+  [[nodiscard]] const VerticalBusConfig& config() const { return config_; }
+  [[nodiscard]] const photonics::DieStack& stack() const { return stack_; }
+
+  /// Link budget from the master to every die.
+  [[nodiscard]] std::vector<DieLinkReport> downstream_reports() const;
+
+  /// Dies (other than the master) the broadcast reliably reaches.
+  [[nodiscard]] std::size_t serviceable_dies() const;
+
+  /// Broadcast throughput: every serviceable die receives the full
+  /// symbol rate, so aggregate delivered bits scale with fan-out.
+  [[nodiscard]] BitRate broadcast_goodput_per_die() const;
+  [[nodiscard]] BitRate aggregate_broadcast_goodput() const;
+
+  /// Upstream: the single shared channel is TDMA-divided among the
+  /// non-master dies; per-die share of the channel throughput.
+  [[nodiscard]] BitRate upstream_rate_per_die() const;
+
+  /// Transmit energy for one pulse reaching all serviceable dies,
+  /// amortised per delivered bit (broadcast advantage: one pulse, many
+  /// receivers).
+  [[nodiscard]] Energy broadcast_energy_per_delivered_bit() const;
+
+ private:
+  VerticalBusConfig config_;
+  photonics::DieStack stack_;
+};
+
+}  // namespace oci::bus

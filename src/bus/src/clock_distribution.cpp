@@ -1,0 +1,117 @@
+#include "oci/bus/clock_distribution.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "oci/photonics/photon_stream.hpp"
+#include "oci/photonics/silicon.hpp"
+#include "oci/util/statistics.hpp"
+
+namespace oci::bus {
+
+OpticalClockTree::OpticalClockTree(const OpticalClockConfig& config)
+    : config_(config), stack_(photonics::DieStack::uniform(config.dies, config.die)) {
+  if (config_.master >= config_.dies) {
+    throw std::invalid_argument("OpticalClockTree: master out of range");
+  }
+}
+
+std::vector<DieClockReport> OpticalClockTree::reports() const {
+  const photonics::MicroLed led(config_.led);
+  const spad::Spad detector(config_.spad, config_.led.wavelength);
+  const double n_si = photonics::refractive_index_si(config_.led.wavelength);
+
+  std::vector<DieClockReport> out;
+  out.reserve(config_.dies);
+  for (std::size_t die = 0; die < config_.dies; ++die) {
+    DieClockReport r;
+    r.die = die;
+    if (die == config_.master) {
+      r.path_skew = Time::zero();
+      r.jitter_rms = Time::zero();
+      r.edge_detection_probability = 1.0;
+      out.push_back(r);
+      continue;
+    }
+    // Deterministic skew: optical flight time through the silicon path.
+    const double path_m = stack_.silicon_path(config_.master, die).metres();
+    r.path_skew = Time::seconds(n_si * path_m / util::constants::kSpeedOfLight);
+
+    const double transmittance =
+        stack_.transmittance(config_.master, die, config_.led.wavelength);
+    const double mu_detected = led.photons_per_pulse() * transmittance * detector.pdp();
+    r.edge_detection_probability =
+        detector.pulse_detection_probability(led.photons_per_pulse() * transmittance);
+    // First-photon sampling spread shrinks with photon count; RSS with
+    // the SPAD's intrinsic jitter.
+    const double w = config_.led.pulse_width.seconds();
+    const double sampling = w / (mu_detected + 1.0);
+    const double spad_j = config_.spad.jitter_sigma.seconds();
+    r.jitter_rms = Time::seconds(std::sqrt(sampling * sampling + spad_j * spad_j));
+    out.push_back(r);
+  }
+  return out;
+}
+
+Time OpticalClockTree::max_skew() const {
+  Time worst = Time::zero();
+  for (const DieClockReport& r : reports()) {
+    if (r.path_skew > worst) worst = r.path_skew;
+  }
+  return worst;
+}
+
+Power OpticalClockTree::master_power() const {
+  const photonics::MicroLed led(config_.led);
+  return Power::watts(led.electrical_pulse_energy().joules() * config_.clock.hertz());
+}
+
+Power OpticalClockTree::total_power(Power spad_frontend_power) const {
+  return master_power() +
+         Power::watts(spad_frontend_power.watts() * static_cast<double>(config_.dies - 1));
+}
+
+Time OpticalClockTree::measured_edge_jitter(std::size_t die, std::size_t cycles,
+                                            util::RngStream& rng) const {
+  if (die == config_.master) return Time::zero();
+  if (die >= config_.dies) throw std::out_of_range("OpticalClockTree: die");
+  const photonics::MicroLed led(config_.led);
+  const spad::Spad detector(config_.spad, config_.led.wavelength);
+  const double transmittance =
+      stack_.transmittance(config_.master, die, config_.led.wavelength);
+  const photonics::PhotonStream stream(led, transmittance);
+
+  const Time period = config_.clock.period();
+  util::RunningStats offsets;
+  Time dead_until = Time::zero();
+  for (std::size_t c = 0; c < cycles; ++c) {
+    const Time edge = period * static_cast<double>(c);
+    const auto photons = stream.sample_pulse(edge, rng);
+    const auto detections = detector.detect(photons, edge, period, rng, dead_until);
+    if (!detections.empty()) {
+      dead_until = detections.back().true_time + detector.params().dead_time;
+      offsets.add((detections.front().time - edge).seconds());
+    }
+  }
+  if (offsets.count() < 2) return Time::zero();
+  return Time::seconds(offsets.stddev());
+}
+
+Power ElectricalClockTree::power() const {
+  const double c_total =
+      params.wire_load_per_level.farads() * static_cast<double>(params.levels);
+  const double v = params.supply.volts();
+  return Power::watts(c_total * v * v * params.clock.hertz());
+}
+
+Time ElectricalClockTree::skew_3sigma() const {
+  const double per_level = params.buffer_delay.seconds() * params.buffer_mismatch_sigma;
+  return Time::seconds(3.0 * per_level * std::sqrt(static_cast<double>(params.levels)));
+}
+
+Time ElectricalClockTree::insertion_delay() const {
+  return Time::seconds(params.buffer_delay.seconds() * static_cast<double>(params.levels));
+}
+
+}  // namespace oci::bus

@@ -1,0 +1,122 @@
+#include "oci/bus/clock_sync.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oci::bus {
+
+namespace {
+
+struct ErrorAccumulator {
+  double sum_sq = 0.0;
+  double max_abs = 0.0;
+  std::uint64_t n = 0;
+
+  void add(double err_s) {
+    sum_sq += err_s * err_s;
+    const double a = std::abs(err_s);
+    if (a > max_abs) max_abs = a;
+    ++n;
+  }
+  [[nodiscard]] Time rms() const {
+    return Time::seconds(n > 0 ? std::sqrt(sum_sq / static_cast<double>(n)) : 0.0);
+  }
+};
+
+}  // namespace
+
+DisciplinedClock::DisciplinedClock(const LocalClockParams& clock, const SyncLoopParams& loop)
+    : clock_(clock), loop_(loop) {
+  if (clock_.nominal.hertz() <= 0.0) {
+    throw std::invalid_argument("DisciplinedClock: nominal frequency must be positive");
+  }
+  if (clock_.cycle_jitter_rms < Time::zero()) {
+    throw std::invalid_argument("DisciplinedClock: negative cycle jitter");
+  }
+  if (loop_.sync_interval_cycles == 0) {
+    throw std::invalid_argument("DisciplinedClock: sync interval must be >= 1 cycle");
+  }
+  if (loop_.proportional_gain < 0.0 || loop_.proportional_gain > 2.0 ||
+      loop_.integral_gain < 0.0 || loop_.integral_gain > 2.0) {
+    throw std::invalid_argument("DisciplinedClock: gains must lie in [0, 2]");
+  }
+  if (loop_.detection_probability <= 0.0 || loop_.detection_probability > 1.0) {
+    throw std::invalid_argument("DisciplinedClock: detection probability must be in (0,1]");
+  }
+}
+
+ClockSyncReport DisciplinedClock::run(std::uint64_t cycles, util::RngStream& rng,
+                                      std::uint64_t settle_cycles) const {
+  const double t_nominal = 1.0 / clock_.nominal.hertz();
+  const double t_local = t_nominal * (1.0 + clock_.frequency_error_ppm * 1e-6);
+
+  ClockSyncReport report;
+  report.cycles = cycles;
+  ErrorAccumulator acc;
+
+  double phase_error = 0.0;       // local edge k - ideal grid edge k [s]
+  double period_correction = 0.0; // learned per-cycle adjustment [s]
+  double correction_sum = 0.0;    // time average of the learned state
+  std::uint64_t correction_samples = 0;
+
+  for (std::uint64_t k = 1; k <= cycles; ++k) {
+    // Advance one local cycle: static offset + learned correction +
+    // white phase noise. The ideal grid advances exactly t_nominal.
+    phase_error += (t_local + period_correction) - t_nominal;
+    if (clock_.cycle_jitter_rms > Time::zero()) {
+      phase_error += rng.normal(0.0, clock_.cycle_jitter_rms.seconds());
+    }
+
+    if (k % loop_.sync_interval_cycles == 0) {
+      if (rng.bernoulli(loop_.detection_probability)) {
+        ++report.syncs_received;
+        // SPAD+TDC observation of the current phase error.
+        double measured = phase_error;
+        if (loop_.detector_jitter_rms > Time::zero()) {
+          measured += rng.normal(0.0, loop_.detector_jitter_rms.seconds());
+        }
+        // PI discipline: jump the phase, trim the period.
+        phase_error -= loop_.proportional_gain * measured;
+        period_correction -= loop_.integral_gain * measured /
+                             static_cast<double>(loop_.sync_interval_cycles);
+      } else {
+        ++report.syncs_missed;
+      }
+    }
+    if (k > settle_cycles) {
+      acc.add(phase_error);
+      correction_sum += period_correction;
+      ++correction_samples;
+    }
+  }
+
+  report.rms_phase_error = acc.rms();
+  report.max_abs_phase_error = Time::seconds(acc.max_abs);
+  report.learned_correction_ppm =
+      correction_samples > 0
+          ? correction_sum / static_cast<double>(correction_samples) / t_nominal * 1e6
+          : period_correction / t_nominal * 1e6;
+  return report;
+}
+
+ClockSyncReport DisciplinedClock::run_free(std::uint64_t cycles, util::RngStream& rng) const {
+  const double t_nominal = 1.0 / clock_.nominal.hertz();
+  const double t_local = t_nominal * (1.0 + clock_.frequency_error_ppm * 1e-6);
+
+  ClockSyncReport report;
+  report.cycles = cycles;
+  ErrorAccumulator acc;
+  double phase_error = 0.0;
+  for (std::uint64_t k = 1; k <= cycles; ++k) {
+    phase_error += t_local - t_nominal;
+    if (clock_.cycle_jitter_rms > Time::zero()) {
+      phase_error += rng.normal(0.0, clock_.cycle_jitter_rms.seconds());
+    }
+    acc.add(phase_error);
+  }
+  report.rms_phase_error = acc.rms();
+  report.max_abs_phase_error = Time::seconds(acc.max_abs);
+  return report;
+}
+
+}  // namespace oci::bus

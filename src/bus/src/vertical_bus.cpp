@@ -1,0 +1,76 @@
+#include "oci/bus/vertical_bus.hpp"
+
+#include <stdexcept>
+
+#include "oci/photonics/led.hpp"
+#include "oci/spad/spad.hpp"
+
+namespace oci::bus {
+
+VerticalBus::VerticalBus(const VerticalBusConfig& config)
+    : config_(config), stack_(photonics::DieStack::uniform(config.dies, config.die)) {
+  if (config_.master >= config_.dies) {
+    throw std::invalid_argument("VerticalBus: master die out of range");
+  }
+  if (config_.dies < 2) throw std::invalid_argument("VerticalBus: need >= 2 dies");
+}
+
+std::vector<DieLinkReport> VerticalBus::downstream_reports() const {
+  const photonics::MicroLed led(config_.led);
+  const spad::Spad detector(config_.spad, config_.led.wavelength);
+  std::vector<DieLinkReport> reports;
+  reports.reserve(config_.dies);
+  for (std::size_t die = 0; die < config_.dies; ++die) {
+    DieLinkReport r;
+    r.die = die;
+    if (die == config_.master) {
+      r.transmittance = 1.0;
+      r.detection_probability = 1.0;
+      r.serviceable = true;  // the master trivially hears itself
+    } else {
+      const link::LinkBudget b =
+          link::compute_budget(led, stack_, config_.master, die, detector);
+      r.transmittance = b.channel_transmittance;
+      r.detection_probability = b.pulse_detection_probability;
+      r.serviceable = b.pulse_detection_probability >= config_.min_detection_probability;
+    }
+    reports.push_back(r);
+  }
+  return reports;
+}
+
+std::size_t VerticalBus::serviceable_dies() const {
+  std::size_t n = 0;
+  for (const DieLinkReport& r : downstream_reports()) {
+    if (r.die != config_.master && r.serviceable) ++n;
+  }
+  return n;
+}
+
+BitRate VerticalBus::broadcast_goodput_per_die() const {
+  return link::throughput(config_.design);
+}
+
+BitRate VerticalBus::aggregate_broadcast_goodput() const {
+  return BitRate::bits_per_second(broadcast_goodput_per_die().bits_per_second() *
+                                  static_cast<double>(serviceable_dies()));
+}
+
+BitRate VerticalBus::upstream_rate_per_die() const {
+  const std::size_t talkers = config_.dies - 1;
+  if (talkers == 0) return BitRate::bits_per_second(0.0);
+  return BitRate::bits_per_second(link::throughput(config_.design).bits_per_second() /
+                                  static_cast<double>(talkers));
+}
+
+Energy VerticalBus::broadcast_energy_per_delivered_bit() const {
+  const photonics::MicroLed led(config_.led);
+  const std::size_t receivers = serviceable_dies();
+  if (receivers == 0) return Energy::zero();
+  const double bits = link::bits_per_sample(config_.design);
+  // One pulse carries `bits` bits to every serviceable receiver.
+  return Energy::joules(led.electrical_pulse_energy().joules() /
+                        (bits * static_cast<double>(receivers)));
+}
+
+}  // namespace oci::bus

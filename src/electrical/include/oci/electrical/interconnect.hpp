@@ -1,0 +1,35 @@
+// Common figure-of-merit interface for chip-to-chip interconnect
+// options. The paper positions the optical link against conventional
+// pads/wire bonds and against the wireless (inductive/capacitive)
+// alternatives of its refs [2] and [3]; each baseline implements this
+// interface so benches can tabulate them uniformly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "oci/util/units.hpp"
+
+namespace oci::electrical {
+
+using util::Area;
+using util::BitRate;
+using util::Energy;
+
+/// Figures of merit for one interconnect channel.
+struct LinkFigures {
+  std::string name;
+  Energy energy_per_bit;   ///< transmit+receive energy per bit
+  BitRate max_bit_rate;    ///< per-channel signalling limit
+  Area footprint;          ///< silicon area per channel endpoint
+  std::size_t max_fanout;  ///< receivers reachable per transmitter (1 = pair only)
+  bool broadcast_capable;  ///< can service >2 chips on one channel
+};
+
+/// Bandwidth density: bits/s per unit area, the paper's implicit metric
+/// for "communication density".
+[[nodiscard]] inline double bandwidth_density_bps_per_mm2(const LinkFigures& f) {
+  return f.max_bit_rate.bits_per_second() / f.footprint.square_millimetres();
+}
+
+}  // namespace oci::electrical

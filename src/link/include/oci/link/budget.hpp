@@ -1,0 +1,37 @@
+// Optical link-budget closure: from LED pulse energy through the die
+// stack to the SPAD's detection probability, and the inverse problem
+// (required source power for a target per-pulse detection probability).
+#pragma once
+
+#include "oci/photonics/die_stack.hpp"
+#include "oci/photonics/led.hpp"
+#include "oci/spad/spad.hpp"
+#include "oci/util/units.hpp"
+
+namespace oci::link {
+
+using util::Energy;
+using util::Power;
+using util::Time;
+
+struct LinkBudget {
+  double channel_transmittance = 0.0;  ///< end-to-end power fraction
+  double mean_photons_at_detector = 0.0;
+  double mean_detected_photons = 0.0;  ///< after PDP
+  double pulse_detection_probability = 0.0;
+  Energy led_optical_energy;
+  Energy led_electrical_energy;
+};
+
+/// Computes the budget for a transmitter on `from_die` and a receiver on
+/// `to_die` of the given stack.
+[[nodiscard]] LinkBudget compute_budget(const photonics::MicroLed& led,
+                                        const photonics::DieStack& stack, std::size_t from_die,
+                                        std::size_t to_die, const spad::Spad& detector);
+
+/// Required LED peak power so the per-pulse detection probability reaches
+/// `target` over the given channel. Throws if target >= 1.
+[[nodiscard]] Power required_peak_power(const photonics::MicroLed& led, double transmittance,
+                                        const spad::Spad& detector, double target);
+
+}  // namespace oci::link

@@ -1,0 +1,50 @@
+// Parallel optical channel array: the paper's "communication density"
+// argument made concrete. Many micro-LED/SPAD channels sit side by side
+// at a pitch; tighter pitch raises areal bandwidth density but optical
+// crosstalk from neighbouring pulses eventually captures conversions.
+// This model finds the density/error trade and the optimal pitch.
+#pragma once
+
+#include <cstddef>
+
+#include "oci/link/error_model.hpp"
+#include "oci/link/tradeoff.hpp"
+#include "oci/photonics/die_stack.hpp"
+#include "oci/util/units.hpp"
+
+namespace oci::link {
+
+using util::Area;
+using util::Length;
+
+struct ChannelArrayConfig {
+  TdcDesign design;  ///< per-channel receiver design
+  Length pitch = Length::micrometres(100.0);
+  photonics::CrosstalkModel crosstalk;  ///< pitch is overridden per query
+  /// Mean photons a channel's own pulse delivers to its own detector.
+  double mean_signal_photons = 50.0;
+  double pdp = 0.30;
+  /// Probability any given neighbour transmits a pulse in our window.
+  double neighbour_activity = 1.0;
+  std::size_t neighbours = 2;  ///< adjacent channels considered (1-D array)
+  /// Per-channel endpoint footprint (LED + SPAD + TDC), edge length.
+  Length endpoint_side = Length::micrometres(40.0);
+};
+
+struct ChannelArrayPoint {
+  Length pitch;
+  double crosstalk_fraction = 0.0;     ///< neighbour energy leaking in
+  double p_crosstalk_capture = 0.0;    ///< neighbour pulse fires our SPAD first
+  double channels_per_mm = 0.0;
+  double bandwidth_density_gbps_mm = 0.0;  ///< goodput-weighted, per mm of edge
+};
+
+/// Evaluates one pitch.
+[[nodiscard]] ChannelArrayPoint evaluate_pitch(const ChannelArrayConfig& cfg, Length pitch);
+
+/// Sweeps pitch over [min, max] in `steps` log-spaced points and returns
+/// the point with the highest crosstalk-degraded bandwidth density.
+[[nodiscard]] ChannelArrayPoint best_pitch(const ChannelArrayConfig& cfg, Length min_pitch,
+                                           Length max_pitch, std::size_t steps);
+
+}  // namespace oci::link

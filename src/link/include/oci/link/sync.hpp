@@ -1,0 +1,61 @@
+// Symbol synchronisation. The paper's introduction names receiver
+// synchronisation as one of the historical blockers for optical
+// interconnects; this module provides the missing piece for our link: a
+// preamble-based acquisition (joint estimate of window phase and clock
+// frequency error) and a decision-directed first-order tracking loop
+// that holds lock against drift between calibrations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "oci/util/units.hpp"
+
+namespace oci::link {
+
+using util::Time;
+
+struct SyncResult {
+  Time phase;                       ///< estimated window-start offset
+  double frequency_error_ppm = 0.0; ///< TX vs RX symbol-clock error
+  double residual_rms_s = 0.0;      ///< fit residual (timing noise floor)
+  bool locked = false;              ///< residual below the lock threshold
+};
+
+struct SyncConfig {
+  Time symbol_period;  ///< receiver's nominal MW (+guard)
+  Time slot_width;
+  /// Lock declared when the fit residual is below this fraction of a slot.
+  double lock_threshold_slots = 0.25;
+};
+
+/// Acquires timing from a known preamble: `toas[i]` is the absolute
+/// detection time of preamble symbol i, whose transmitted slot is
+/// `slots[i]` (pulse at slot centre). Least-squares fit of
+///   toa_i = phase + i * T * (1 + ppm) + (slots[i] + 0.5) * slot_width
+/// over the preamble. Requires >= 2 symbols.
+[[nodiscard]] SyncResult acquire_sync(std::span<const Time> toas,
+                                      std::span<const std::uint64_t> slots,
+                                      const SyncConfig& config);
+
+/// First-order decision-directed phase tracker: after each decoded
+/// symbol, feed the residual (measured TOA minus the decided slot's
+/// centre); the loop integrates a fraction `gain` of it.
+class PhaseTracker {
+ public:
+  explicit PhaseTracker(double gain = 0.1, Time initial_phase = Time::zero());
+
+  [[nodiscard]] Time phase() const { return phase_; }
+  [[nodiscard]] double gain() const { return gain_; }
+  [[nodiscard]] std::uint64_t updates() const { return updates_; }
+
+  /// Incorporates one residual; returns the new phase estimate.
+  Time update(Time residual);
+
+ private:
+  double gain_;
+  Time phase_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace oci::link

@@ -1,0 +1,69 @@
+// The paper's analytical TDC/SPAD co-design model (Section 3, Figure 4).
+// A design is the pair (N, C) plus the element delay delta:
+//
+//   MW(N,C) = (2^C + 1) * N * delta        total measurement window
+//   TP(N,C) = (log2(N) + C) / MW(N,C)      achievable throughput
+//   DC(N,C) = 2^C * N * delta              SPAD detection cycle to match
+//
+// The feasibility rule ties the receiver together: the SPAD's detection
+// cycle DC is "chosen so as to match the range of the TDC", and the
+// allotted range must exceed the detection cycle for proper operation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "oci/util/units.hpp"
+
+namespace oci::link {
+
+using util::BitRate;
+using util::Time;
+
+struct TdcDesign {
+  std::uint64_t fine_elements = 96;            ///< N (power of two for full bit use)
+  unsigned coarse_bits = 5;                    ///< C
+  Time element_delay = Time::picoseconds(52.0);  ///< delta
+};
+
+/// Fine range Rf = N * delta.
+[[nodiscard]] Time fine_range(const TdcDesign& d);
+/// Measurement window MW(N,C) = (2^C + 1) * N * delta.
+[[nodiscard]] Time measurement_window(const TdcDesign& d);
+/// SPAD detection cycle DC(N,C) = 2^C * N * delta.
+[[nodiscard]] Time detection_cycle(const TdcDesign& d);
+/// Bits per conversion: log2(N) + C (floor of log2 for non-powers of 2).
+[[nodiscard]] double bits_per_sample(const TdcDesign& d);
+/// Throughput TP(N,C) = bits / MW.
+[[nodiscard]] BitRate throughput(const TdcDesign& d);
+
+/// A design is feasible for a given SPAD when the matched detection
+/// cycle covers the SPAD's physical dead time (the SPAD must be live
+/// again by the time the next measurement window opens).
+[[nodiscard]] bool feasible(const TdcDesign& d, Time spad_dead_time);
+
+struct DesignPoint {
+  TdcDesign design;
+  Time mw;
+  Time dc;
+  BitRate tp;
+  double bits;
+  bool feasible = false;
+};
+
+/// Evaluates one design against a SPAD dead time.
+[[nodiscard]] DesignPoint evaluate(const TdcDesign& d, Time spad_dead_time);
+
+/// Full (N, C) grid sweep, N over powers of two in [n_min, n_max], C in
+/// [c_min, c_max] -- the Figure 4 design space.
+[[nodiscard]] std::vector<DesignPoint> sweep(Time element_delay, Time spad_dead_time,
+                                             std::uint64_t n_min, std::uint64_t n_max,
+                                             unsigned c_min, unsigned c_max);
+
+/// Highest-throughput feasible design in the swept grid, if any.
+[[nodiscard]] std::optional<DesignPoint> best_design(Time element_delay, Time spad_dead_time,
+                                                     std::uint64_t n_min, std::uint64_t n_max,
+                                                     unsigned c_min, unsigned c_max);
+
+}  // namespace oci::link

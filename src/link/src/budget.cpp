@@ -1,0 +1,36 @@
+#include "oci/link/budget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oci::link {
+
+LinkBudget compute_budget(const photonics::MicroLed& led, const photonics::DieStack& stack,
+                          std::size_t from_die, std::size_t to_die,
+                          const spad::Spad& detector) {
+  LinkBudget b;
+  b.channel_transmittance = stack.transmittance(from_die, to_die, led.params().wavelength);
+  b.mean_photons_at_detector = led.photons_per_pulse() * b.channel_transmittance;
+  b.mean_detected_photons = b.mean_photons_at_detector * detector.pdp();
+  b.pulse_detection_probability =
+      detector.pulse_detection_probability(b.mean_photons_at_detector);
+  b.led_optical_energy = led.optical_pulse_energy();
+  b.led_electrical_energy = led.electrical_pulse_energy();
+  return b;
+}
+
+Power required_peak_power(const photonics::MicroLed& led, double transmittance,
+                          const spad::Spad& detector, double target) {
+  if (target <= 0.0 || target >= 1.0) {
+    throw std::invalid_argument("required_peak_power: target must be in (0,1)");
+  }
+  if (transmittance <= 0.0) {
+    throw std::invalid_argument("required_peak_power: zero transmittance channel");
+  }
+  const double photons_needed = detector.required_mean_photons(target) / transmittance;
+  const Energy pulse_energy = Energy::joules(
+      photons_needed * util::photon_energy(led.params().wavelength).joules());
+  return Power::watts(pulse_energy.joules() / led.params().pulse_width.seconds());
+}
+
+}  // namespace oci::link

@@ -1,0 +1,46 @@
+#include "oci/link/calibration_controller.hpp"
+
+#include <cmath>
+
+namespace oci::link {
+
+CalibrationController::CalibrationController(tdc::Tdc& tdc, const CalibrationPolicy& policy)
+    : tdc_(&tdc), policy_(policy) {}
+
+void CalibrationController::calibrate_now(Time sim_time, util::RngStream& rng) {
+  const tdc::NonlinearityReport rep = tdc::code_density_test(*tdc_, policy_.samples, rng);
+  lut_ = tdc::CalibrationLut(rep);
+  calibrated_at_ = tdc_->line().temperature();
+  last_run_ = sim_time;
+  ++runs_;
+}
+
+bool CalibrationController::maybe_recalibrate(Time sim_time, util::RngStream& rng) {
+  if (!lut_.valid()) {
+    calibrate_now(sim_time, rng);
+    return true;
+  }
+  if (sim_time - last_run_ < policy_.min_interval) return false;
+  const double drift =
+      std::abs(tdc_->line().temperature().celsius() - calibrated_at_.celsius());
+  if (drift < policy_.max_temperature_drift_c) return false;
+  calibrate_now(sim_time, rng);
+  return true;
+}
+
+double CalibrationController::residual_rms_s(std::uint64_t probes,
+                                             util::RngStream& rng) const {
+  if (!lut_.valid() || probes == 0) return 0.0;
+  const Time window = tdc_->toa_window();
+  double sum_sq = 0.0;
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    const Time toa = rng.uniform_time(window);
+    const tdc::TdcReading reading = tdc_->convert(toa, rng);
+    const Time estimate = lut_.correct(reading, tdc_->clock_period());
+    const double err = estimate.seconds() - toa.seconds();
+    sum_sq += err * err;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(probes));
+}
+
+}  // namespace oci::link

@@ -1,0 +1,57 @@
+#include "oci/link/channel_array.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oci::link {
+
+ChannelArrayPoint evaluate_pitch(const ChannelArrayConfig& cfg, Length pitch) {
+  if (pitch.metres() <= 0.0) {
+    throw std::invalid_argument("evaluate_pitch: pitch must be positive");
+  }
+  ChannelArrayPoint p;
+  p.pitch = pitch;
+  p.crosstalk_fraction = cfg.crosstalk.fraction_at(pitch);
+
+  // A neighbour's pulse leaks `fraction` of its photons into our
+  // detector. It precedes (or beats) our own pulse roughly half the
+  // time, in which case a single leaked detection steals the TDC
+  // conversion. Per neighbour:
+  const double leaked_photons =
+      cfg.mean_signal_photons * p.crosstalk_fraction;
+  const double p_leak_detect = 1.0 - std::exp(-leaked_photons * cfg.pdp);
+  const double p_one = cfg.neighbour_activity * 0.5 * p_leak_detect;
+  // Independent neighbours:
+  p.p_crosstalk_capture =
+      1.0 - std::pow(1.0 - p_one, static_cast<double>(cfg.neighbours));
+
+  // Channels per mm of die edge (pitch-limited, floored by the endpoint).
+  const double effective_pitch =
+      std::max(pitch.metres(), cfg.endpoint_side.metres());
+  p.channels_per_mm = 1e-3 / effective_pitch;
+
+  const double per_channel_gbps = throughput(cfg.design).gigabits_per_second() *
+                                  (1.0 - p.p_crosstalk_capture);
+  p.bandwidth_density_gbps_mm = per_channel_gbps * p.channels_per_mm;
+  return p;
+}
+
+ChannelArrayPoint best_pitch(const ChannelArrayConfig& cfg, Length min_pitch,
+                             Length max_pitch, std::size_t steps) {
+  if (steps < 2 || max_pitch.metres() <= min_pitch.metres()) {
+    throw std::invalid_argument("best_pitch: bad sweep bounds");
+  }
+  ChannelArrayPoint best;
+  best.bandwidth_density_gbps_mm = -1.0;
+  const double lo = std::log(min_pitch.metres());
+  const double hi = std::log(max_pitch.metres());
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(steps - 1);
+    const Length pitch = Length::metres(std::exp(lo + (hi - lo) * t));
+    const ChannelArrayPoint p = evaluate_pitch(cfg, pitch);
+    if (p.bandwidth_density_gbps_mm > best.bandwidth_density_gbps_mm) best = p;
+  }
+  return best;
+}
+
+}  // namespace oci::link

@@ -1,0 +1,38 @@
+#include "oci/link/fec_link.hpp"
+
+#include "oci/modulation/frame.hpp"
+
+namespace oci::link {
+
+std::size_t FecLink::symbols_for(std::size_t payload_bytes) const {
+  const std::size_t coded = (payload_bytes + 1) * 2;  // +CRC byte, (8,4) doubles
+  const unsigned k = link_->bits_per_symbol();
+  return (coded * 8 + k - 1) / k;
+}
+
+FecTransferResult FecLink::transfer(const std::vector<std::uint8_t>& payload,
+                                    util::RngStream& rng) const {
+  FecTransferResult out;
+
+  std::vector<std::uint8_t> inner = payload;
+  inner.push_back(modulation::crc8(payload));
+  const std::vector<std::uint8_t> coded = modulation::Hamming84::encode_bytes(inner);
+
+  const std::vector<std::uint64_t> symbols = link_->ppm().pack_bytes(coded);
+  const OpticalLink::RunResult run = link_->transmit(symbols, rng);
+  out.stats = run.stats;
+
+  const std::vector<std::uint8_t> received =
+      link_->ppm().unpack_bytes(run.decoded, coded.size());
+  const auto decoded = modulation::Hamming84::decode_bytes(received);
+  if (!decoded) return out;  // uncorrectable codeword
+  out.corrections = decoded->corrections;
+
+  if (decoded->data.size() != inner.size()) return out;
+  std::vector<std::uint8_t> body(decoded->data.begin(), decoded->data.end() - 1);
+  if (modulation::crc8(body) != decoded->data.back()) return out;  // residual error
+  out.payload = std::move(body);
+  return out;
+}
+
+}  // namespace oci::link

@@ -1,0 +1,278 @@
+#include "oci/link/optical_link.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "oci/util/math.hpp"
+
+namespace oci::link {
+
+namespace {
+
+using util::BitRate;
+using util::Energy;
+using util::RngStream;
+using util::Time;
+
+unsigned resolve_bits(const OpticalLinkConfig& c) {
+  const unsigned full = util::ilog2(c.design.fine_elements) + c.design.coarse_bits;
+  if (c.bits_per_symbol == 0) return full;
+  if (c.bits_per_symbol > full) {
+    throw std::invalid_argument(
+        "OpticalLink: bits_per_symbol exceeds the TDC's log2(N)+C resolution");
+  }
+  return c.bits_per_symbol;
+}
+
+tdc::DelayLineParams line_params(const OpticalLinkConfig& c) {
+  tdc::DelayLineParams p = c.delay_line;
+  // Physical chain: N code elements plus margin so process mismatch and
+  // hot/slow-corner operation cannot leave the clock period uncovered
+  // (the paper's 96-element chain covering a 5 ns period with 93 used).
+  const std::uint64_t n = c.design.fine_elements;
+  p.elements = static_cast<std::size_t>(n + std::max<std::uint64_t>(4, n / 8));
+  p.nominal_delay = c.design.element_delay;
+  return p;
+}
+
+tdc::TdcConfig tdc_config(const OpticalLinkConfig& c) {
+  tdc::TdcConfig t;
+  t.coarse_bits = c.design.coarse_bits;
+  t.decode = c.decode;
+  t.clock_period = c.design.element_delay * static_cast<double>(c.design.fine_elements);
+  return t;
+}
+
+modulation::PpmConfig ppm_config(const OpticalLinkConfig& c, unsigned bits) {
+  modulation::PpmConfig p;
+  p.bits_per_symbol = bits;
+  const Time window =
+      c.design.element_delay * static_cast<double>(c.design.fine_elements) *
+      static_cast<double>(std::uint64_t{1} << c.design.coarse_bits);
+  p.slot_width = Time::seconds(window.seconds() /
+                               static_cast<double>(std::uint64_t{1} << bits));
+  p.labeling = c.labeling;
+  p.pulse_offset_fraction = 0.5;
+  return p;
+}
+
+/// Mean delay from pulse start to a photon's emission, per envelope.
+Time envelope_mean(const photonics::MicroLedParams& led) {
+  switch (led.shape) {
+    case photonics::PulseShape::kRectangular:
+      return led.pulse_width * 0.5;
+    case photonics::PulseShape::kExponential:
+      return led.pulse_width;
+    case photonics::PulseShape::kGaussian:
+      return led.pulse_width * 0.5;
+  }
+  return Time::zero();
+}
+
+}  // namespace
+
+double LinkRunStats::symbol_error_rate() const {
+  if (symbols_sent == 0) return 0.0;
+  return static_cast<double>(symbol_errors + erasures) / static_cast<double>(symbols_sent);
+}
+
+double LinkRunStats::bit_error_rate() const {
+  if (total_bits == 0) return 0.0;
+  return static_cast<double>(bit_errors) / static_cast<double>(total_bits);
+}
+
+BitRate LinkRunStats::raw_throughput() const {
+  if (elapsed <= Time::zero()) return BitRate::bits_per_second(0.0);
+  return BitRate::bits_per_second(static_cast<double>(total_bits) / elapsed.seconds());
+}
+
+BitRate LinkRunStats::goodput() const {
+  if (elapsed <= Time::zero()) return BitRate::bits_per_second(0.0);
+  const double good = static_cast<double>(total_bits - bit_errors);
+  return BitRate::bits_per_second(good / elapsed.seconds());
+}
+
+Energy LinkRunStats::energy_per_bit() const {
+  if (total_bits == 0) return Energy::zero();
+  return Energy::joules((tx_energy + rx_energy).joules() / static_cast<double>(total_bits));
+}
+
+OpticalLink::OpticalLink(const OpticalLinkConfig& config, RngStream& process_rng)
+    : config_(config),
+      led_(config.led),
+      spad_(config.spad, config.led.wavelength, config.temperature),
+      tdc_(
+          [&] {
+            tdc::DelayLine line(line_params(config), process_rng);
+            line.set_conditions(config.temperature, line_params(config).nominal_supply);
+            return line;
+          }(),
+          tdc_config(config)),
+      ppm_(ppm_config(config, resolve_bits(config))),
+      framer_(ppm_, modulation::FrameConfig{}),
+      stream_(led_, config.channel_transmittance),
+      bits_per_symbol_(resolve_bits(config)),
+      detection_offset_(envelope_mean(config.led)) {
+  if (config_.inter_symbol_guard >= Time::zero()) {
+    guard_ = config_.inter_symbol_guard;
+  } else {
+    // Auto: worst-case inter-pulse gap is Rf (late pulse then early
+    // pulse); pad it to the SPAD dead time.
+    const Time rf = tdc_.clock_period();
+    const Time dead = config_.spad.dead_time;
+    guard_ = dead > rf ? dead - rf : Time::zero();
+  }
+  if (config_.calibrate) {
+    RngStream cal_rng = process_rng.fork("construction-calibration");
+    recalibrate(config_.calibration_samples, cal_rng);
+  }
+}
+
+BitRate OpticalLink::analytic_throughput() const { return throughput(config_.design); }
+
+void OpticalLink::recalibrate(std::uint64_t samples, RngStream& rng) {
+  const tdc::NonlinearityReport rep = tdc::code_density_test(tdc_, samples, rng);
+  lut_ = tdc::CalibrationLut(rep);
+
+  // Data-aided offset training: fire the transmitter at known TOAs and
+  // average the reconstruction residual through the full chain. This
+  // measures the mean first-detected-photon delay at the operating
+  // brightness (NOT the envelope mean -- a bright pulse triggers near
+  // its leading edge) together with any residual TDC bias.
+  constexpr int kTrainingPulses = 1000;
+  const Time window = tdc_.toa_window();
+  double residual_sum_s = 0.0;
+  std::int64_t training_hits = 0;
+  for (int i = 0; i < kTrainingPulses; ++i) {
+    // Random positions over most of the window average out local INL.
+    const Time pulse_start = rng.uniform_time(window * 0.75);
+    const auto photons = stream_.sample_pulse(pulse_start, rng);
+    const auto detections = spad_.detect(photons, Time::zero(), window, rng);
+    if (detections.empty()) continue;
+    const spad::Detection& first = detections.front();
+    if (first.cause != spad::DetectionCause::kSignal) continue;
+    const tdc::TdcReading reading = tdc_.convert(first.time, rng);
+    const Time calibrated =
+        lut_.valid() ? lut_.correct(reading, tdc_.clock_period()) : reading.estimate;
+    residual_sum_s += (calibrated - pulse_start).seconds();
+    ++training_hits;
+  }
+  if (training_hits > 0) {
+    detection_offset_ = Time::seconds(residual_sum_s / static_cast<double>(training_hits));
+  }
+}
+
+void OpticalLink::set_temperature(util::Temperature t) {
+  spad_.set_temperature(t);
+  tdc_.line().set_conditions(t, tdc_.line().params().nominal_supply);
+}
+
+std::uint64_t OpticalLink::transmit_symbol(std::uint64_t symbol, Time start, Time& dead_until,
+                                           LinkRunStats& stats, RngStream& rng) const {
+  return transmit_symbol_with_interference(symbol, start, dead_until, stats, rng, {});
+}
+
+std::uint64_t OpticalLink::transmit_symbol_with_interference(
+    std::uint64_t symbol, Time start, Time& dead_until, LinkRunStats& stats, RngStream& rng,
+    std::vector<photonics::PhotonArrival> interference) const {
+  const Time window = tdc_.toa_window();
+  // Pulse start: the codec places it inside the symbol's slot.
+  const Time pulse_start = start + ppm_.encode(symbol);
+
+  std::vector<photonics::PhotonArrival> photons = stream_.sample_pulse(pulse_start, rng);
+  if (config_.background_rate.hertz() > 0.0) {
+    photons = photonics::PhotonStream::merge(
+        std::move(photons), photonics::PhotonStream::sample_background(
+                                config_.background_rate, start, window, rng));
+  }
+  if (!interference.empty()) {
+    photons = photonics::PhotonStream::merge(std::move(photons), std::move(interference));
+  }
+
+  const std::vector<spad::Detection> detections =
+      spad_.detect(photons, start, window, rng, dead_until);
+
+  // SPAD stays blind into the next window after its last avalanche.
+  if (!detections.empty()) {
+    dead_until = detections.back().true_time + spad_.params().dead_time;
+  }
+
+  ++stats.symbols_sent;
+  stats.total_bits += bits_per_symbol_;
+  stats.tx_energy += led_.electrical_pulse_energy();
+  stats.rx_energy += config_.rx_energy_per_conversion;
+  stats.elapsed += symbol_period();
+
+  if (detections.empty()) {
+    ++stats.erasures;
+    stats.bit_errors += modulation::PpmCodec::hamming(symbol, 0);
+    return 0;  // receiver emits the all-zero symbol on erasure
+  }
+
+  const spad::Detection& first = detections.front();
+  if (first.cause != spad::DetectionCause::kSignal) ++stats.noise_captures;
+
+  // TDC conversion of the first avalanche's TOA within the window.
+  const Time toa = first.time - start;
+  const tdc::TdcReading reading = tdc_.convert(toa, rng);
+  const Time calibrated = lut_.valid() ? lut_.correct(reading, tdc_.clock_period())
+                                       : reading.estimate;
+
+  // Static offset: subtract the trained receive-chain bias so the slot
+  // decision is centred on the encoder's pulse placement.
+  Time corrected = calibrated - detection_offset_;
+  if (corrected < Time::zero()) corrected = Time::zero();
+
+  // The encoder put the pulse at slot centre (offset 0.5); floor-based
+  // slot binning is therefore symmetric around the true slot.
+  const std::uint64_t decoded = ppm_.decode(corrected);
+  if (decoded != symbol) {
+    ++stats.symbol_errors;
+    stats.bit_errors += modulation::PpmCodec::hamming(symbol, decoded);
+  }
+  return decoded;
+}
+
+OpticalLink::RunResult OpticalLink::transmit(const std::vector<std::uint64_t>& symbols,
+                                             RngStream& rng) const {
+  RunResult result;
+  result.decoded.reserve(symbols.size());
+  result.erased.reserve(symbols.size());
+  Time t = Time::zero();
+  Time dead_until = Time::zero();
+  for (std::uint64_t s : symbols) {
+    const std::uint64_t erasures_before = result.stats.erasures;
+    result.decoded.push_back(transmit_symbol(s, t, dead_until, result.stats, rng));
+    result.erased.push_back(result.stats.erasures != erasures_before);
+    t += symbol_period();
+  }
+  return result;
+}
+
+LinkRunStats OpticalLink::measure(std::uint64_t symbol_count, RngStream& rng) const {
+  LinkRunStats stats;
+  Time t = Time::zero();
+  Time dead_until = Time::zero();
+  const std::uint64_t max_symbol = (std::uint64_t{1} << bits_per_symbol_) - 1;
+  for (std::uint64_t i = 0; i < symbol_count; ++i) {
+    const auto symbol =
+        static_cast<std::uint64_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_symbol)));
+    (void)transmit_symbol(symbol, t, dead_until, stats, rng);
+    t += symbol_period();
+  }
+  return stats;
+}
+
+OpticalLink::FrameResult OpticalLink::transmit_frame(const modulation::Frame& frame,
+                                                     RngStream& rng) const {
+  const std::vector<std::uint64_t> symbols = framer_.serialize(frame);
+  RunResult run = transmit(symbols, rng);
+  FrameResult out;
+  out.stats = run.stats;
+  if (auto parsed = framer_.deserialize(run.decoded)) {
+    out.frame = std::move(parsed->frame);
+  }
+  return out;
+}
+
+}  // namespace oci::link

@@ -1,0 +1,106 @@
+#include "oci/link/power_control.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "oci/link/budget.hpp"
+#include "oci/util/math.hpp"
+
+namespace oci::link {
+
+namespace {
+
+double probe_erasure_rate(const OpticalLinkConfig& config, Power power,
+                          std::uint64_t process_seed, std::uint64_t probe_symbols,
+                          util::RngStream& measure_rng) {
+  OpticalLinkConfig c = config;
+  c.led.peak_power = power;
+  util::RngStream process(process_seed, "power-control-process");
+  const OpticalLink link(c, process);
+  const LinkRunStats stats = link.measure(probe_symbols, measure_rng);
+  return stats.symbols_sent > 0
+             ? static_cast<double>(stats.erasures) / static_cast<double>(stats.symbols_sent)
+             : 1.0;
+}
+
+}  // namespace
+
+PowerControlResult control_power(const OpticalLinkConfig& config,
+                                 const PowerControlConfig& ctrl,
+                                 std::uint64_t process_seed,
+                                 util::RngStream& measure_rng) {
+  if (ctrl.target_erasure_rate <= 0.0 || ctrl.target_erasure_rate >= 1.0) {
+    throw std::invalid_argument("control_power: target erasure rate must be in (0,1)");
+  }
+  if (ctrl.min_power <= Power::zero() || ctrl.max_power <= ctrl.min_power) {
+    throw std::invalid_argument("control_power: bad power bounds");
+  }
+  if (ctrl.step_up <= 1.0 || ctrl.step_down >= 1.0 || ctrl.step_down <= 0.0) {
+    throw std::invalid_argument("control_power: steps must bracket 1.0");
+  }
+  if (ctrl.probe_symbols == 0 || ctrl.max_iterations == 0) {
+    throw std::invalid_argument("control_power: need probes and iterations");
+  }
+
+  // Analytic seed: power for detection probability 1 - target, with
+  // headroom. A dead channel (zero transmittance) is reported as
+  // non-converged at max power rather than thrown.
+  const spad::Spad detector(config.spad, config.led.wavelength, config.temperature);
+  const photonics::MicroLed seed_led(config.led);
+  Power power = ctrl.min_power;
+  if (config.channel_transmittance > 0.0) {
+    const Power analytic =
+        required_peak_power(seed_led, config.channel_transmittance, detector,
+                            1.0 - ctrl.target_erasure_rate);
+    power = Power::watts(analytic.watts() * ctrl.headroom);
+  }
+  power = std::clamp(power, ctrl.min_power, ctrl.max_power);
+
+  PowerControlResult result;
+  for (unsigned iter = 0; iter < ctrl.max_iterations; ++iter) {
+    const double rate = probe_erasure_rate(config, power, process_seed,
+                                           ctrl.probe_symbols, measure_rng);
+    result.trajectory.push_back(PowerStep{power, rate});
+    result.chosen_power = power;
+    result.erasure_rate = rate;
+
+    // Converged when the rate sits inside [target/20, target]: low
+    // enough to meet the budget, high enough that power is not wasted.
+    if (rate <= ctrl.target_erasure_rate && rate >= ctrl.target_erasure_rate / 20.0) {
+      result.converged = true;
+      break;
+    }
+    if (rate > ctrl.target_erasure_rate) {
+      if (power >= ctrl.max_power) break;  // starved even at the ceiling
+      power = Power::watts(power.watts() * ctrl.step_up);
+    } else {
+      // Over-provisioned (rate far below target, possibly zero).
+      if (power <= ctrl.min_power) {
+        result.converged = true;  // floor reached while meeting budget
+        break;
+      }
+      power = Power::watts(power.watts() * ctrl.step_down);
+    }
+    power = std::clamp(power, ctrl.min_power, ctrl.max_power);
+  }
+
+  // A final sub-target rate counts as meeting the budget even if the
+  // efficiency band was never entered (e.g. probe resolution limits).
+  if (!result.converged && result.erasure_rate <= ctrl.target_erasure_rate) {
+    result.converged = true;
+  }
+
+  OpticalLinkConfig chosen = config;
+  chosen.led.peak_power = result.chosen_power;
+  const photonics::MicroLed led(chosen.led);
+  const unsigned bits =
+      chosen.bits_per_symbol != 0
+          ? chosen.bits_per_symbol
+          : util::ilog2(chosen.design.fine_elements) + chosen.design.coarse_bits;
+  result.energy_per_bit =
+      util::Energy::joules(led.electrical_pulse_energy().joules() /
+                           std::max(1u, bits));
+  return result;
+}
+
+}  // namespace oci::link

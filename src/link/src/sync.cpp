@@ -1,0 +1,76 @@
+#include "oci/link/sync.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oci::link {
+
+SyncResult acquire_sync(std::span<const Time> toas, std::span<const std::uint64_t> slots,
+                        const SyncConfig& config) {
+  if (toas.size() != slots.size()) {
+    throw std::invalid_argument("acquire_sync: toas/slots size mismatch");
+  }
+  if (toas.size() < 2) {
+    throw std::invalid_argument("acquire_sync: need at least 2 preamble symbols");
+  }
+  if (config.symbol_period <= Time::zero() || config.slot_width <= Time::zero()) {
+    throw std::invalid_argument("acquire_sync: bad config");
+  }
+
+  // Residual against the nominal grid: r_i = toa_i - i*T - slot-centre.
+  // Model r_i = phase + i * T * ppm -> ordinary least squares in i.
+  const double T = config.symbol_period.seconds();
+  const double W = config.slot_width.seconds();
+  const std::size_t n = toas.size();
+
+  double sum_i = 0.0, sum_ii = 0.0, sum_r = 0.0, sum_ir = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expected = static_cast<double>(i) * T +
+                            (static_cast<double>(slots[i]) + 0.5) * W;
+    const double r = toas[i].seconds() - expected;
+    const double x = static_cast<double>(i);
+    sum_i += x;
+    sum_ii += x * x;
+    sum_r += r;
+    sum_ir += x * r;
+  }
+  const double nn = static_cast<double>(n);
+  const double denom = nn * sum_ii - sum_i * sum_i;
+  double slope = 0.0;
+  double intercept = sum_r / nn;
+  if (denom > 0.0) {
+    slope = (nn * sum_ir - sum_i * sum_r) / denom;
+    intercept = (sum_r - slope * sum_i) / nn;
+  }
+
+  SyncResult out;
+  out.phase = Time::seconds(intercept);
+  out.frequency_error_ppm = slope / T * 1e6;
+
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double expected = static_cast<double>(i) * T +
+                            (static_cast<double>(slots[i]) + 0.5) * W;
+    const double r = toas[i].seconds() - expected;
+    const double fit = intercept + slope * static_cast<double>(i);
+    ss += (r - fit) * (r - fit);
+  }
+  out.residual_rms_s = std::sqrt(ss / nn);
+  out.locked = out.residual_rms_s < config.lock_threshold_slots * W;
+  return out;
+}
+
+PhaseTracker::PhaseTracker(double gain, Time initial_phase)
+    : gain_(gain), phase_(initial_phase) {
+  if (gain <= 0.0 || gain > 1.0) {
+    throw std::invalid_argument("PhaseTracker: gain must be in (0,1]");
+  }
+}
+
+Time PhaseTracker::update(Time residual) {
+  phase_ += residual * gain_;
+  ++updates_;
+  return phase_;
+}
+
+}  // namespace oci::link

@@ -1,0 +1,93 @@
+#include "oci/link/tradeoff.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "oci/util/math.hpp"
+
+namespace oci::link {
+
+namespace {
+void validate(const TdcDesign& d) {
+  if (d.fine_elements < 2) throw std::invalid_argument("TdcDesign: N must be >= 2");
+  if (d.element_delay <= Time::zero()) {
+    throw std::invalid_argument("TdcDesign: delta must be positive");
+  }
+  if (d.coarse_bits > 24) throw std::invalid_argument("TdcDesign: C out of sane range");
+}
+}  // namespace
+
+Time fine_range(const TdcDesign& d) {
+  validate(d);
+  return d.element_delay * static_cast<double>(d.fine_elements);
+}
+
+Time measurement_window(const TdcDesign& d) {
+  validate(d);
+  const double factor = static_cast<double>((std::uint64_t{1} << d.coarse_bits) + 1);
+  return fine_range(d) * factor;
+}
+
+Time detection_cycle(const TdcDesign& d) {
+  validate(d);
+  const double factor = static_cast<double>(std::uint64_t{1} << d.coarse_bits);
+  return fine_range(d) * factor;
+}
+
+double bits_per_sample(const TdcDesign& d) {
+  validate(d);
+  return static_cast<double>(util::ilog2(d.fine_elements)) +
+         static_cast<double>(d.coarse_bits);
+}
+
+BitRate throughput(const TdcDesign& d) {
+  return BitRate::bits_per_second(bits_per_sample(d) / measurement_window(d).seconds());
+}
+
+bool feasible(const TdcDesign& d, Time spad_dead_time) {
+  return detection_cycle(d) >= spad_dead_time;
+}
+
+DesignPoint evaluate(const TdcDesign& d, Time spad_dead_time) {
+  DesignPoint p;
+  p.design = d;
+  p.mw = measurement_window(d);
+  p.dc = detection_cycle(d);
+  p.tp = throughput(d);
+  p.bits = bits_per_sample(d);
+  p.feasible = feasible(d, spad_dead_time);
+  return p;
+}
+
+std::vector<DesignPoint> sweep(Time element_delay, Time spad_dead_time, std::uint64_t n_min,
+                               std::uint64_t n_max, unsigned c_min, unsigned c_max) {
+  if (n_min < 2 || n_max < n_min || c_max < c_min) {
+    throw std::invalid_argument("sweep: bad grid bounds");
+  }
+  std::vector<DesignPoint> out;
+  for (std::uint64_t n = n_min; n <= n_max; n <<= 1) {
+    if (!util::is_power_of_two(n)) {
+      // Start the power-of-two ladder at the next power of two.
+      n = std::uint64_t{1} << util::bits_for(n);
+      if (n > n_max) break;
+    }
+    for (unsigned c = c_min; c <= c_max; ++c) {
+      out.push_back(evaluate(TdcDesign{n, c, element_delay}, spad_dead_time));
+    }
+    if (n > (n_max >> 1)) break;  // avoid shift overflow on the ladder
+  }
+  return out;
+}
+
+std::optional<DesignPoint> best_design(Time element_delay, Time spad_dead_time,
+                                       std::uint64_t n_min, std::uint64_t n_max, unsigned c_min,
+                                       unsigned c_max) {
+  std::optional<DesignPoint> best;
+  for (const DesignPoint& p : sweep(element_delay, spad_dead_time, n_min, n_max, c_min, c_max)) {
+    if (!p.feasible) continue;
+    if (!best || p.tp > best->tp) best = p;
+  }
+  return best;
+}
+
+}  // namespace oci::link

@@ -1,0 +1,43 @@
+// Forward error correction for the optical channel: an extended Hamming
+// (8,4) SECDED code over PPM bit streams. The dominant residual errors
+// of a guarded link are single-bit (Gray-labelled jitter spills), which
+// SECDED corrects outright; noise-capture errors look like random
+// 4-bit nibbles and are usually *detected* (double-error flag) so the
+// frame layer can drop the frame instead of delivering garbage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace oci::modulation {
+
+/// Extended Hamming (8,4): 4 data bits -> 8 coded bits, corrects any
+/// single bit error, detects double errors.
+class Hamming84 {
+ public:
+  /// Encodes the low nibble. Returned byte layout: [p0 p1 d0 p2 d1 d2 d3 pe]
+  /// packed LSB-first with an overall parity bit.
+  [[nodiscard]] static std::uint8_t encode(std::uint8_t nibble);
+
+  struct DecodeResult {
+    std::uint8_t nibble = 0;
+    bool corrected = false;       ///< a single-bit error was fixed
+    bool double_error = false;    ///< uncorrectable (flag to drop frame)
+  };
+  [[nodiscard]] static DecodeResult decode(std::uint8_t codeword);
+
+  /// Encodes a byte vector: each byte becomes two codewords (hi, lo).
+  [[nodiscard]] static std::vector<std::uint8_t> encode_bytes(
+      const std::vector<std::uint8_t>& data);
+
+  /// Decodes; returns nullopt if any codeword had a double error.
+  struct BlockResult {
+    std::vector<std::uint8_t> data;
+    std::size_t corrections = 0;
+  };
+  [[nodiscard]] static std::optional<BlockResult> decode_bytes(
+      const std::vector<std::uint8_t>& coded);
+};
+
+}  // namespace oci::modulation

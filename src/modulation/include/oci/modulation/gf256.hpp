@@ -1,0 +1,106 @@
+// Arithmetic over GF(2^8) with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field conventionally used by
+// Reed-Solomon codes over bytes. Log/antilog tables are generated at
+// compile time; all operations are table lookups.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace oci::modulation::gf256 {
+
+/// The field size and the multiplicative-group order.
+inline constexpr int kFieldSize = 256;
+inline constexpr int kGroupOrder = 255;
+
+namespace detail {
+
+/// Builds the antilog table: kExp[i] = alpha^i (alpha = 0x02), with the
+/// upper half mirroring the lower so exponent sums need no reduction.
+consteval std::array<std::uint8_t, 2 * kGroupOrder> make_exp_table() {
+  std::array<std::uint8_t, 2 * kGroupOrder> exp{};
+  unsigned x = 1;
+  for (int i = 0; i < kGroupOrder; ++i) {
+    exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    x <<= 1;
+    if (x & 0x100u) x ^= 0x11Du;
+  }
+  for (int i = 0; i < kGroupOrder; ++i) {
+    exp[static_cast<std::size_t>(i + kGroupOrder)] = exp[static_cast<std::size_t>(i)];
+  }
+  return exp;
+}
+
+consteval std::array<std::uint8_t, kFieldSize> make_log_table() {
+  std::array<std::uint8_t, kFieldSize> log{};
+  const auto exp = make_exp_table();
+  for (int i = 0; i < kGroupOrder; ++i) {
+    log[exp[static_cast<std::size_t>(i)]] = static_cast<std::uint8_t>(i);
+  }
+  log[0] = 0;  // log(0) is undefined; callers must branch on zero first
+  return log;
+}
+
+inline constexpr auto kExp = make_exp_table();
+inline constexpr auto kLog = make_log_table();
+
+}  // namespace detail
+
+/// Addition and subtraction coincide (characteristic 2).
+[[nodiscard]] constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return a ^ b;
+}
+
+[[nodiscard]] constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return detail::kExp[static_cast<std::size_t>(detail::kLog[a]) + detail::kLog[b]];
+}
+
+/// alpha^power for any non-negative power (reduced mod 255).
+[[nodiscard]] constexpr std::uint8_t alpha_pow(unsigned power) {
+  return detail::kExp[power % kGroupOrder];
+}
+
+/// Multiplicative inverse; a must be non-zero (0 is returned for 0 so
+/// callers relying on it must branch -- decode paths always do).
+[[nodiscard]] constexpr std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) return 0;
+  return detail::kExp[kGroupOrder - detail::kLog[a]];
+}
+
+[[nodiscard]] constexpr std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  return mul(a, inv(b));
+}
+
+/// a^n with a in the field and integer n >= 0.
+[[nodiscard]] constexpr std::uint8_t pow(std::uint8_t a, unsigned n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const unsigned e = (static_cast<unsigned>(detail::kLog[a]) * n) % kGroupOrder;
+  return detail::kExp[e];
+}
+
+// ---- polynomial helpers (coefficient vectors, index = degree) ----
+// Polynomials are stored low-degree-first: p[i] is the coefficient of
+// x^i. This matches the codeword layout used by ReedSolomon.
+
+/// Evaluates p(x) at the point x via Horner's rule.
+[[nodiscard]] std::uint8_t poly_eval(std::span<const std::uint8_t> p, std::uint8_t x);
+
+/// Product of two polynomials.
+[[nodiscard]] std::vector<std::uint8_t> poly_mul(std::span<const std::uint8_t> a,
+                                                 std::span<const std::uint8_t> b);
+
+/// Sum (XOR) of two polynomials.
+[[nodiscard]] std::vector<std::uint8_t> poly_add(std::span<const std::uint8_t> a,
+                                                 std::span<const std::uint8_t> b);
+
+/// Formal derivative (odd-degree coefficients survive in char 2).
+[[nodiscard]] std::vector<std::uint8_t> poly_derivative(std::span<const std::uint8_t> p);
+
+/// Strips trailing (high-degree) zero coefficients.
+void poly_trim(std::vector<std::uint8_t>& p);
+
+}  // namespace oci::modulation::gf256

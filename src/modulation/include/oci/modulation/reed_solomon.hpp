@@ -1,0 +1,66 @@
+// Reed-Solomon code over GF(2^8) with errors-AND-erasures decoding.
+//
+// Why RS on this link: Hamming(8,4) SECDED (fec.hpp) corrects the
+// single-bit Gray spills of a jittery slot decision but only *detects*
+// the multi-bit symbol corruptions caused by noise captures (dark
+// counts, afterpulses, background light). RS treats each PPM symbol's
+// byte as one field element and corrects up to t = parity/2 arbitrary
+// byte errors per block -- and, crucially, a SPAD *erasure* (no
+// detection inside the TOA window) is a KNOWN position, which RS
+// corrects at half the parity cost: 2*errors + erasures <= parity.
+//
+// Conventions: fcr = 0, generator alpha = 0x02, primitive polynomial
+// 0x11D. Codewords are laid out data-first (data[0..k-1], parity
+// [k..n-1]); byte index b corresponds to the coefficient of x^(n-1-b).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace oci::modulation {
+
+class ReedSolomon {
+ public:
+  /// RS(n, k) with n = data_bytes + parity_bytes <= 255 and an even,
+  /// positive parity count. Throws std::invalid_argument otherwise.
+  ReedSolomon(std::size_t data_bytes, std::size_t parity_bytes);
+
+  [[nodiscard]] std::size_t n() const { return k_ + parity_; }
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] std::size_t parity() const { return parity_; }
+  /// Maximum number of unknown-position byte errors per block.
+  [[nodiscard]] std::size_t t() const { return parity_ / 2; }
+  /// Information bytes per transmitted byte.
+  [[nodiscard]] double code_rate() const {
+    return static_cast<double>(k_) / static_cast<double>(n());
+  }
+
+  /// Systematic encode: returns data followed by parity() check bytes.
+  /// `data` must be exactly k() bytes.
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::span<const std::uint8_t> data) const;
+
+  struct DecodeResult {
+    std::vector<std::uint8_t> data;     ///< corrected k() data bytes
+    std::size_t corrected_errors = 0;   ///< unknown-position corrections
+    std::size_t corrected_erasures = 0; ///< known-position corrections
+  };
+
+  /// Decodes one n()-byte codeword. `erasures` lists byte indices
+  /// (0-based, data-first layout) whose values are unreliable; their
+  /// content is ignored. Returns nullopt when the error pattern
+  /// exceeds 2*errors + erasures <= parity() or is inconsistent.
+  [[nodiscard]] std::optional<DecodeResult> decode(
+      std::span<const std::uint8_t> codeword,
+      std::span<const std::size_t> erasures = {}) const;
+
+ private:
+  std::size_t k_;
+  std::size_t parity_;
+  /// Generator polynomial, low-degree-first, degree = parity_.
+  std::vector<std::uint8_t> generator_;
+};
+
+}  // namespace oci::modulation

@@ -1,0 +1,93 @@
+#include "oci/modulation/fec.hpp"
+
+#include <array>
+#include <bit>
+
+namespace oci::modulation {
+
+namespace {
+
+// Bit positions (LSB-first) in the 8-bit codeword:
+//   pos 0: p1 (parity over positions with bit0 of index set: 1-based 1,3,5,7)
+//   pos 1: p2
+//   pos 2: d0
+//   pos 3: p4
+//   pos 4: d1
+//   pos 5: d2
+//   pos 6: d3
+//   pos 7: overall parity
+// Using classic 1-based Hamming(7,4) indices 1..7 plus the extension bit.
+
+std::uint8_t bit(std::uint8_t v, unsigned i) { return (v >> i) & 1u; }
+
+}  // namespace
+
+std::uint8_t Hamming84::encode(std::uint8_t nibble) {
+  const std::uint8_t d0 = bit(nibble, 0), d1 = bit(nibble, 1), d2 = bit(nibble, 2),
+                     d3 = bit(nibble, 3);
+  const std::uint8_t p1 = d0 ^ d1 ^ d3;
+  const std::uint8_t p2 = d0 ^ d2 ^ d3;
+  const std::uint8_t p4 = d1 ^ d2 ^ d3;
+  std::uint8_t cw = static_cast<std::uint8_t>(
+      (p1 << 0) | (p2 << 1) | (d0 << 2) | (p4 << 3) | (d1 << 4) | (d2 << 5) | (d3 << 6));
+  const std::uint8_t pe = static_cast<std::uint8_t>(std::popcount(cw) & 1);
+  cw |= static_cast<std::uint8_t>(pe << 7);
+  return cw;
+}
+
+Hamming84::DecodeResult Hamming84::decode(std::uint8_t codeword) {
+  DecodeResult r;
+  // Syndrome over the 7 Hamming bits (1-based positions).
+  const std::uint8_t s1 =
+      bit(codeword, 0) ^ bit(codeword, 2) ^ bit(codeword, 4) ^ bit(codeword, 6);
+  const std::uint8_t s2 =
+      bit(codeword, 1) ^ bit(codeword, 2) ^ bit(codeword, 5) ^ bit(codeword, 6);
+  const std::uint8_t s4 =
+      bit(codeword, 3) ^ bit(codeword, 4) ^ bit(codeword, 5) ^ bit(codeword, 6);
+  const unsigned syndrome = static_cast<unsigned>(s1 | (s2 << 1) | (s4 << 2));
+  const bool overall_ok = (std::popcount(codeword) & 1) == 0;
+
+  std::uint8_t fixed = codeword;
+  if (syndrome != 0 && !overall_ok) {
+    // Single error at 1-based position `syndrome`: correct it.
+    fixed = static_cast<std::uint8_t>(codeword ^ (1u << (syndrome - 1)));
+    r.corrected = true;
+  } else if (syndrome != 0 && overall_ok) {
+    // Nonzero syndrome with even overall parity: two errors.
+    r.double_error = true;
+  } else if (syndrome == 0 && !overall_ok) {
+    // The extension bit itself flipped: correct it.
+    fixed = static_cast<std::uint8_t>(codeword ^ 0x80u);
+    r.corrected = true;
+  }
+  r.nibble = static_cast<std::uint8_t>(bit(fixed, 2) | (bit(fixed, 4) << 1) |
+                                       (bit(fixed, 5) << 2) | (bit(fixed, 6) << 3));
+  return r;
+}
+
+std::vector<std::uint8_t> Hamming84::encode_bytes(const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(encode(static_cast<std::uint8_t>(b >> 4)));
+    out.push_back(encode(static_cast<std::uint8_t>(b & 0x0F)));
+  }
+  return out;
+}
+
+std::optional<Hamming84::BlockResult> Hamming84::decode_bytes(
+    const std::vector<std::uint8_t>& coded) {
+  if (coded.size() % 2 != 0) return std::nullopt;
+  BlockResult out;
+  out.data.reserve(coded.size() / 2);
+  for (std::size_t i = 0; i < coded.size(); i += 2) {
+    const DecodeResult hi = decode(coded[i]);
+    const DecodeResult lo = decode(coded[i + 1]);
+    if (hi.double_error || lo.double_error) return std::nullopt;
+    out.corrections += (hi.corrected ? 1u : 0u) + (lo.corrected ? 1u : 0u);
+    out.data.push_back(static_cast<std::uint8_t>((hi.nibble << 4) | lo.nibble));
+  }
+  return out;
+}
+
+}  // namespace oci::modulation

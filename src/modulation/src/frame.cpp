@@ -1,0 +1,89 @@
+#include "oci/modulation/frame.hpp"
+
+#include <stdexcept>
+
+namespace oci::modulation {
+
+std::uint8_t crc8(const std::vector<std::uint8_t>& data) {
+  std::uint8_t crc = 0x00;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int i = 0; i < 8; ++i) {
+      crc = static_cast<std::uint8_t>((crc & 0x80) ? (crc << 1) ^ 0x07 : (crc << 1));
+    }
+  }
+  return crc;
+}
+
+FrameCodec::FrameCodec(const PpmCodec& ppm, const FrameConfig& config)
+    : ppm_(&ppm), config_(config) {
+  if (config_.preamble_symbols == 0) {
+    throw std::invalid_argument("FrameCodec: need at least one preamble symbol");
+  }
+  if (config_.max_payload == 0 || config_.max_payload > 65535) {
+    throw std::invalid_argument("FrameCodec: max_payload must be in [1,65535]");
+  }
+}
+
+std::vector<std::uint64_t> FrameCodec::preamble() const {
+  const std::uint64_t hi = ppm_->slot_count() - 1;
+  std::vector<std::uint64_t> p(config_.preamble_symbols);
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = (i % 2 == 0) ? 0 : hi;
+  return p;
+}
+
+std::size_t FrameCodec::frame_symbols(std::size_t payload_bytes) const {
+  const unsigned k = ppm_->config().bits_per_symbol;
+  const std::size_t body_bytes = 2 + payload_bytes + 1;  // length, payload, crc
+  const std::size_t body_symbols = (body_bytes * 8 + k - 1) / k;
+  return config_.preamble_symbols + body_symbols;
+}
+
+std::vector<std::uint64_t> FrameCodec::serialize(const Frame& frame) const {
+  if (frame.payload.size() > config_.max_payload) {
+    throw std::invalid_argument("FrameCodec: payload exceeds max_payload");
+  }
+  std::vector<std::uint8_t> body;
+  body.reserve(frame.payload.size() + 3);
+  const auto len = static_cast<std::uint16_t>(frame.payload.size());
+  body.push_back(static_cast<std::uint8_t>(len >> 8));
+  body.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  body.insert(body.end(), frame.payload.begin(), frame.payload.end());
+  body.push_back(crc8(body));
+
+  std::vector<std::uint64_t> symbols = preamble();
+  const std::vector<std::uint64_t> packed = ppm_->pack_bytes(body);
+  symbols.insert(symbols.end(), packed.begin(), packed.end());
+  return symbols;
+}
+
+std::optional<FrameCodec::ParseResult> FrameCodec::deserialize(
+    const std::vector<std::uint64_t>& symbols) const {
+  const std::vector<std::uint64_t> expected = preamble();
+  if (symbols.size() < expected.size()) return std::nullopt;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (symbols[i] != expected[i]) return std::nullopt;
+  }
+
+  const std::vector<std::uint64_t> body_symbols(symbols.begin() + expected.size(),
+                                                symbols.end());
+  // Unpack just the two length bytes first.
+  const std::vector<std::uint8_t> head = ppm_->unpack_bytes(body_symbols, 2);
+  if (head.size() < 2) return std::nullopt;
+  const std::size_t len = (static_cast<std::size_t>(head[0]) << 8) | head[1];
+  if (len > config_.max_payload) return std::nullopt;
+
+  const std::size_t body_bytes = 2 + len + 1;
+  const std::vector<std::uint8_t> body = ppm_->unpack_bytes(body_symbols, body_bytes);
+  if (body.size() < body_bytes) return std::nullopt;  // truncated
+
+  std::vector<std::uint8_t> check(body.begin(), body.begin() + 2 + len);
+  if (crc8(check) != body[2 + len]) return std::nullopt;
+
+  ParseResult r;
+  r.frame.payload.assign(body.begin() + 2, body.begin() + 2 + len);
+  r.symbols_consumed = frame_symbols(len);
+  return r;
+}
+
+}  // namespace oci::modulation

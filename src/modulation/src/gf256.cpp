@@ -1,0 +1,49 @@
+#include "oci/modulation/gf256.hpp"
+
+namespace oci::modulation::gf256 {
+
+std::uint8_t poly_eval(std::span<const std::uint8_t> p, std::uint8_t x) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = p.size(); i-- > 0;) {
+    acc = add(mul(acc, x), p[i]);
+  }
+  return acc;
+}
+
+std::vector<std::uint8_t> poly_mul(std::span<const std::uint8_t> a,
+                                   std::span<const std::uint8_t> b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint8_t> out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = add(out[i + j], mul(a[i], b[j]));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> poly_add(std::span<const std::uint8_t> a,
+                                   std::span<const std::uint8_t> b) {
+  std::vector<std::uint8_t> out(std::max(a.size(), b.size()), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] = add(out[i], b[i]);
+  return out;
+}
+
+std::vector<std::uint8_t> poly_derivative(std::span<const std::uint8_t> p) {
+  if (p.size() <= 1) return {};
+  std::vector<std::uint8_t> out(p.size() - 1, 0);
+  // d/dx sum c_i x^i = sum i*c_i x^(i-1); in char 2, i*c_i is c_i for
+  // odd i and 0 for even i.
+  for (std::size_t i = 1; i < p.size(); i += 2) {
+    out[i - 1] = p[i];
+  }
+  return out;
+}
+
+void poly_trim(std::vector<std::uint8_t>& p) {
+  while (!p.empty() && p.back() == 0) p.pop_back();
+}
+
+}  // namespace oci::modulation::gf256

@@ -1,0 +1,186 @@
+#include "oci/modulation/reed_solomon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "oci/modulation/gf256.hpp"
+
+namespace oci::modulation {
+
+namespace gf = gf256;
+
+ReedSolomon::ReedSolomon(std::size_t data_bytes, std::size_t parity_bytes)
+    : k_(data_bytes), parity_(parity_bytes) {
+  if (k_ == 0) throw std::invalid_argument("ReedSolomon: need at least one data byte");
+  if (parity_ == 0 || parity_ % 2 != 0) {
+    throw std::invalid_argument("ReedSolomon: parity byte count must be positive and even");
+  }
+  if (k_ + parity_ > static_cast<std::size_t>(gf::kGroupOrder)) {
+    throw std::invalid_argument("ReedSolomon: block length exceeds 255");
+  }
+  // g(x) = prod_{i=0}^{parity-1} (x - alpha^i), built low-degree-first.
+  generator_ = {1};
+  for (std::size_t i = 0; i < parity_; ++i) {
+    const std::vector<std::uint8_t> factor{gf::alpha_pow(static_cast<unsigned>(i)), 1};
+    generator_ = gf::poly_mul(generator_, factor);
+  }
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode(std::span<const std::uint8_t> data) const {
+  if (data.size() != k_) {
+    throw std::invalid_argument("ReedSolomon::encode: data must be exactly k bytes");
+  }
+  // Systematic: parity = (m(x) * x^parity) mod g(x). Byte b maps to the
+  // coefficient of x^(n-1-b), so long division walks the data in
+  // transmission order with the remainder register low-degree-first.
+  std::vector<std::uint8_t> rem(parity_, 0);
+  for (std::size_t b = 0; b < k_; ++b) {
+    const std::uint8_t feedback = gf::add(data[b], rem[parity_ - 1]);
+    for (std::size_t j = parity_ - 1; j > 0; --j) {
+      rem[j] = gf::add(rem[j - 1], gf::mul(feedback, generator_[j]));
+    }
+    rem[0] = gf::mul(feedback, generator_[0]);
+  }
+
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  out.reserve(n());
+  // Parity byte b = k..n-1 is the coefficient of x^(n-1-b), i.e. the
+  // remainder register read high-degree-first.
+  for (std::size_t j = parity_; j-- > 0;) {
+    out.push_back(rem[j]);
+  }
+  return out;
+}
+
+std::optional<ReedSolomon::DecodeResult> ReedSolomon::decode(
+    std::span<const std::uint8_t> codeword, std::span<const std::size_t> erasures) const {
+  if (codeword.size() != n()) return std::nullopt;
+  if (erasures.size() > parity_) return std::nullopt;  // beyond any hope
+  for (const std::size_t e : erasures) {
+    if (e >= n()) return std::nullopt;
+  }
+
+  const std::size_t nn = n();
+  // Coefficient view: coef[p] multiplies x^p, byte b <-> p = n-1-b.
+  std::vector<std::uint8_t> coef(nn);
+  for (std::size_t b = 0; b < nn; ++b) coef[nn - 1 - b] = codeword[b];
+
+  // Syndromes S_i = r(alpha^i), i = 0..parity-1.
+  std::vector<std::uint8_t> synd(parity_, 0);
+  bool clean = true;
+  for (std::size_t i = 0; i < parity_; ++i) {
+    synd[i] = gf::poly_eval(coef, gf::alpha_pow(static_cast<unsigned>(i)));
+    clean = clean && synd[i] == 0;
+  }
+  if (clean && erasures.empty()) {
+    return DecodeResult{{codeword.begin(), codeword.begin() + static_cast<std::ptrdiff_t>(k_)},
+                        0,
+                        0};
+  }
+
+  // Erasure locator Gamma(x) = prod (1 - X_j x), X_j = alpha^(n-1-b).
+  std::vector<std::uint8_t> gamma{1};
+  for (const std::size_t b : erasures) {
+    const std::uint8_t x_j = gf::alpha_pow(static_cast<unsigned>(nn - 1 - b));
+    const std::vector<std::uint8_t> factor{1, x_j};
+    gamma = gf::poly_mul(gamma, factor);
+  }
+
+  // Forney syndromes T(x) = S(x) * Gamma(x) mod x^parity: removes the
+  // erasure contribution so Berlekamp-Massey sees only the errors.
+  std::vector<std::uint8_t> forney = gf::poly_mul(synd, gamma);
+  forney.resize(parity_, 0);
+
+  // Berlekamp-Massey over T[f .. parity-1] for the error locator.
+  const std::size_t f = erasures.size();
+  std::vector<std::uint8_t> lambda{1};
+  std::vector<std::uint8_t> prev{1};
+  std::size_t errors = 0;       // current LFSR length L
+  std::size_t gap = 1;          // x^gap multiplier on prev (m)
+  std::uint8_t prev_delta = 1;  // last non-zero discrepancy (b)
+  for (std::size_t iter = 0; f + iter < parity_; ++iter) {
+    const std::size_t pos = f + iter;
+    std::uint8_t delta = forney[pos];
+    for (std::size_t j = 1; j < lambda.size() && j <= iter; ++j) {
+      delta = gf::add(delta, gf::mul(lambda[j], forney[pos - j]));
+    }
+    if (delta == 0) {
+      ++gap;
+    } else if (2 * errors <= iter) {
+      const std::vector<std::uint8_t> keep = lambda;
+      const std::uint8_t scale = gf::div(delta, prev_delta);
+      std::vector<std::uint8_t> shifted(gap, 0);
+      shifted.insert(shifted.end(), prev.begin(), prev.end());
+      for (auto& c : shifted) c = gf::mul(c, scale);
+      lambda = gf::poly_add(lambda, shifted);
+      errors = iter + 1 - errors;
+      prev = keep;
+      prev_delta = delta;
+      gap = 1;
+    } else {
+      const std::uint8_t scale = gf::div(delta, prev_delta);
+      std::vector<std::uint8_t> shifted(gap, 0);
+      shifted.insert(shifted.end(), prev.begin(), prev.end());
+      for (auto& c : shifted) c = gf::mul(c, scale);
+      lambda = gf::poly_add(lambda, shifted);
+      ++gap;
+    }
+  }
+  gf::poly_trim(lambda);
+  if (lambda.empty()) return std::nullopt;
+  if (2 * errors + f > parity_) return std::nullopt;  // beyond capability
+
+  // Combined locator Psi = Lambda * Gamma; Chien search over all
+  // positions. Every root must be found (degree == root count).
+  std::vector<std::uint8_t> psi = gf::poly_mul(lambda, gamma);
+  gf::poly_trim(psi);
+  std::vector<std::size_t> error_coefs;
+  for (std::size_t p = 0; p < nn; ++p) {
+    const std::uint8_t x_inv =
+        gf::alpha_pow(static_cast<unsigned>(gf::kGroupOrder - (p % gf::kGroupOrder)));
+    if (gf::poly_eval(psi, x_inv) == 0) error_coefs.push_back(p);
+  }
+  if (error_coefs.size() != psi.size() - 1) return std::nullopt;
+
+  // Forney magnitudes: Omega = S * Psi mod x^parity;
+  // e_p = X_p * Omega(X_p^-1) / Psi'(X_p^-1).
+  std::vector<std::uint8_t> omega = gf::poly_mul(synd, psi);
+  omega.resize(parity_, 0);
+  const std::vector<std::uint8_t> psi_deriv = gf::poly_derivative(psi);
+
+  std::vector<std::uint8_t> corrected = coef;
+  for (const std::size_t p : error_coefs) {
+    const std::uint8_t x_p = gf::alpha_pow(static_cast<unsigned>(p));
+    const std::uint8_t x_inv =
+        gf::alpha_pow(static_cast<unsigned>(gf::kGroupOrder - (p % gf::kGroupOrder)));
+    const std::uint8_t denom = gf::poly_eval(psi_deriv, x_inv);
+    if (denom == 0) return std::nullopt;  // degenerate locator
+    const std::uint8_t magnitude =
+        gf::mul(x_p, gf::div(gf::poly_eval(omega, x_inv), denom));
+    corrected[p] = gf::add(corrected[p], magnitude);
+  }
+
+  // Verify: all syndromes of the corrected word must vanish.
+  for (std::size_t i = 0; i < parity_; ++i) {
+    if (gf::poly_eval(corrected, gf::alpha_pow(static_cast<unsigned>(i))) != 0) {
+      return std::nullopt;
+    }
+  }
+
+  DecodeResult res;
+  res.data.resize(k_);
+  for (std::size_t b = 0; b < k_; ++b) res.data[b] = corrected[nn - 1 - b];
+  // Split the located positions into erasure-listed vs discovered.
+  for (const std::size_t p : error_coefs) {
+    const std::size_t b = nn - 1 - p;
+    const bool was_erasure = std::find(erasures.begin(), erasures.end(), b) != erasures.end();
+    if (was_erasure) {
+      ++res.corrected_erasures;
+    } else {
+      ++res.corrected_errors;
+    }
+  }
+  return res;
+}
+
+}  // namespace oci::modulation

@@ -1,0 +1,86 @@
+// Medium-access policies for the shared optical bus. Every SPAD on the
+// stack sees every pulse, so at most one die may transmit per slot; the
+// three classic disciplines trade latency, utilisation, and complexity:
+//
+//   * TDMA  -- static weighted schedule (the paper's natural fit: the
+//     stack is clock-distributed, so slot boundaries are free);
+//   * token -- work-conserving round-robin: the slot goes to the next
+//     backlogged die, skipping idle ones at a configurable pass cost;
+//   * slotted ALOHA -- uncoordinated random access; two simultaneous
+//     pulses in one TOA window garble both frames (collision).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "oci/bus/arbitration.hpp"
+#include "oci/util/random.hpp"
+
+namespace oci::net {
+
+/// Result of one slot's arbitration: which dies launch a pulse train.
+/// An empty list is an idle slot; more than one entry is a collision
+/// (possible only with random access).
+using SlotGrant = std::vector<std::size_t>;
+
+/// Abstract MAC policy. `backlogged[i]` says whether die i has a
+/// packet ready; the policy returns who transmits in this slot.
+class MacPolicy {
+ public:
+  virtual ~MacPolicy() = default;
+  [[nodiscard]] virtual SlotGrant arbitrate(std::uint64_t slot,
+                                            const std::vector<bool>& backlogged,
+                                            util::RngStream& rng) = 0;
+  /// Human-readable policy name for reports.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Static weighted TDMA on top of bus::TdmaSchedule. Non-work-
+/// conserving: an idle owner's slot is wasted.
+class TdmaMac final : public MacPolicy {
+ public:
+  explicit TdmaMac(bus::TdmaSchedule schedule);
+  [[nodiscard]] SlotGrant arbitrate(std::uint64_t slot, const std::vector<bool>& backlogged,
+                                    util::RngStream& rng) override;
+  [[nodiscard]] const char* name() const override { return "tdma"; }
+
+ private:
+  bus::TdmaSchedule schedule_;
+};
+
+/// Round-robin token passing: the token holder transmits if backlogged,
+/// else the token advances. Each advance costs `pass_slots` dead slots
+/// (the optical token exchange); 0 models an idealised scheduler.
+class TokenMac final : public MacPolicy {
+ public:
+  TokenMac(std::size_t participants, unsigned pass_slots = 0);
+  [[nodiscard]] SlotGrant arbitrate(std::uint64_t slot, const std::vector<bool>& backlogged,
+                                    util::RngStream& rng) override;
+  [[nodiscard]] const char* name() const override { return "token"; }
+
+ private:
+  std::size_t participants_;
+  unsigned pass_slots_;
+  std::size_t holder_ = 0;
+  unsigned passing_ = 0;  ///< dead slots left in the current pass
+};
+
+/// Slotted ALOHA: every backlogged die independently transmits with
+/// probability `attempt_probability`. Simultaneous transmissions
+/// collide (the receivers' SPADs fire on whichever photon lands first;
+/// both frames fail CRC).
+class AlohaMac final : public MacPolicy {
+ public:
+  explicit AlohaMac(double attempt_probability);
+  [[nodiscard]] SlotGrant arbitrate(std::uint64_t slot, const std::vector<bool>& backlogged,
+                                    util::RngStream& rng) override;
+  [[nodiscard]] const char* name() const override { return "aloha"; }
+  [[nodiscard]] double attempt_probability() const { return p_; }
+
+ private:
+  double p_;
+};
+
+}  // namespace oci::net

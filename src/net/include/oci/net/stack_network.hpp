@@ -1,0 +1,111 @@
+// Slot-synchronous simulation of N dies sharing one optical bus.
+//
+// Abstraction level: a SLOT is one packet-transfer opportunity (the
+// PPM symbols of one framed packet plus guard); the link substrate is
+// folded into a per-transfer delivery probability (from the Monte
+// Carlo link or the analytic error budget). This keeps million-slot
+// network runs tractable while staying calibrated against the photon-
+// level model -- the same layering PhoenixSim-style frameworks use.
+//
+// Supported mechanics: per-die FIFO queues with finite capacity,
+// Poisson arrivals, MAC arbitration (see mac.hpp), collision loss,
+// stop-and-wait ARQ with bounded retries, and full latency accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "oci/net/mac.hpp"
+#include "oci/net/packet.hpp"
+#include "oci/util/random.hpp"
+#include "oci/util/units.hpp"
+
+namespace oci::net {
+
+using util::Time;
+
+struct StackNetworkConfig {
+  std::size_t dies = 8;
+  /// Per-die traffic sources; size must equal `dies`.
+  std::vector<TrafficSpec> traffic;
+  /// Probability a non-colliding transfer is delivered intact
+  /// (frame CRC passes at the destination). Collisions always fail.
+  double delivery_probability = 1.0;
+  /// Max transmissions per packet before it is dropped (>= 1).
+  unsigned max_attempts = 4;
+  /// Per-die queue capacity; arrivals beyond it are dropped at entry.
+  std::size_t queue_capacity = 256;
+  /// Wall-clock duration of one slot (for seconds-domain reporting):
+  /// packet symbols x the link's symbol period.
+  Time slot_duration = Time::microseconds(1.0);
+};
+
+struct DieStats {
+  std::uint64_t offered = 0;     ///< packets generated
+  std::uint64_t queue_drops = 0; ///< lost to a full queue
+  std::uint64_t delivered = 0;
+  std::uint64_t retry_drops = 0; ///< lost after max_attempts
+  std::uint64_t transmissions = 0;
+  std::uint64_t collisions = 0;  ///< transmissions lost to collisions
+};
+
+struct NetworkRunResult {
+  std::vector<DieStats> per_die;
+  std::uint64_t slots = 0;
+  std::uint64_t idle_slots = 0;
+  std::uint64_t collision_slots = 0;
+  LatencySummary latency;         ///< enqueue -> delivery, in slots
+  Time slot_duration;
+
+  [[nodiscard]] std::uint64_t total_offered() const;
+  [[nodiscard]] std::uint64_t total_delivered() const;
+  /// Delivered packets per slot (the carried load).
+  [[nodiscard]] double carried_load() const;
+  /// Offered packets per slot.
+  [[nodiscard]] double offered_load() const;
+  /// Fraction of offered packets eventually delivered.
+  [[nodiscard]] double delivery_ratio() const;
+  /// Jain's fairness index over per-die delivered counts.
+  [[nodiscard]] double fairness_index() const;
+  [[nodiscard]] Time mean_latency() const;
+};
+
+class StackNetwork {
+ public:
+  /// The network owns its MAC policy. Throws std::invalid_argument on
+  /// inconsistent configuration.
+  StackNetwork(const StackNetworkConfig& config, std::unique_ptr<MacPolicy> mac);
+
+  [[nodiscard]] const StackNetworkConfig& config() const { return config_; }
+  [[nodiscard]] const MacPolicy& mac() const { return *mac_; }
+
+  /// Runs `slots` arbitration rounds and returns the digest. Repeated
+  /// calls continue from the current queue state (warm restart), which
+  /// lets callers discard a warm-up window.
+  [[nodiscard]] NetworkRunResult run(std::uint64_t slots, util::RngStream& rng);
+
+  /// Packets currently waiting across all queues.
+  [[nodiscard]] std::size_t backlog() const;
+
+ private:
+  void inject_arrivals(std::uint64_t slot, util::RngStream& rng,
+                       std::vector<DieStats>& stats);
+
+  StackNetworkConfig config_;
+  std::unique_ptr<MacPolicy> mac_;
+  std::vector<std::deque<Packet>> queues_;
+  std::uint64_t next_packet_id_ = 0;
+  std::uint64_t slot_cursor_ = 0;  ///< absolute slot index across run() calls
+};
+
+/// Transfer slots a packet of `payload_bytes` occupies on a link with
+/// the given bits per PPM symbol and per-packet framing overhead
+/// (preamble + header + CRC bytes).
+[[nodiscard]] std::uint64_t symbols_per_packet(std::size_t payload_bytes,
+                                               unsigned bits_per_symbol,
+                                               std::size_t overhead_bytes = 4);
+
+}  // namespace oci::net

@@ -1,0 +1,65 @@
+#include "oci/net/mac.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace oci::net {
+
+TdmaMac::TdmaMac(bus::TdmaSchedule schedule) : schedule_(std::move(schedule)) {}
+
+SlotGrant TdmaMac::arbitrate(std::uint64_t slot, const std::vector<bool>& backlogged,
+                             util::RngStream& /*rng*/) {
+  const std::size_t owner = schedule_.owner(slot);
+  if (owner < backlogged.size() && backlogged[owner]) return {owner};
+  return {};
+}
+
+TokenMac::TokenMac(std::size_t participants, unsigned pass_slots)
+    : participants_(participants), pass_slots_(pass_slots) {
+  if (participants_ == 0) throw std::invalid_argument("TokenMac: need >= 1 participant");
+}
+
+SlotGrant TokenMac::arbitrate(std::uint64_t /*slot*/, const std::vector<bool>& backlogged,
+                              util::RngStream& /*rng*/) {
+  if (backlogged.size() != participants_) {
+    throw std::invalid_argument("TokenMac: backlog vector size mismatch");
+  }
+  if (passing_ > 0) {
+    // A token exchange is in flight; the medium is dead this slot.
+    --passing_;
+    return {};
+  }
+  // Work-conserving scan: advance the token to the next backlogged die.
+  for (std::size_t step = 0; step < participants_; ++step) {
+    const std::size_t candidate = (holder_ + step) % participants_;
+    if (backlogged[candidate]) {
+      if (candidate != holder_) {
+        holder_ = candidate;
+        if (pass_slots_ > 0) {
+          // The pass costs dead slots BEFORE the new holder may send.
+          passing_ = pass_slots_ - 1;  // this slot is the first dead one
+          return {};
+        }
+      }
+      return {candidate};
+    }
+  }
+  return {};  // everyone idle; token stays put
+}
+
+AlohaMac::AlohaMac(double attempt_probability) : p_(attempt_probability) {
+  if (p_ <= 0.0 || p_ > 1.0) {
+    throw std::invalid_argument("AlohaMac: attempt probability must be in (0,1]");
+  }
+}
+
+SlotGrant AlohaMac::arbitrate(std::uint64_t /*slot*/, const std::vector<bool>& backlogged,
+                              util::RngStream& rng) {
+  SlotGrant grant;
+  for (std::size_t i = 0; i < backlogged.size(); ++i) {
+    if (backlogged[i] && rng.bernoulli(p_)) grant.push_back(i);
+  }
+  return grant;
+}
+
+}  // namespace oci::net

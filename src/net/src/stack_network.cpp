@@ -1,0 +1,188 @@
+#include "oci/net/stack_network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oci::net {
+
+std::uint64_t symbols_per_packet(std::size_t payload_bytes, unsigned bits_per_symbol,
+                                 std::size_t overhead_bytes) {
+  if (bits_per_symbol == 0) {
+    throw std::invalid_argument("symbols_per_packet: bits_per_symbol must be > 0");
+  }
+  const std::uint64_t bits = (payload_bytes + overhead_bytes) * 8;
+  return (bits + bits_per_symbol - 1) / bits_per_symbol;
+}
+
+std::uint64_t NetworkRunResult::total_offered() const {
+  std::uint64_t sum = 0;
+  for (const DieStats& d : per_die) sum += d.offered;
+  return sum;
+}
+
+std::uint64_t NetworkRunResult::total_delivered() const {
+  std::uint64_t sum = 0;
+  for (const DieStats& d : per_die) sum += d.delivered;
+  return sum;
+}
+
+double NetworkRunResult::carried_load() const {
+  return slots > 0 ? static_cast<double>(total_delivered()) / static_cast<double>(slots)
+                   : 0.0;
+}
+
+double NetworkRunResult::offered_load() const {
+  return slots > 0 ? static_cast<double>(total_offered()) / static_cast<double>(slots)
+                   : 0.0;
+}
+
+double NetworkRunResult::delivery_ratio() const {
+  const std::uint64_t offered = total_offered();
+  return offered > 0 ? static_cast<double>(total_delivered()) / static_cast<double>(offered)
+                     : 1.0;
+}
+
+double NetworkRunResult::fairness_index() const {
+  // Jain's index: (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair.
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t n = 0;
+  for (const DieStats& d : per_die) {
+    if (d.offered == 0) continue;  // silent dies don't count against fairness
+    const auto x = static_cast<double>(d.delivered);
+    sum += x;
+    sum_sq += x * x;
+    ++n;
+  }
+  if (n == 0 || sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(n) * sum_sq);
+}
+
+Time NetworkRunResult::mean_latency() const {
+  return Time::seconds(latency.mean_slots * slot_duration.seconds());
+}
+
+StackNetwork::StackNetwork(const StackNetworkConfig& config, std::unique_ptr<MacPolicy> mac)
+    : config_(config), mac_(std::move(mac)), queues_(config.dies) {
+  if (config_.dies == 0) throw std::invalid_argument("StackNetwork: need >= 1 die");
+  if (!mac_) throw std::invalid_argument("StackNetwork: MAC policy required");
+  if (config_.traffic.size() != config_.dies) {
+    throw std::invalid_argument("StackNetwork: one TrafficSpec per die required");
+  }
+  if (config_.delivery_probability < 0.0 || config_.delivery_probability > 1.0) {
+    throw std::invalid_argument("StackNetwork: delivery probability must be in [0,1]");
+  }
+  if (config_.max_attempts == 0) {
+    throw std::invalid_argument("StackNetwork: max_attempts must be >= 1");
+  }
+  for (const TrafficSpec& t : config_.traffic) {
+    if (t.packets_per_slot < 0.0) {
+      throw std::invalid_argument("StackNetwork: negative arrival rate");
+    }
+    if (!t.uniform_destinations && t.destination != kBroadcast &&
+        t.destination >= config_.dies) {
+      throw std::invalid_argument("StackNetwork: destination out of range");
+    }
+  }
+}
+
+std::size_t StackNetwork::backlog() const {
+  std::size_t sum = 0;
+  for (const auto& q : queues_) sum += q.size();
+  return sum;
+}
+
+void StackNetwork::inject_arrivals(std::uint64_t slot, util::RngStream& rng,
+                                   std::vector<DieStats>& stats) {
+  for (std::size_t die = 0; die < config_.dies; ++die) {
+    const TrafficSpec& spec = config_.traffic[die];
+    if (spec.packets_per_slot <= 0.0) continue;
+    const auto arrivals = rng.poisson(spec.packets_per_slot);
+    for (std::int64_t a = 0; a < arrivals; ++a) {
+      ++stats[die].offered;
+      if (queues_[die].size() >= config_.queue_capacity) {
+        ++stats[die].queue_drops;
+        continue;
+      }
+      Packet p;
+      p.src = die;
+      if (spec.uniform_destinations && config_.dies > 1) {
+        // Uniform over the OTHER dies.
+        auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(config_.dies) - 2));
+        if (pick >= die) ++pick;
+        p.dst = pick;
+      } else {
+        p.dst = spec.destination;
+      }
+      p.id = next_packet_id_++;
+      p.payload_bytes = spec.payload_bytes;
+      p.enqueued_slot = slot;
+      queues_[die].push_back(p);
+    }
+  }
+}
+
+NetworkRunResult StackNetwork::run(std::uint64_t slots, util::RngStream& rng) {
+  NetworkRunResult result;
+  result.per_die.resize(config_.dies);
+  result.slots = slots;
+  result.slot_duration = config_.slot_duration;
+  std::vector<double> latencies;
+
+  std::vector<bool> backlogged(config_.dies);
+  for (std::uint64_t s = 0; s < slots; ++s) {
+    const std::uint64_t slot = slot_cursor_++;
+    inject_arrivals(slot, rng, result.per_die);
+
+    for (std::size_t die = 0; die < config_.dies; ++die) {
+      backlogged[die] = !queues_[die].empty();
+    }
+    const SlotGrant grant =
+        mac_->arbitrate(slot, backlogged, rng);
+
+    if (grant.empty()) {
+      ++result.idle_slots;
+      continue;
+    }
+    if (grant.size() > 1) {
+      // Collision: every participating frame is garbled; each counts a
+      // transmission attempt and may exhaust its retry budget.
+      ++result.collision_slots;
+      for (const std::size_t die : grant) {
+        auto& q = queues_[die];
+        if (q.empty()) continue;  // defensive: policy granted an idle die
+        Packet& head = q.front();
+        ++result.per_die[die].transmissions;
+        ++result.per_die[die].collisions;
+        if (++head.attempts >= config_.max_attempts) {
+          ++result.per_die[die].retry_drops;
+          q.pop_front();
+        }
+      }
+      continue;
+    }
+
+    const std::size_t die = grant.front();
+    auto& q = queues_[die];
+    if (q.empty()) {
+      ++result.idle_slots;  // defensive: policy granted an idle die
+      continue;
+    }
+    Packet& head = q.front();
+    ++result.per_die[die].transmissions;
+    const bool delivered = rng.bernoulli(config_.delivery_probability);
+    if (delivered) {
+      ++result.per_die[die].delivered;
+      latencies.push_back(static_cast<double>(slot - head.enqueued_slot + 1));
+      q.pop_front();
+    } else if (++head.attempts >= config_.max_attempts) {
+      ++result.per_die[die].retry_drops;
+      q.pop_front();
+    }
+  }
+
+  result.latency = summarize_latencies(std::move(latencies));
+  return result;
+}
+
+}  // namespace oci::net

@@ -1,0 +1,112 @@
+#include "oci/photonics/led.hpp"
+
+#include <cmath>
+
+namespace oci::photonics {
+
+namespace {
+// Gaussian sigma such that ~99.7% of the energy lies inside the pulse
+// width for the kGaussian shape (width = 6 sigma).
+constexpr double kGaussianWidthSigmas = 6.0;
+
+// Rational approximation of the inverse error function (Giles 2012
+// single-precision form, adequate for envelope sampling).
+double erfinv(double x) {
+  const double w = -std::log((1.0 - x) * (1.0 + x));
+  if (w < 5.0) {
+    const double ww = w - 2.5;
+    double p = 2.81022636e-08;
+    p = 3.43273939e-07 + p * ww;
+    p = -3.5233877e-06 + p * ww;
+    p = -4.39150654e-06 + p * ww;
+    p = 0.00021858087 + p * ww;
+    p = -0.00125372503 + p * ww;
+    p = -0.00417768164 + p * ww;
+    p = 0.246640727 + p * ww;
+    p = 1.50140941 + p * ww;
+    return p * x;
+  }
+  const double ww = std::sqrt(w) - 3.0;
+  double p = -0.000200214257;
+  p = 0.000100950558 + p * ww;
+  p = 0.00134934322 + p * ww;
+  p = -0.00367342844 + p * ww;
+  p = 0.00573950773 + p * ww;
+  p = -0.0076224613 + p * ww;
+  p = 0.00943887047 + p * ww;
+  p = 1.00167406 + p * ww;
+  p = 2.83297682 + p * ww;
+  return p * x;
+}
+}  // namespace
+
+MicroLed::MicroLed(const MicroLedParams& params) : params_(params) {
+  if (params_.pulse_width <= Time::zero()) {
+    throw std::invalid_argument("MicroLed: pulse width must be positive");
+  }
+  if (params_.wall_plug_efficiency <= 0.0 || params_.wall_plug_efficiency > 1.0) {
+    throw std::invalid_argument("MicroLed: wall-plug efficiency must be in (0,1]");
+  }
+  if (params_.peak_power < Power::zero()) {
+    throw std::invalid_argument("MicroLed: peak power must be non-negative");
+  }
+}
+
+Energy MicroLed::optical_pulse_energy() const {
+  // All supported envelopes are normalised to carry peak_power x width.
+  return params_.peak_power * params_.pulse_width;
+}
+
+Energy MicroLed::electrical_pulse_energy() const {
+  const Energy emission =
+      Energy::joules(optical_pulse_energy().joules() / params_.wall_plug_efficiency);
+  const Energy driver = util::switching_energy(params_.driver_load, params_.supply);
+  return emission + driver;
+}
+
+double MicroLed::photons_per_pulse() const {
+  return util::photon_count(optical_pulse_energy(), params_.wavelength);
+}
+
+double MicroLed::envelope(Time t) const {
+  const double w = params_.pulse_width.seconds();
+  const double x = t.seconds();
+  if (x < 0.0) return 0.0;
+  switch (params_.shape) {
+    case PulseShape::kRectangular:
+      return x < w ? 1.0 : 0.0;
+    case PulseShape::kExponential:
+      // Decay constant = width so that the mean emission time equals the
+      // width; normalised to unit peak.
+      return std::exp(-x / w);
+    case PulseShape::kGaussian: {
+      const double sigma = w / kGaussianWidthSigmas;
+      const double mu = w / 2.0;
+      const double d = (x - mu) / sigma;
+      return std::exp(-0.5 * d * d);
+    }
+  }
+  return 0.0;
+}
+
+Time MicroLed::sample_emission_time(double u) const {
+  const double w = params_.pulse_width.seconds();
+  switch (params_.shape) {
+    case PulseShape::kRectangular:
+      return Time::seconds(u * w);
+    case PulseShape::kExponential:
+      return Time::seconds(-w * std::log(1.0 - u));
+    case PulseShape::kGaussian: {
+      const double sigma = w / kGaussianWidthSigmas;
+      const double mu = w / 2.0;
+      // Inverse normal CDF via inverse error function.
+      const double z = std::sqrt(2.0) * erfinv(2.0 * u - 1.0);
+      double t = mu + sigma * z;
+      if (t < 0.0) t = 0.0;  // clip the (<0.2%) tail below pulse start
+      return Time::seconds(t);
+    }
+  }
+  return Time::zero();
+}
+
+}  // namespace oci::photonics

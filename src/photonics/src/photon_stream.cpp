@@ -1,0 +1,85 @@
+#include "oci/photonics/photon_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oci::photonics {
+
+namespace {
+// A SPAD receiver resolves at most the first few detected photons of a
+// pulse: after the first detection the diode is dead for longer than the
+// pulse itself. For bright pulses (e.g. a 200 uW LED delivers ~2e5
+// photons per pulse) we therefore generate only the earliest
+// kMaxSampledPhotons arrivals -- exactly, via the ascending order
+// statistics of the n uniform draws -- instead of all n. With a photon
+// detection probability p >= 1e-2 the chance that any photon beyond the
+// cap influences the receiver is (1-p)^4096 < 1e-17.
+constexpr std::int64_t kMaxSampledPhotons = 4096;
+}  // namespace
+
+PhotonStream::PhotonStream(const MicroLed& led, double channel_transmittance)
+    : led_(&led), transmittance_(channel_transmittance) {
+  if (channel_transmittance < 0.0 || channel_transmittance > 1.0) {
+    throw std::invalid_argument("PhotonStream: transmittance must be in [0,1]");
+  }
+}
+
+double PhotonStream::mean_photons_per_pulse() const {
+  return led_->photons_per_pulse() * transmittance_;
+}
+
+std::vector<PhotonArrival> PhotonStream::sample_pulse(Time pulse_start,
+                                                      RngStream& rng) const {
+  const auto n = rng.poisson(mean_photons_per_pulse());
+  std::vector<PhotonArrival> out;
+  if (n <= kMaxSampledPhotons) {
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const Time offset = led_->sample_emission_time(rng.uniform());
+      out.push_back(PhotonArrival{pulse_start + offset, /*is_signal=*/true});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PhotonArrival& a, const PhotonArrival& b) { return a.time < b.time; });
+    return out;
+  }
+  // Bright-pulse path: draw the k smallest of n uniform order statistics
+  // sequentially. 1 - prod_{j<=i} V_j^{1/(n-j)} is distributed as the
+  // (i+1)-th ascending order statistic U_(i+1) of n iid uniforms, and
+  // sample_emission_time is a monotone inverse CDF, so the emitted times
+  // are exactly the earliest k arrivals of the full pulse, in order.
+  out.reserve(static_cast<std::size_t>(kMaxSampledPhotons));
+  double w = 1.0;
+  for (std::int64_t i = 0; i < kMaxSampledPhotons; ++i) {
+    w *= std::pow(rng.uniform(), 1.0 / static_cast<double>(n - i));
+    const double u = std::min(1.0 - w, 1.0 - 1e-16);
+    out.push_back(
+        PhotonArrival{pulse_start + led_->sample_emission_time(u), /*is_signal=*/true});
+  }
+  return out;
+}
+
+std::vector<PhotonArrival> PhotonStream::sample_background(Frequency rate, Time window_start,
+                                                           Time window, RngStream& rng) {
+  std::vector<PhotonArrival> out;
+  if (rate.hertz() <= 0.0 || window <= Time::zero()) return out;
+  const auto n = rng.poisson(rate.hertz() * window.seconds());
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    out.push_back(PhotonArrival{window_start + rng.uniform_time(window), /*is_signal=*/false});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PhotonArrival& a, const PhotonArrival& b) { return a.time < b.time; });
+  return out;
+}
+
+std::vector<PhotonArrival> PhotonStream::merge(std::vector<PhotonArrival> a,
+                                               std::vector<PhotonArrival> b) {
+  std::vector<PhotonArrival> out;
+  out.resize(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(),
+             [](const PhotonArrival& x, const PhotonArrival& y) { return x.time < y.time; });
+  return out;
+}
+
+}  // namespace oci::photonics

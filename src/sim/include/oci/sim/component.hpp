@@ -1,0 +1,30 @@
+// Base class for named simulation components that live on a Scheduler.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "oci/sim/scheduler.hpp"
+
+namespace oci::sim {
+
+class Component {
+ public:
+  Component(Scheduler& sched, std::string name) : sched_(&sched), name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+  Component(Component&&) = default;
+  Component& operator=(Component&&) = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Scheduler& scheduler() const { return *sched_; }
+  [[nodiscard]] util::Time now() const { return sched_->now(); }
+
+ private:
+  Scheduler* sched_;
+  std::string name_;
+};
+
+}  // namespace oci::sim

@@ -1,0 +1,70 @@
+// Minimal discrete-event simulation kernel. Components schedule
+// callbacks at absolute simulation times; ties break in FIFO order of
+// scheduling so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "oci/util/units.hpp"
+
+namespace oci::sim {
+
+using util::Time;
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `when` (must be >= now()).
+  EventId schedule_at(Time when, Callback cb);
+  /// Schedule `cb` after the given delay from now (delay >= 0).
+  EventId schedule_in(Time delay, Callback cb);
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled. Cancellation is O(1) (lazy: the event is skipped on pop).
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains or `horizon` is passed. Events at
+  /// exactly the horizon still execute. Returns events executed.
+  std::uint64_t run_until(Time horizon);
+  /// Runs until the queue drains.
+  std::uint64_t run();
+  /// Executes at most one event; returns false if queue is empty.
+  bool step();
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return live_count_; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;  // lazy cancellation: skipped on pop
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace oci::sim

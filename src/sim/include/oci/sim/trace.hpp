@@ -1,0 +1,39 @@
+// Timestamped value tracing: components append (time, signal, value)
+// samples that tests and benches inspect after a run.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "oci/util/units.hpp"
+
+namespace oci::sim {
+
+struct TraceSample {
+  util::Time time;
+  std::string signal;
+  double value = 0.0;
+};
+
+/// Append-only trace buffer. Not thread-safe; the kernel is single-threaded.
+class Trace {
+ public:
+  void record(util::Time t, std::string_view signal, double value);
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] std::span<const TraceSample> samples() const { return samples_; }
+
+  /// All samples for one signal, in time order (insertion order).
+  [[nodiscard]] std::vector<TraceSample> for_signal(std::string_view signal) const;
+  /// Last recorded value of a signal, or fallback if never recorded.
+  [[nodiscard]] double last_value(std::string_view signal, double fallback = 0.0) const;
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace oci::sim

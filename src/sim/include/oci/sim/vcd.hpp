@@ -1,0 +1,30 @@
+// VCD (Value Change Dump, IEEE 1364) writer for simulation traces, so
+// any Trace can be inspected in GTKWave or a standard EDA waveform
+// viewer. Signals are emitted as real-valued variables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "oci/sim/trace.hpp"
+#include "oci/util/units.hpp"
+
+namespace oci::sim {
+
+struct VcdOptions {
+  std::string module = "oci";
+  /// VCD timescale unit; sample times are rounded to this grid.
+  util::Time timescale = util::Time::picoseconds(1.0);
+  std::string date = "reproducible-build";  ///< no wall clock: deterministic output
+};
+
+/// Writes the trace as a VCD document. Signals are discovered from the
+/// samples (first-appearance order), each declared as a `real` var.
+/// Samples must be in non-decreasing time order per signal; the writer
+/// merges all signals onto one timeline.
+void write_vcd(std::ostream& os, const Trace& trace, const VcdOptions& options = {});
+
+/// Maps a signal index to its VCD identifier code (printable ASCII 33+).
+[[nodiscard]] std::string vcd_identifier(std::size_t index);
+
+}  // namespace oci::sim

@@ -1,0 +1,72 @@
+#include "oci/sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace oci::sim {
+
+EventId Scheduler::schedule_at(Time when, Callback cb) {
+  if (when < now_) throw std::invalid_argument("Scheduler: cannot schedule in the past");
+  if (!cb) throw std::invalid_argument("Scheduler: null callback");
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(cb)});
+  ++live_count_;
+  return id;
+}
+
+EventId Scheduler::schedule_in(Time delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (cancelled_.contains(id)) return false;
+  cancelled_.insert(id);
+  if (live_count_ > 0) --live_count_;
+  return true;
+}
+
+bool Scheduler::pop_and_run() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; we must copy the callback out
+    // before pop. Events are small, so this is fine.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // cancelled: already removed from live_count_
+    }
+    now_ = ev.when;
+    --live_count_;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run_until(Time horizon) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Skip leading cancelled events without advancing time.
+    if (cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > horizon) break;
+    if (pop_and_run()) ++n;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return n;
+}
+
+std::uint64_t Scheduler::run() {
+  std::uint64_t n = 0;
+  while (pop_and_run()) ++n;
+  return n;
+}
+
+bool Scheduler::step() { return pop_and_run(); }
+
+}  // namespace oci::sim

@@ -1,0 +1,24 @@
+#include "oci/sim/trace.hpp"
+
+namespace oci::sim {
+
+void Trace::record(util::Time t, std::string_view signal, double value) {
+  samples_.push_back(TraceSample{t, std::string(signal), value});
+}
+
+std::vector<TraceSample> Trace::for_signal(std::string_view signal) const {
+  std::vector<TraceSample> out;
+  for (const auto& s : samples_) {
+    if (s.signal == signal) out.push_back(s);
+  }
+  return out;
+}
+
+double Trace::last_value(std::string_view signal, double fallback) const {
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    if (it->signal == signal) return it->value;
+  }
+  return fallback;
+}
+
+}  // namespace oci::sim

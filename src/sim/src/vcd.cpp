@@ -1,0 +1,67 @@
+#include "oci/sim/vcd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+namespace oci::sim {
+
+std::string vcd_identifier(std::size_t index) {
+  // Base-94 over printable ASCII '!'..'~'.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+void write_vcd(std::ostream& os, const Trace& trace, const VcdOptions& options) {
+  // Discover signals in first-appearance order.
+  std::vector<std::string> signals;
+  std::map<std::string, std::size_t> index;
+  for (const auto& s : trace.samples()) {
+    if (index.emplace(s.signal, signals.size()).second) signals.push_back(s.signal);
+  }
+
+  os << "$date " << options.date << " $end\n";
+  os << "$version oci::sim::write_vcd $end\n";
+  os << "$timescale " << static_cast<long long>(options.timescale.picoseconds())
+     << "ps $end\n";
+  os << "$scope module " << options.module << " $end\n";
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    os << "$var real 64 " << vcd_identifier(i) << ' ' << signals[i] << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  // Group samples by quantised timestamp, preserving input order within
+  // a timestamp (later samples of the same signal overwrite).
+  struct Change {
+    std::int64_t tick;
+    std::size_t signal;
+    double value;
+  };
+  std::vector<Change> changes;
+  changes.reserve(trace.size());
+  const double ts = options.timescale.seconds();
+  for (const auto& s : trace.samples()) {
+    changes.push_back(Change{static_cast<std::int64_t>(std::llround(s.time.seconds() / ts)),
+                             index[s.signal], s.value});
+  }
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const Change& a, const Change& b) { return a.tick < b.tick; });
+
+  std::int64_t current = -1;
+  for (const auto& c : changes) {
+    if (c.tick != current) {
+      os << '#' << c.tick << '\n';
+      current = c.tick;
+    }
+    os << 'r' << c.value << ' ' << vcd_identifier(c.signal) << '\n';
+  }
+}
+
+}  // namespace oci::sim

@@ -1,0 +1,49 @@
+// Parameter set of a CMOS single-photon avalanche diode, defaulted to
+// figures representative of the Niclass/Charbon ISSCC 2005 64x64 array
+// generation (the paper's ref [5]).
+#pragma once
+
+#include "oci/util/units.hpp"
+
+namespace oci::spad {
+
+using util::Area;
+using util::Frequency;
+using util::Temperature;
+using util::Time;
+using util::Voltage;
+using util::Wavelength;
+
+/// Quenching style determines the dead-time semantics.
+enum class QuenchMode {
+  kActive,   ///< non-paralyzable: photons during dead time are simply lost
+  kPassive,  ///< paralyzable: photons during recharge restart the dead period
+};
+
+struct SpadParams {
+  /// Photon detection probability at the curve peak and nominal excess bias.
+  double pdp_peak = 0.30;
+  /// Excess bias above breakdown; PDP and DCR both scale with it.
+  Voltage excess_bias = Voltage::volts(3.3);
+  Voltage nominal_excess_bias = Voltage::volts(3.3);
+  /// Detection cycle: time after an avalanche during which the diode is
+  /// blind (quench + recharge). Tens of ns for this device generation.
+  Time dead_time = Time::nanoseconds(40.0);
+  QuenchMode quench = QuenchMode::kActive;
+  /// Dark-count rate at the reference temperature.
+  Frequency dcr_at_ref = Frequency::hertz(350.0);
+  Temperature dcr_ref_temperature = Temperature::celsius(25.0);
+  /// DCR doubles every this many kelvin (thermally generated carriers).
+  double dcr_doubling_kelvin = 8.0;
+  /// Probability that one avalanche later releases a trapped carrier
+  /// that re-triggers the diode (afterpulse).
+  double afterpulse_probability = 0.01;
+  /// Mean trap-release delay measured from the end of the dead time.
+  Time afterpulse_tau = Time::nanoseconds(50.0);
+  /// Gaussian timing jitter (sigma, not FWHM) of the avalanche buildup.
+  Time jitter_sigma = Time::picoseconds(42.5);  // ~100 ps FWHM
+  /// Active area + quench circuitry footprint.
+  Area footprint = Area::square_micrometres(30.0 * 30.0);
+};
+
+}  // namespace oci::spad

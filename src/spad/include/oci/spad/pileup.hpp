@@ -1,0 +1,36 @@
+// Analytic count-rate / pile-up models for dead-time-limited detectors.
+// The Monte Carlo in spad.hpp is exact but slow; these closed forms are
+// the standard design equations for choosing fluxes and dead times (and
+// for validating the Monte Carlo, which the tests do).
+#pragma once
+
+#include "oci/util/units.hpp"
+
+namespace oci::spad {
+
+using util::Frequency;
+using util::Time;
+
+/// Registered rate of a NON-paralyzable detector (active quench) under
+/// Poisson illumination: R = r / (1 + r * tau).
+[[nodiscard]] Frequency nonparalyzable_rate(Frequency incident, Time dead_time);
+
+/// Registered rate of a PARALYZABLE detector (passive quench):
+/// R = r * exp(-r * tau). Peaks at r = 1/tau then collapses.
+[[nodiscard]] Frequency paralyzable_rate(Frequency incident, Time dead_time);
+
+/// Incident rate that maximises a paralyzable detector's output (1/tau).
+[[nodiscard]] Frequency paralyzable_peak_input(Time dead_time);
+
+/// Maximum registered rate of a non-paralyzable detector (1/tau asymptote).
+[[nodiscard]] Frequency nonparalyzable_saturation(Time dead_time);
+
+/// Fraction of incident events lost to dead time (non-paralyzable).
+[[nodiscard]] double nonparalyzable_loss_fraction(Frequency incident, Time dead_time);
+
+/// Inverts the non-paralyzable relation: the true incident rate that
+/// produces a measured registered rate (classic dead-time correction).
+/// Throws if the measured rate exceeds the saturation limit.
+[[nodiscard]] Frequency correct_nonparalyzable(Frequency measured, Time dead_time);
+
+}  // namespace oci::spad

@@ -1,0 +1,55 @@
+#include "oci/spad/pileup.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace oci::spad {
+
+namespace {
+void check_dead(Time dead_time) {
+  if (dead_time <= Time::zero()) {
+    throw std::invalid_argument("pileup: dead time must be positive");
+  }
+}
+}  // namespace
+
+Frequency nonparalyzable_rate(Frequency incident, Time dead_time) {
+  check_dead(dead_time);
+  const double r = incident.hertz();
+  return Frequency::hertz(r / (1.0 + r * dead_time.seconds()));
+}
+
+Frequency paralyzable_rate(Frequency incident, Time dead_time) {
+  check_dead(dead_time);
+  const double r = incident.hertz();
+  return Frequency::hertz(r * std::exp(-r * dead_time.seconds()));
+}
+
+Frequency paralyzable_peak_input(Time dead_time) {
+  check_dead(dead_time);
+  return Frequency::hertz(1.0 / dead_time.seconds());
+}
+
+Frequency nonparalyzable_saturation(Time dead_time) {
+  check_dead(dead_time);
+  return Frequency::hertz(1.0 / dead_time.seconds());
+}
+
+double nonparalyzable_loss_fraction(Frequency incident, Time dead_time) {
+  check_dead(dead_time);
+  const double r = incident.hertz();
+  if (r <= 0.0) return 0.0;
+  return 1.0 - 1.0 / (1.0 + r * dead_time.seconds());
+}
+
+Frequency correct_nonparalyzable(Frequency measured, Time dead_time) {
+  check_dead(dead_time);
+  const double m = measured.hertz();
+  const double tau = dead_time.seconds();
+  if (m * tau >= 1.0) {
+    throw std::invalid_argument("pileup: measured rate at/above saturation");
+  }
+  return Frequency::hertz(m / (1.0 - m * tau));
+}
+
+}  // namespace oci::spad

@@ -1,0 +1,62 @@
+// Code-density calibration and nonlinearity analysis. The paper forgoes
+// dynamic PVT adjustment of the delay line and instead relies on
+// "regular calibration so as to ensure a fixed bound on resolution";
+// the standard technique is the code-density test used here: drive the
+// TDC with hits uniform in time, histogram the fine codes, and derive
+// each bin's real width. DNL/INL (paper Figure 3) fall out directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oci/tdc/tdc.hpp"
+#include "oci/util/random.hpp"
+
+namespace oci::tdc {
+
+struct NonlinearityReport {
+  std::vector<double> bin_width_s;  ///< estimated width of each fine bin [s]
+  std::vector<double> dnl_lsb;      ///< DNL per code, in LSB
+  std::vector<double> inl_lsb;      ///< INL per code, in LSB
+  double lsb_s = 0.0;               ///< mean bin width = effective LSB [s]
+  double max_abs_dnl = 0.0;
+  double max_abs_inl = 0.0;
+  std::size_t codes = 0;            ///< fine codes covered (elements used)
+  std::uint64_t samples = 0;
+};
+
+/// Runs a code-density test over one clock period of the TDC's delay
+/// line: `samples` hits uniform in [0, clock period), fine codes
+/// histogrammed, bin widths estimated as count fractions of the period.
+[[nodiscard]] NonlinearityReport code_density_test(const Tdc& tdc, std::uint64_t samples,
+                                                   util::RngStream& rng,
+                                                   bool with_metastability = true);
+
+/// Computes DNL/INL in LSB directly from known bin widths (used both by
+/// the code-density estimator and by tests against ground-truth element
+/// delays).
+[[nodiscard]] NonlinearityReport nonlinearity_from_widths(const std::vector<double>& widths_s);
+
+/// Piecewise-linear correction derived from a code-density report: maps
+/// a fine code to the calibrated time offset (bin centre) before the
+/// latch edge. Using it removes the INL from reconstructed TOAs.
+class CalibrationLut {
+ public:
+  CalibrationLut() = default;
+  explicit CalibrationLut(const NonlinearityReport& report);
+
+  [[nodiscard]] bool valid() const { return !centre_s_.empty(); }
+  [[nodiscard]] std::size_t codes() const { return centre_s_.size(); }
+
+  /// Calibrated hit-to-edge interval for a fine code (bin centre).
+  [[nodiscard]] util::Time fine_interval(std::size_t fine_code) const;
+
+  /// Reconstructs the TOA for a TDC reading using this LUT: the latch
+  /// edge time minus the calibrated fine interval.
+  [[nodiscard]] util::Time correct(const TdcReading& reading, util::Time clock_period) const;
+
+ private:
+  std::vector<double> centre_s_;  ///< bin-centre interval per fine code
+};
+
+}  // namespace oci::tdc

@@ -1,0 +1,74 @@
+// Cycle-accurate register-level model of the paper's Figure 2 TDC: the
+// coarse counter, the hit synchroniser, the delay-line latch and the
+// fine-controller state machine, advanced one system-clock cycle at a
+// time. The behavioural Tdc in tdc.hpp computes the same answer in one
+// call; this model exists to (a) document the micro-architecture the
+// paper describes, (b) expose cycle-level effects -- conversion latency,
+// the reset (dead) cycle, back-to-back hit rejection -- and (c) serve as
+// an equivalence target: tests drive both models with the same hits and
+// compare codes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "oci/tdc/delay_line.hpp"
+#include "oci/tdc/thermometer.hpp"
+
+namespace oci::tdc {
+
+/// One completed conversion, as produced by the RTL pipeline.
+struct RtlConversion {
+  std::uint64_t code = 0;    ///< coarse*taps - fine - 1, clamped (same as Tdc)
+  unsigned coarse = 0;       ///< clock index of the latch edge
+  std::size_t fine = 0;      ///< thermometer count
+  std::uint64_t done_cycle = 0;  ///< clock cycle at which the result retired
+};
+
+class RtlTdc {
+ public:
+  /// The model owns the delay line (the paper's fine chain) and runs at
+  /// a fixed clock period which the chain must cover.
+  RtlTdc(DelayLine line, unsigned coarse_bits, Time clock_period,
+         ThermometerDecode decode = ThermometerDecode::kOnesCount);
+
+  [[nodiscard]] Time clock_period() const { return clock_period_; }
+  [[nodiscard]] unsigned coarse_bits() const { return coarse_bits_; }
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+  [[nodiscard]] bool busy() const { return state_ != State::kArmed; }
+
+  /// Presents a hit at absolute time `t` (must lie within the current
+  /// TOA window and be >= the window start). Returns false if the
+  /// converter is not armed (hit lost -- models the single-hit-per-
+  /// window behaviour the PPM scheme relies on).
+  bool hit(Time t, util::RngStream& rng);
+
+  /// Advances one clock cycle. If a conversion retires this cycle, it
+  /// is returned. The sequence per conversion is: LATCH (on the first
+  /// rising edge after the hit) -> ENCODE (thermometer to binary) ->
+  /// RESET (one full fine-range, the paper's extra Rf in MW) -> ARMED.
+  [[nodiscard]] std::optional<RtlConversion> tick();
+
+  /// Opens a new TOA window at the current cycle (the link layer calls
+  /// this at each symbol boundary). Resets the coarse counter.
+  void open_window();
+
+ private:
+  enum class State { kArmed, kWaitLatch, kEncode, kReset };
+
+  DelayLine line_;
+  unsigned coarse_bits_;
+  Time clock_period_;
+  ThermometerDecode decode_;
+
+  State state_ = State::kArmed;
+  std::uint64_t cycle_ = 0;          ///< absolute clock cycle counter
+  std::uint64_t window_start_cycle_ = 0;
+  unsigned coarse_count_ = 0;        ///< coarse counter value (Fig 2-A)
+  Time pending_hit_;                 ///< absolute hit time awaiting latch
+  ThermometerCode latched_;          ///< chain state captured at the edge
+  unsigned latched_coarse_ = 0;
+  unsigned reset_cycles_left_ = 0;
+};
+
+}  // namespace oci::tdc

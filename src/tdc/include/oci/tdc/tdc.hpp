@@ -1,0 +1,79 @@
+// Two-step time-to-digital converter (paper Figure 2): a coarse counter
+// running at the system clock plus a tapped-delay-line fine interpolator
+// latched on the clock edge. The design is controlled by exactly the two
+// parameters the paper names: N (fine delay elements) and C (coarse
+// range bits), with
+//
+//   fine range          Rf      = N * delta
+//   measurement window  MW(N,C) = (2^C + 1) * N * delta   (one Rf of reset)
+//   output bits                 = log2(N) + C
+//   throughput          TP(N,C) = (log2(N) + C) / MW(N,C)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "oci/tdc/delay_line.hpp"
+#include "oci/tdc/thermometer.hpp"
+
+namespace oci::tdc {
+
+using util::Frequency;
+
+struct TdcConfig {
+  unsigned coarse_bits = 5;  ///< C
+  ThermometerDecode decode = ThermometerDecode::kMajorityWindow;
+  /// The system clock period. The paper ties the clock to the fine
+  /// range: the chain must cover at least one period (200 MHz -> 5 ns
+  /// needing 96 x ~52 ps). If unset (zero), the nominal fine range
+  /// N * delta is used as the period.
+  Time clock_period = Time::zero();
+};
+
+/// One time-of-arrival conversion.
+struct TdcReading {
+  std::uint64_t code = 0;   ///< combined coarse/fine code, LSB = delta
+  unsigned coarse = 0;      ///< clock periods counted (index of latch edge)
+  std::size_t fine = 0;     ///< taps passed between hit and latch edge
+  Time estimate;            ///< reconstructed TOA from the calibrated LSB
+  bool saturated = false;   ///< hit fell outside the TOA window
+};
+
+class Tdc {
+ public:
+  /// The delay line is owned by value; pass a configured line (its
+  /// process mismatch is already drawn).
+  Tdc(DelayLine line, const TdcConfig& config);
+
+  [[nodiscard]] const DelayLine& line() const { return line_; }
+  [[nodiscard]] DelayLine& line() { return line_; }
+  [[nodiscard]] const TdcConfig& config() const { return config_; }
+
+  /// The clock period in force (configured or derived from N * delta).
+  [[nodiscard]] Time clock_period() const { return clock_period_; }
+  /// TOA window: 2^C clock periods.
+  [[nodiscard]] Time toa_window() const;
+  /// Full measurement window including the reset Rf: (2^C + 1) periods.
+  [[nodiscard]] Time measurement_window() const;
+  /// Bits per conversion: log2(N) + C (N rounded down to a power of 2).
+  [[nodiscard]] unsigned bits_per_sample() const;
+  /// Ideal LSB: the clock period divided by the taps used to span it.
+  [[nodiscard]] Time lsb() const;
+
+  /// Converts a TOA measured from the window start. `toa` outside
+  /// [0, toa_window) yields saturated = true and a clamped code.
+  /// Stochastic (metastability) via rng.
+  [[nodiscard]] TdcReading convert(Time toa, RngStream& rng) const;
+
+  /// Deterministic conversion without metastability (ideal sampling).
+  [[nodiscard]] TdcReading convert_ideal(Time toa) const;
+
+ private:
+  TdcReading finish(Time toa, unsigned coarse, std::size_t fine_taps) const;
+
+  DelayLine line_;
+  TdcConfig config_;
+  Time clock_period_;
+};
+
+}  // namespace oci::tdc

@@ -1,0 +1,31 @@
+// Thermometer-to-binary conversion with bubble suppression. The paper's
+// "fine controller" (Figure 2-B) converts the latched thermometer code
+// to binary "so as to avoid metastability"; bubbles (isolated 0s below
+// the transition or 1s above it) arise when the latch races tap
+// transitions.
+#pragma once
+
+#include <cstddef>
+
+#include "oci/tdc/delay_line.hpp"
+
+namespace oci::tdc {
+
+enum class ThermometerDecode {
+  kOnesCount,      ///< population count; each bubble costs 1 LSB at most
+  kLeadingOnes,    ///< position of first 0; a low bubble truncates badly
+  kMajorityWindow, ///< 3-tap majority filter then ones count (bubble-robust)
+};
+
+/// Decodes a (possibly bubbled) thermometer code into a tap count.
+[[nodiscard]] std::size_t decode_thermometer(const ThermometerCode& code,
+                                             ThermometerDecode method);
+
+/// Number of bubbles: taps whose value differs from the clean
+/// thermometer code implied by the ones count.
+[[nodiscard]] std::size_t count_bubbles(const ThermometerCode& code);
+
+/// True iff the code is a clean thermometer code (all 1s then all 0s).
+[[nodiscard]] bool is_clean(const ThermometerCode& code);
+
+}  // namespace oci::tdc

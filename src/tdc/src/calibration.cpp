@@ -1,0 +1,93 @@
+#include "oci/tdc/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace oci::tdc {
+
+NonlinearityReport nonlinearity_from_widths(const std::vector<double>& widths_s) {
+  NonlinearityReport rep;
+  rep.codes = widths_s.size();
+  if (widths_s.empty()) return rep;
+  rep.bin_width_s = widths_s;
+  // The LSB is estimated from the INTERIOR bins only: in a code-density
+  // test the first and last bins are truncated by the window edges, and
+  // including them biases the LSB low, which shows up as a spurious
+  // linear INL drift.
+  const std::size_t n = widths_s.size();
+  const std::size_t lo = n >= 4 ? 1 : 0;
+  const std::size_t hi = n >= 4 ? n - 1 : n;
+  rep.lsb_s = std::accumulate(widths_s.begin() + static_cast<std::ptrdiff_t>(lo),
+                              widths_s.begin() + static_cast<std::ptrdiff_t>(hi), 0.0) /
+              static_cast<double>(hi - lo);
+  if (rep.lsb_s <= 0.0) throw std::invalid_argument("nonlinearity: non-positive LSB");
+  rep.dnl_lsb.resize(n);
+  rep.inl_lsb.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    rep.dnl_lsb[k] = widths_s[k] / rep.lsb_s - 1.0;
+    rep.inl_lsb[k] = acc;  // INL of code k's left boundary
+    acc += rep.dnl_lsb[k];
+    if (k >= lo && k < hi) {
+      rep.max_abs_dnl = std::max(rep.max_abs_dnl, std::abs(rep.dnl_lsb[k]));
+      rep.max_abs_inl = std::max(rep.max_abs_inl, std::abs(rep.inl_lsb[k]));
+    }
+  }
+  return rep;
+}
+
+NonlinearityReport code_density_test(const Tdc& tdc, std::uint64_t samples,
+                                     util::RngStream& rng, bool with_metastability) {
+  if (samples == 0) throw std::invalid_argument("code_density_test: samples must be > 0");
+  const Time period = tdc.clock_period();
+  const std::size_t used = tdc.line().elements_used(period);
+
+  std::vector<std::uint64_t> counts(used, 0);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const Time interval = rng.uniform_time(period);
+    std::size_t code;
+    if (with_metastability) {
+      const ThermometerCode raw = tdc.line().sample(interval, rng);
+      code = decode_thermometer(raw, tdc.config().decode);
+    } else {
+      code = tdc.line().ideal_code(interval);
+    }
+    if (code >= used) code = used - 1;
+    ++counts[code];
+  }
+
+  std::vector<double> widths(used, 0.0);
+  for (std::size_t k = 0; k < used; ++k) {
+    widths[k] = period.seconds() * static_cast<double>(counts[k]) /
+                static_cast<double>(samples);
+  }
+  NonlinearityReport rep = nonlinearity_from_widths(widths);
+  rep.samples = samples;
+  return rep;
+}
+
+CalibrationLut::CalibrationLut(const NonlinearityReport& report) {
+  centre_s_.reserve(report.bin_width_s.size());
+  double boundary = 0.0;
+  for (double w : report.bin_width_s) {
+    centre_s_.push_back(boundary + w / 2.0);
+    boundary += w;
+  }
+}
+
+util::Time CalibrationLut::fine_interval(std::size_t fine_code) const {
+  if (centre_s_.empty()) throw std::logic_error("CalibrationLut: empty");
+  const std::size_t k = std::min(fine_code, centre_s_.size() - 1);
+  return util::Time::seconds(centre_s_[k]);
+}
+
+util::Time CalibrationLut::correct(const TdcReading& reading, util::Time clock_period) const {
+  const util::Time edge = clock_period * static_cast<double>(reading.coarse);
+  util::Time toa = edge - fine_interval(reading.fine);
+  if (toa < util::Time::zero()) toa = util::Time::zero();
+  return toa;
+}
+
+}  // namespace oci::tdc

@@ -1,0 +1,104 @@
+#include "oci/tdc/rtl_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oci::tdc {
+
+RtlTdc::RtlTdc(DelayLine line, unsigned coarse_bits, Time clock_period,
+               ThermometerDecode decode)
+    : line_(std::move(line)),
+      coarse_bits_(coarse_bits),
+      clock_period_(clock_period),
+      decode_(decode) {
+  if (clock_period_ <= Time::zero()) {
+    throw std::invalid_argument("RtlTdc: clock period must be positive");
+  }
+  if (!line_.covers(clock_period_)) {
+    throw std::invalid_argument("RtlTdc: fine chain does not cover the clock period");
+  }
+  if (coarse_bits_ > 24) throw std::invalid_argument("RtlTdc: coarse bits out of range");
+}
+
+void RtlTdc::open_window() {
+  window_start_cycle_ = cycle_;
+  coarse_count_ = 0;
+  // A conversion still in flight keeps the pipeline busy; the paper's
+  // scheduling (MW includes the reset Rf) guarantees this does not
+  // happen when windows are spaced by MW.
+}
+
+bool RtlTdc::hit(Time t, util::RngStream& rng) {
+  if (state_ != State::kArmed) return false;
+  const double now_s = static_cast<double>(cycle_) * clock_period_.seconds();
+  if (t.seconds() < now_s) {
+    throw std::invalid_argument("RtlTdc: hit in the past");
+  }
+  // The chain is latched at the first rising edge at or after the hit;
+  // a hit exactly on an edge is captured by that edge with a zero
+  // interval (identical arithmetic to Tdc::convert so the two models
+  // agree code-for-code).
+  const auto latch_edge = static_cast<std::uint64_t>(
+      std::ceil(t.seconds() / clock_period_.seconds() - 1e-15));
+  const Time edge_time = clock_period_ * static_cast<double>(latch_edge);
+  const Time interval = edge_time - t;
+  // Physical latch value is determined now (the chain state at the
+  // edge); metastability is resolved by the sampling model.
+  latched_ = line_.sample(interval, rng);
+  latched_coarse_ = static_cast<unsigned>(latch_edge - window_start_cycle_);
+  pending_hit_ = t;
+  state_ = State::kWaitLatch;
+  return true;
+}
+
+std::optional<RtlConversion> RtlTdc::tick() {
+  ++cycle_;
+  coarse_count_ = static_cast<unsigned>(
+      (cycle_ - window_start_cycle_) &
+      ((std::uint64_t{1} << (coarse_bits_ == 0 ? 1 : coarse_bits_)) - 1));
+
+  switch (state_) {
+    case State::kArmed:
+      return std::nullopt;
+    case State::kWaitLatch: {
+      // Has the latch edge passed? The edge is at window cycle
+      // latched_coarse_; we are past it once cycle_ reaches it.
+      if (cycle_ - window_start_cycle_ >= latched_coarse_) {
+        state_ = State::kEncode;
+      }
+      return std::nullopt;
+    }
+    case State::kEncode: {
+      const std::size_t taps_per_period = line_.elements_used(clock_period_);
+      std::size_t fine = decode_thermometer(latched_, decode_);
+      fine = std::min(fine, taps_per_period);
+
+      RtlConversion conv;
+      conv.coarse = latched_coarse_;
+      conv.fine = fine;
+      conv.done_cycle = cycle_;
+      const std::uint64_t max_code =
+          (std::uint64_t{1} << coarse_bits_) * taps_per_period - 1;
+      const std::int64_t raw =
+          static_cast<std::int64_t>(latched_coarse_) *
+              static_cast<std::int64_t>(taps_per_period) -
+          static_cast<std::int64_t>(fine) - 1;
+      conv.code = static_cast<std::uint64_t>(
+          std::clamp<std::int64_t>(raw, 0, static_cast<std::int64_t>(max_code)));
+
+      // One full fine-range of reset: the paper's extra Rf in MW.
+      state_ = State::kReset;
+      reset_cycles_left_ = 1;
+      return conv;
+    }
+    case State::kReset: {
+      if (reset_cycles_left_ > 0) --reset_cycles_left_;
+      if (reset_cycles_left_ == 0) state_ = State::kArmed;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace oci::tdc

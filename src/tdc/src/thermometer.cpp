@@ -1,0 +1,58 @@
+#include "oci/tdc/thermometer.hpp"
+
+#include <algorithm>
+
+namespace oci::tdc {
+
+namespace {
+
+std::size_t ones_count(const ThermometerCode& code) {
+  return static_cast<std::size_t>(std::count(code.begin(), code.end(), std::uint8_t{1}));
+}
+
+std::size_t leading_ones(const ThermometerCode& code) {
+  std::size_t k = 0;
+  while (k < code.size() && code[k] == 1) ++k;
+  return k;
+}
+
+std::size_t majority_window(const ThermometerCode& code) {
+  if (code.size() < 3) return ones_count(code);
+  ThermometerCode filtered(code.size(), 0);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    // 3-tap neighbourhood with edge replication.
+    const std::uint8_t a = code[i == 0 ? 0 : i - 1];
+    const std::uint8_t b = code[i];
+    const std::uint8_t c = code[i + 1 < code.size() ? i + 1 : code.size() - 1];
+    filtered[i] = static_cast<std::uint8_t>((a + b + c) >= 2 ? 1 : 0);
+  }
+  return ones_count(filtered);
+}
+
+}  // namespace
+
+std::size_t decode_thermometer(const ThermometerCode& code, ThermometerDecode method) {
+  switch (method) {
+    case ThermometerDecode::kOnesCount:
+      return ones_count(code);
+    case ThermometerDecode::kLeadingOnes:
+      return leading_ones(code);
+    case ThermometerDecode::kMajorityWindow:
+      return majority_window(code);
+  }
+  return ones_count(code);
+}
+
+std::size_t count_bubbles(const ThermometerCode& code) {
+  const std::size_t k = ones_count(code);
+  std::size_t bubbles = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::uint8_t expected = i < k ? 1 : 0;
+    if (code[i] != expected) ++bubbles;
+  }
+  return bubbles;
+}
+
+bool is_clean(const ThermometerCode& code) { return count_bubbles(code) == 0; }
+
+}  // namespace oci::tdc

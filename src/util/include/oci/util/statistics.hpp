@@ -1,0 +1,84 @@
+// Streaming statistics and histogramming used by the calibration,
+// nonlinearity, and error-rate analyses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace oci::util {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples are counted
+/// separately so no data is silently lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_count(std::size_t bin, std::uint64_t count);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  [[nodiscard]] double bin_width() const { return width_; }
+  [[nodiscard]] std::span<const std::uint64_t> counts() const { return counts_; }
+
+  /// Fraction of in-range samples that fall into `bin`.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Wilson score interval for a binomial proportion; robust for the very
+/// small error probabilities typical of link error-rate measurements.
+struct ProportionEstimate {
+  double p = 0.0;     ///< point estimate successes/trials
+  double lo = 0.0;    ///< lower bound of the confidence interval
+  double hi = 0.0;    ///< upper bound of the confidence interval
+};
+
+/// z defaults to 1.96 (95% confidence).
+[[nodiscard]] ProportionEstimate wilson_interval(std::uint64_t successes,
+                                                 std::uint64_t trials,
+                                                 double z = 1.96);
+
+/// Linear interpolation of the q-quantile (0<=q<=1) of a sorted span.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+}  // namespace oci::util

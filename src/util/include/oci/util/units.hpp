@@ -1,0 +1,314 @@
+// Strong unit types for the physical quantities used throughout the
+// framework. Each quantity wraps a double in a canonical SI unit and is
+// convertible only through named factories/accessors, so a picosecond can
+// never silently be added to a nanometre.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace oci::util {
+
+/// CRTP base providing the shared arithmetic of a one-dimensional
+/// physical quantity stored as a double in its canonical SI unit.
+template <class Derived>
+class QuantityBase {
+ public:
+  constexpr QuantityBase() = default;
+
+  /// Raw value in the canonical SI unit of the derived quantity.
+  [[nodiscard]] constexpr double raw() const { return value_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived::from_raw(a.raw() + b.raw());
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived::from_raw(a.raw() - b.raw());
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived::from_raw(-a.raw()); }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived::from_raw(a.raw() * s);
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived::from_raw(s * a.raw());
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived::from_raw(a.raw() / s);
+  }
+  /// Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Derived a, Derived b) { return a.raw() / b.raw(); }
+
+  friend constexpr auto operator<=>(QuantityBase a, QuantityBase b) {
+    return a.value_ <=> b.value_;
+  }
+  friend constexpr bool operator==(QuantityBase a, QuantityBase b) {
+    return a.value_ == b.value_;
+  }
+
+  Derived& operator+=(Derived other) {
+    value_ += other.raw();
+    return derived();
+  }
+  Derived& operator-=(Derived other) {
+    value_ -= other.raw();
+    return derived();
+  }
+  Derived& operator*=(double s) {
+    value_ *= s;
+    return derived();
+  }
+
+ protected:
+  constexpr explicit QuantityBase(double v) : value_(v) {}
+  double value_ = 0.0;
+
+ private:
+  Derived& derived() { return static_cast<Derived&>(*this); }
+};
+
+#define OCI_QUANTITY_COMMON(Name)                          \
+  constexpr Name() = default;                              \
+  [[nodiscard]] static constexpr Name from_raw(double v) { \
+    Name q;                                                \
+    q.value_ = v;                                          \
+    return q;                                              \
+  }                                                        \
+  friend class QuantityBase<Name>;
+
+/// Simulation / physical time. Canonical unit: seconds.
+class Time : public QuantityBase<Time> {
+ public:
+  OCI_QUANTITY_COMMON(Time)
+  [[nodiscard]] static constexpr Time seconds(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr Time milliseconds(double v) { return from_raw(v * 1e-3); }
+  [[nodiscard]] static constexpr Time microseconds(double v) { return from_raw(v * 1e-6); }
+  [[nodiscard]] static constexpr Time nanoseconds(double v) { return from_raw(v * 1e-9); }
+  [[nodiscard]] static constexpr Time picoseconds(double v) { return from_raw(v * 1e-12); }
+  [[nodiscard]] static constexpr Time zero() { return from_raw(0.0); }
+  /// A time far beyond any simulation horizon; usable as a sentinel.
+  [[nodiscard]] static constexpr Time infinity() { return from_raw(1e300); }
+
+  [[nodiscard]] constexpr double seconds() const { return value_; }
+  [[nodiscard]] constexpr double milliseconds() const { return value_ * 1e3; }
+  [[nodiscard]] constexpr double microseconds() const { return value_ * 1e6; }
+  [[nodiscard]] constexpr double nanoseconds() const { return value_ * 1e9; }
+  [[nodiscard]] constexpr double picoseconds() const { return value_ * 1e12; }
+};
+
+/// Frequency / rate. Canonical unit: hertz (1/s).
+class Frequency : public QuantityBase<Frequency> {
+ public:
+  OCI_QUANTITY_COMMON(Frequency)
+  [[nodiscard]] static constexpr Frequency hertz(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr Frequency kilohertz(double v) { return from_raw(v * 1e3); }
+  [[nodiscard]] static constexpr Frequency megahertz(double v) { return from_raw(v * 1e6); }
+  [[nodiscard]] static constexpr Frequency gigahertz(double v) { return from_raw(v * 1e9); }
+
+  [[nodiscard]] constexpr double hertz() const { return value_; }
+  [[nodiscard]] constexpr double kilohertz() const { return value_ * 1e-3; }
+  [[nodiscard]] constexpr double megahertz() const { return value_ * 1e-6; }
+  [[nodiscard]] constexpr double gigahertz() const { return value_ * 1e-9; }
+
+  /// Period of one cycle. Undefined for zero frequency.
+  [[nodiscard]] constexpr Time period() const { return Time::seconds(1.0 / value_); }
+};
+
+/// Data throughput. Canonical unit: bits per second.
+class BitRate : public QuantityBase<BitRate> {
+ public:
+  OCI_QUANTITY_COMMON(BitRate)
+  [[nodiscard]] static constexpr BitRate bits_per_second(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr BitRate kilobits_per_second(double v) { return from_raw(v * 1e3); }
+  [[nodiscard]] static constexpr BitRate megabits_per_second(double v) { return from_raw(v * 1e6); }
+  [[nodiscard]] static constexpr BitRate gigabits_per_second(double v) { return from_raw(v * 1e9); }
+
+  [[nodiscard]] constexpr double bits_per_second() const { return value_; }
+  [[nodiscard]] constexpr double megabits_per_second() const { return value_ * 1e-6; }
+  [[nodiscard]] constexpr double gigabits_per_second() const { return value_ * 1e-9; }
+};
+
+/// Energy. Canonical unit: joules.
+class Energy : public QuantityBase<Energy> {
+ public:
+  OCI_QUANTITY_COMMON(Energy)
+  [[nodiscard]] static constexpr Energy joules(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr Energy millijoules(double v) { return from_raw(v * 1e-3); }
+  [[nodiscard]] static constexpr Energy microjoules(double v) { return from_raw(v * 1e-6); }
+  [[nodiscard]] static constexpr Energy nanojoules(double v) { return from_raw(v * 1e-9); }
+  [[nodiscard]] static constexpr Energy picojoules(double v) { return from_raw(v * 1e-12); }
+  [[nodiscard]] static constexpr Energy femtojoules(double v) { return from_raw(v * 1e-15); }
+  [[nodiscard]] static constexpr Energy zero() { return from_raw(0.0); }
+
+  [[nodiscard]] constexpr double joules() const { return value_; }
+  [[nodiscard]] constexpr double nanojoules() const { return value_ * 1e9; }
+  [[nodiscard]] constexpr double picojoules() const { return value_ * 1e12; }
+  [[nodiscard]] constexpr double femtojoules() const { return value_ * 1e15; }
+};
+
+/// Power (electrical or optical). Canonical unit: watts.
+class Power : public QuantityBase<Power> {
+ public:
+  OCI_QUANTITY_COMMON(Power)
+  [[nodiscard]] static constexpr Power watts(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr Power milliwatts(double v) { return from_raw(v * 1e-3); }
+  [[nodiscard]] static constexpr Power microwatts(double v) { return from_raw(v * 1e-6); }
+  [[nodiscard]] static constexpr Power nanowatts(double v) { return from_raw(v * 1e-9); }
+  [[nodiscard]] static constexpr Power zero() { return from_raw(0.0); }
+
+  [[nodiscard]] constexpr double watts() const { return value_; }
+  [[nodiscard]] constexpr double milliwatts() const { return value_ * 1e3; }
+  [[nodiscard]] constexpr double microwatts() const { return value_ * 1e6; }
+  [[nodiscard]] constexpr double nanowatts() const { return value_ * 1e9; }
+};
+
+/// Geometric length. Canonical unit: metres.
+class Length : public QuantityBase<Length> {
+ public:
+  OCI_QUANTITY_COMMON(Length)
+  [[nodiscard]] static constexpr Length metres(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr Length millimetres(double v) { return from_raw(v * 1e-3); }
+  [[nodiscard]] static constexpr Length micrometres(double v) { return from_raw(v * 1e-6); }
+  [[nodiscard]] static constexpr Length nanometres(double v) { return from_raw(v * 1e-9); }
+
+  [[nodiscard]] constexpr double metres() const { return value_; }
+  [[nodiscard]] constexpr double millimetres() const { return value_ * 1e3; }
+  [[nodiscard]] constexpr double micrometres() const { return value_ * 1e6; }
+  [[nodiscard]] constexpr double nanometres() const { return value_ * 1e9; }
+};
+
+/// Area. Canonical unit: square metres.
+class Area : public QuantityBase<Area> {
+ public:
+  OCI_QUANTITY_COMMON(Area)
+  [[nodiscard]] static constexpr Area square_metres(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr Area square_millimetres(double v) { return from_raw(v * 1e-6); }
+  [[nodiscard]] static constexpr Area square_micrometres(double v) { return from_raw(v * 1e-12); }
+
+  [[nodiscard]] constexpr double square_metres() const { return value_; }
+  [[nodiscard]] constexpr double square_millimetres() const { return value_ * 1e6; }
+  [[nodiscard]] constexpr double square_micrometres() const { return value_ * 1e12; }
+};
+
+/// Temperature. Canonical unit: kelvin.
+class Temperature : public QuantityBase<Temperature> {
+ public:
+  OCI_QUANTITY_COMMON(Temperature)
+  [[nodiscard]] static constexpr Temperature kelvin(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr Temperature celsius(double v) { return from_raw(v + 273.15); }
+
+  [[nodiscard]] constexpr double kelvin() const { return value_; }
+  [[nodiscard]] constexpr double celsius() const { return value_ - 273.15; }
+};
+
+/// Capacitance. Canonical unit: farads.
+class Capacitance : public QuantityBase<Capacitance> {
+ public:
+  OCI_QUANTITY_COMMON(Capacitance)
+  [[nodiscard]] static constexpr Capacitance farads(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr Capacitance picofarads(double v) { return from_raw(v * 1e-12); }
+  [[nodiscard]] static constexpr Capacitance femtofarads(double v) { return from_raw(v * 1e-15); }
+
+  [[nodiscard]] constexpr double farads() const { return value_; }
+  [[nodiscard]] constexpr double picofarads() const { return value_ * 1e12; }
+  [[nodiscard]] constexpr double femtofarads() const { return value_ * 1e15; }
+};
+
+/// Inductance. Canonical unit: henries.
+class Inductance : public QuantityBase<Inductance> {
+ public:
+  OCI_QUANTITY_COMMON(Inductance)
+  [[nodiscard]] static constexpr Inductance henries(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr Inductance nanohenries(double v) { return from_raw(v * 1e-9); }
+
+  [[nodiscard]] constexpr double henries() const { return value_; }
+  [[nodiscard]] constexpr double nanohenries() const { return value_ * 1e9; }
+};
+
+/// Voltage. Canonical unit: volts.
+class Voltage : public QuantityBase<Voltage> {
+ public:
+  OCI_QUANTITY_COMMON(Voltage)
+  [[nodiscard]] static constexpr Voltage volts(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr Voltage millivolts(double v) { return from_raw(v * 1e-3); }
+
+  [[nodiscard]] constexpr double volts() const { return value_; }
+  [[nodiscard]] constexpr double millivolts() const { return value_ * 1e3; }
+};
+
+/// Electric current. Canonical unit: amperes.
+class Current : public QuantityBase<Current> {
+ public:
+  OCI_QUANTITY_COMMON(Current)
+  [[nodiscard]] static constexpr Current amperes(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr Current milliamperes(double v) { return from_raw(v * 1e-3); }
+
+  [[nodiscard]] constexpr double amperes() const { return value_; }
+  [[nodiscard]] constexpr double milliamperes() const { return value_ * 1e3; }
+};
+
+/// Optical wavelength. Canonical unit: metres (kept distinct from Length
+/// so a geometric thickness cannot be passed where a wavelength is meant).
+class Wavelength : public QuantityBase<Wavelength> {
+ public:
+  OCI_QUANTITY_COMMON(Wavelength)
+  [[nodiscard]] static constexpr Wavelength metres(double v) { return from_raw(v); }
+  [[nodiscard]] static constexpr Wavelength nanometres(double v) { return from_raw(v * 1e-9); }
+  [[nodiscard]] static constexpr Wavelength micrometres(double v) { return from_raw(v * 1e-6); }
+
+  [[nodiscard]] constexpr double metres() const { return value_; }
+  [[nodiscard]] constexpr double nanometres() const { return value_ * 1e9; }
+  [[nodiscard]] constexpr double micrometres() const { return value_ * 1e6; }
+};
+
+#undef OCI_QUANTITY_COMMON
+
+// --- Physically meaningful cross-quantity operators -----------------------
+
+/// Energy = Power x Time.
+constexpr Energy operator*(Power p, Time t) { return Energy::joules(p.raw() * t.raw()); }
+constexpr Energy operator*(Time t, Power p) { return p * t; }
+/// Power = Energy / Time.
+constexpr Power operator/(Energy e, Time t) { return Power::watts(e.raw() / t.raw()); }
+/// Time = Energy / Power.
+constexpr Time operator/(Energy e, Power p) { return Time::seconds(e.raw() / p.raw()); }
+/// Frequency = 1 / Time (expressed via a named helper to avoid 1.0/Time).
+constexpr Frequency inverse(Time t) { return Frequency::hertz(1.0 / t.raw()); }
+/// Dimensionless count x Time.
+constexpr Time operator*(std::int64_t n, Time t) {
+  return Time::seconds(static_cast<double>(n) * t.raw());
+}
+/// Bits / Time = BitRate.
+constexpr BitRate bits_over(double bits, Time t) {
+  return BitRate::bits_per_second(bits / t.raw());
+}
+/// Energy = Capacitance x Voltage^2 (switching energy of a CMOS node).
+constexpr Energy switching_energy(Capacitance c, Voltage v) {
+  return Energy::joules(c.raw() * v.raw() * v.raw());
+}
+
+// --- Physical constants ----------------------------------------------------
+
+namespace constants {
+/// Planck constant [J s].
+inline constexpr double kPlanck = 6.62607015e-34;
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 2.99792458e8;
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+}  // namespace constants
+
+/// Energy of a single photon at the given wavelength: E = h c / lambda.
+constexpr Energy photon_energy(Wavelength lambda) {
+  return Energy::joules(constants::kPlanck * constants::kSpeedOfLight / lambda.metres());
+}
+
+/// Mean number of photons contained in an optical pulse of the given
+/// energy at the given wavelength.
+constexpr double photon_count(Energy pulse, Wavelength lambda) {
+  return pulse.joules() / photon_energy(lambda).joules();
+}
+
+}  // namespace oci::util

@@ -1,0 +1,70 @@
+#include "oci/util/random.hpp"
+
+namespace oci::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t root, std::string_view label) {
+  std::uint64_t state = root ^ 0xA0761D6478BD642Full;
+  // Fold the label into the state one byte at a time, mixing after each.
+  for (unsigned char c : label) {
+    state ^= static_cast<std::uint64_t>(c);
+    (void)splitmix64(state);
+  }
+  return splitmix64(state);
+}
+
+double RngStream::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double RngStream::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double RngStream::normal(double mean, double sigma) {
+  return std::normal_distribution<double>(mean, sigma)(engine_);
+}
+
+double RngStream::exponential_mean(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+std::int64_t RngStream::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  return std::poisson_distribution<std::int64_t>(mean)(engine_);
+}
+
+bool RngStream::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+Time RngStream::uniform_time(Time range) {
+  return Time::seconds(uniform(0.0, range.seconds()));
+}
+
+Time RngStream::normal_time(Time mean, Time sigma) {
+  return Time::seconds(normal(mean.seconds(), sigma.seconds()));
+}
+
+Time RngStream::exponential_time(Time mean) {
+  return Time::seconds(exponential_mean(mean.seconds()));
+}
+
+RngStream RngStream::fork(std::string_view label) {
+  return RngStream(engine_(), label);
+}
+
+}  // namespace oci::util

@@ -1,0 +1,89 @@
+// Unit tests for the reporting/analysis helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "oci/analysis/report.hpp"
+
+namespace {
+
+using namespace oci::analysis;
+
+TEST(Report, BannerContainsIdAndSeed) {
+  std::ostringstream os;
+  print_banner(os, "Figure 3", "TDC DNL", 42);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Figure 3"), std::string::npos);
+  EXPECT_NE(s.find("TDC DNL"), std::string::npos);
+  EXPECT_NE(s.find("seed = 42"), std::string::npos);
+}
+
+TEST(AsciiProfile, RendersOneRowPerSample) {
+  std::ostringstream os;
+  const std::vector<double> v{0.5, -0.5, 0.0, 1.0};
+  ascii_profile(os, v, 1.0, 48, 10);
+  std::size_t lines = 0;
+  for (char c : os.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+  EXPECT_NE(os.str().find('#'), std::string::npos);
+  EXPECT_NE(os.str().find('|'), std::string::npos);
+}
+
+TEST(AsciiProfile, DecimatesLongProfiles) {
+  std::ostringstream os;
+  std::vector<double> v(1000, 0.1);
+  ascii_profile(os, v, 1.0, 50, 10);
+  std::size_t lines = 0;
+  for (char c : os.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_LE(lines, 51u);
+}
+
+TEST(AsciiProfile, EmptyAndBadScaleAreNoops) {
+  std::ostringstream os;
+  ascii_profile(os, {}, 1.0);
+  EXPECT_TRUE(os.str().empty());
+  const std::vector<double> v{1.0};
+  ascii_profile(os, v, 0.0);
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(AsciiShademap, RendersGrid) {
+  std::ostringstream os;
+  const std::vector<std::vector<double>> field{{0.0, 1.0}, {2.0, 3.0}};
+  ascii_shademap(os, field, {"r0", "r1"}, {"c0", "c1"});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("r0"), std::string::npos);
+  EXPECT_NE(s.find("r1"), std::string::npos);
+  EXPECT_NE(s.find('@'), std::string::npos);  // max value gets top ramp char
+}
+
+TEST(AsciiShademap, EmptyFieldIsNoop) {
+  std::ostringstream os;
+  ascii_shademap(os, {}, {}, {});
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(ContourCrossings, FindsInterpolatedCrossing) {
+  const std::vector<double> row{0.0, 1.0, 2.0, 3.0};
+  const auto xs = contour_crossings(row, 1.5);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_NEAR(xs[0], 1.5, 1e-12);
+}
+
+TEST(ContourCrossings, MultipleCrossings) {
+  const std::vector<double> row{0.0, 2.0, 0.0, 2.0};
+  const auto xs = contour_crossings(row, 1.0);
+  EXPECT_EQ(xs.size(), 3u);
+}
+
+TEST(ContourCrossings, NoCrossing) {
+  const std::vector<double> row{5.0, 6.0, 7.0};
+  EXPECT_TRUE(contour_crossings(row, 1.0).empty());
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Tests for the VCD writer and the cycle-accurate RTL TDC model,
+// including behavioural-vs-RTL equivalence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "oci/sim/vcd.hpp"
+#include "oci/tdc/rtl_model.hpp"
+#include "oci/tdc/tdc.hpp"
+
+namespace {
+
+using namespace oci;
+using util::RngStream;
+using util::Time;
+
+// ---------- VCD ----------
+
+TEST(Vcd, IdentifiersAreUniqueAndPrintable) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < 500; ++i) {
+    const std::string id = sim::vcd_identifier(i);
+    EXPECT_FALSE(id.empty());
+    for (char c : id) {
+      EXPECT_GE(c, '!');
+      EXPECT_LE(c, '~');
+    }
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id at " << i;
+  }
+}
+
+TEST(Vcd, DocumentStructure) {
+  sim::Trace trace;
+  trace.record(Time::nanoseconds(1.0), "clk", 1.0);
+  trace.record(Time::nanoseconds(2.0), "clk", 0.0);
+  trace.record(Time::nanoseconds(2.0), "data", 42.0);
+  std::ostringstream os;
+  sim::write_vcd(os, trace);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(s.find("$var real 64 ! clk $end"), std::string::npos);
+  EXPECT_NE(s.find("$var real 64 \" data $end"), std::string::npos);
+  EXPECT_NE(s.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(s.find("#1000"), std::string::npos);  // 1 ns at 1 ps timescale
+  EXPECT_NE(s.find("#2000"), std::string::npos);
+  EXPECT_NE(s.find("r42 "), std::string::npos);
+}
+
+TEST(Vcd, DeterministicOutput) {
+  sim::Trace trace;
+  trace.record(Time::nanoseconds(1.0), "a", 1.0);
+  std::ostringstream a, b;
+  sim::write_vcd(a, trace);
+  sim::write_vcd(b, trace);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Vcd, EmptyTraceStillValid) {
+  sim::Trace trace;
+  std::ostringstream os;
+  sim::write_vcd(os, trace);
+  EXPECT_NE(os.str().find("$enddefinitions"), std::string::npos);
+}
+
+TEST(Vcd, CustomTimescaleQuantises) {
+  sim::Trace trace;
+  trace.record(Time::nanoseconds(1.5), "x", 3.0);
+  sim::VcdOptions opt;
+  opt.timescale = Time::nanoseconds(1.0);
+  std::ostringstream os;
+  sim::write_vcd(os, trace, opt);
+  EXPECT_NE(os.str().find("$timescale 1000ps"), std::string::npos);
+  EXPECT_NE(os.str().find("#2"), std::string::npos);  // 1.5 ns rounds to tick 2
+}
+
+// ---------- RTL TDC ----------
+
+tdc::DelayLine ideal_line(std::size_t n = 96) {
+  tdc::DelayLineParams p;
+  p.elements = n;
+  p.nominal_delay = Time::picoseconds(52.0);
+  p.mismatch_sigma = 0.0;
+  p.metastability_window = Time::zero();
+  RngStream rng(31337);
+  return tdc::DelayLine(p, rng);
+}
+
+TEST(RtlTdc, PipelineSequence) {
+  tdc::RtlTdc rtl(ideal_line(), 3, Time::nanoseconds(4.992));
+  RngStream rng(1);
+  rtl.open_window();
+  EXPECT_FALSE(rtl.busy());
+
+  // Hit mid-way through cycle 1's period.
+  ASSERT_TRUE(rtl.hit(Time::nanoseconds(7.0), rng));
+  EXPECT_TRUE(rtl.busy());
+  // A second hit while busy is rejected (single conversion per window).
+  EXPECT_FALSE(rtl.hit(Time::nanoseconds(8.0), rng));
+
+  std::optional<tdc::RtlConversion> conv;
+  int ticks = 0;
+  while (!conv && ticks < 10) {
+    conv = rtl.tick();
+    ++ticks;
+  }
+  ASSERT_TRUE(conv.has_value());
+  EXPECT_EQ(conv->coarse, 2u);  // latched on edge 2 (t = 9.98 ns)
+  // After the reset cycle the converter is armed again.
+  (void)rtl.tick();
+  EXPECT_FALSE(rtl.busy());
+}
+
+TEST(RtlTdc, MatchesBehaviouralModel) {
+  // Drive both models with the same set of TOAs; codes must agree.
+  const Time period = Time::nanoseconds(4.992);
+  tdc::TdcConfig cfg;
+  cfg.coarse_bits = 3;
+  cfg.clock_period = period;
+  cfg.decode = tdc::ThermometerDecode::kOnesCount;
+  const tdc::Tdc behavioural(ideal_line(), cfg);
+
+  RngStream rng(2);
+  for (double frac : {0.01, 0.1, 0.37, 0.5, 0.77, 0.93, 0.999}) {
+    const Time toa = Time::seconds(behavioural.toa_window().seconds() * frac);
+    const auto expected = behavioural.convert_ideal(toa);
+
+    tdc::RtlTdc rtl(ideal_line(), 3, period, tdc::ThermometerDecode::kOnesCount);
+    rtl.open_window();
+    ASSERT_TRUE(rtl.hit(toa, rng)) << "frac " << frac;
+    std::optional<tdc::RtlConversion> conv;
+    for (int t = 0; t < 20 && !conv; ++t) conv = rtl.tick();
+    ASSERT_TRUE(conv.has_value()) << "frac " << frac;
+    EXPECT_EQ(conv->code, expected.code) << "frac " << frac;
+    EXPECT_EQ(conv->coarse, expected.coarse) << "frac " << frac;
+    EXPECT_EQ(conv->fine, expected.fine) << "frac " << frac;
+  }
+}
+
+TEST(RtlTdc, ConversionLatencyBounded) {
+  // The result must retire within latch + encode cycles of the hit's
+  // latch edge, and the reset adds exactly one more cycle of busy.
+  tdc::RtlTdc rtl(ideal_line(), 2, Time::nanoseconds(4.992));
+  RngStream rng(3);
+  rtl.open_window();
+  ASSERT_TRUE(rtl.hit(Time::nanoseconds(2.0), rng));
+  std::optional<tdc::RtlConversion> conv;
+  std::uint64_t ticks = 0;
+  while (!conv) {
+    conv = rtl.tick();
+    ++ticks;
+    ASSERT_LE(ticks, 5u);
+  }
+  EXPECT_LE(conv->done_cycle, conv->coarse + 2u);
+}
+
+TEST(RtlTdc, HitInPastThrows) {
+  tdc::RtlTdc rtl(ideal_line(), 2, Time::nanoseconds(4.992));
+  RngStream rng(4);
+  for (int i = 0; i < 4; ++i) (void)rtl.tick();
+  EXPECT_THROW(rtl.hit(Time::nanoseconds(1.0), rng), std::invalid_argument);
+}
+
+TEST(RtlTdc, RejectsUncoveringChain) {
+  EXPECT_THROW(tdc::RtlTdc(ideal_line(8), 2, Time::nanoseconds(4.992)),
+               std::invalid_argument);
+}
+
+TEST(RtlTdc, BackToBackWindows) {
+  // Two conversions in consecutive windows, checking re-arm.
+  const Time period = Time::nanoseconds(4.992);
+  tdc::RtlTdc rtl(ideal_line(), 2, period);
+  RngStream rng(5);
+
+  rtl.open_window();
+  ASSERT_TRUE(rtl.hit(Time::nanoseconds(3.0), rng));
+  std::optional<tdc::RtlConversion> first;
+  while (!first) first = rtl.tick();
+  // Drain reset.
+  while (rtl.busy()) (void)rtl.tick();
+
+  rtl.open_window();
+  const double now = static_cast<double>(rtl.cycle()) * period.seconds();
+  ASSERT_TRUE(rtl.hit(Time::seconds(now + 2e-9), rng));
+  std::optional<tdc::RtlConversion> second;
+  int guard = 0;
+  while (!second && guard++ < 20) second = rtl.tick();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT(second->done_cycle, first->done_cycle);
+}
+
+}  // namespace

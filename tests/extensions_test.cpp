@@ -1,0 +1,274 @@
+// Tests for the framework's extension modules: SPAD array receiver,
+// Vernier TDC, Hamming(8,4) FEC, and the parallel channel array.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "oci/link/channel_array.hpp"
+#include "oci/modulation/fec.hpp"
+#include "oci/spad/array.hpp"
+#include "oci/tdc/vernier.hpp"
+
+namespace {
+
+using namespace oci;
+using util::Length;
+using util::RngStream;
+using util::Time;
+using util::Wavelength;
+
+// ---------- SPAD array ----------
+
+spad::SpadArrayParams quiet_array(std::size_t m) {
+  spad::SpadArrayParams p;
+  p.diodes = m;
+  p.fill_factor = 1.0;
+  p.element.pdp_peak = 0.999;
+  p.element.dcr_at_ref = util::Frequency::hertz(0.0);
+  p.element.afterpulse_probability = 0.0;
+  p.element.jitter_sigma = Time::zero();
+  p.element.dead_time = Time::nanoseconds(40.0);
+  return p;
+}
+
+TEST(SpadArray, EffectiveDeadTimeScalesInverse) {
+  const spad::SpadArray arr(quiet_array(4), Wavelength::nanometres(480.0));
+  EXPECT_DOUBLE_EQ(arr.effective_dead_time().nanoseconds(), 10.0);
+}
+
+TEST(SpadArray, DetectionProbabilityMatchesSingle) {
+  const spad::SpadArray arr(quiet_array(4), Wavelength::nanometres(480.0));
+  const spad::Spad single(quiet_array(1).element, Wavelength::nanometres(480.0));
+  EXPECT_NEAR(arr.pulse_detection_probability(3.0),
+              single.pulse_detection_probability(3.0), 1e-12);
+}
+
+TEST(SpadArray, FillFactorReducesPdp) {
+  auto p = quiet_array(4);
+  p.fill_factor = 0.5;
+  const spad::SpadArray arr(p, Wavelength::nanometres(480.0));
+  EXPECT_NEAR(arr.pdp(), 0.999 * 0.5, 1e-9);
+}
+
+TEST(SpadArray, SustainsHigherRateThanSingleDiode) {
+  // Photons every 15 ns; a single 40 ns diode catches ~1/3, a 4-diode
+  // array catches nearly all.
+  const Wavelength wl = Wavelength::nanometres(480.0);
+  const spad::SpadArray arr(quiet_array(4), wl);
+  const spad::Spad single(quiet_array(1).element, wl);
+  RngStream rng(701);
+
+  std::vector<photonics::PhotonArrival> photons;
+  for (int i = 0; i < 200; ++i) photons.push_back({Time::nanoseconds(15.0 * i), true});
+  const Time window = Time::microseconds(3.01);
+
+  std::vector<Time> dead(4, Time::zero());
+  const auto array_dets = arr.detect(photons, Time::zero(), window, rng, dead);
+  const auto single_dets = single.detect(photons, Time::zero(), window, rng);
+
+  EXPECT_GT(array_dets.size(), single_dets.size() * 2);
+  EXPECT_GT(array_dets.size(), 180u);  // nearly every photon lands on a live diode
+}
+
+TEST(SpadArray, MergedDetectionsSorted) {
+  const spad::SpadArray arr(quiet_array(3), Wavelength::nanometres(480.0));
+  RngStream rng(709);
+  std::vector<photonics::PhotonArrival> photons;
+  for (int i = 0; i < 100; ++i) photons.push_back({Time::nanoseconds(7.0 * i), true});
+  std::vector<Time> dead(3, Time::zero());
+  const auto dets = arr.detect(photons, Time::zero(), Time::microseconds(1.0), rng, dead);
+  for (std::size_t i = 1; i < dets.size(); ++i) {
+    EXPECT_LE(dets[i - 1].time.seconds(), dets[i].time.seconds());
+  }
+}
+
+TEST(SpadArray, RejectsBadParams) {
+  auto p = quiet_array(0);
+  EXPECT_THROW(spad::SpadArray(p, Wavelength::nanometres(480.0)), std::invalid_argument);
+  p = quiet_array(2);
+  p.fill_factor = 0.0;
+  EXPECT_THROW(spad::SpadArray(p, Wavelength::nanometres(480.0)), std::invalid_argument);
+  const spad::SpadArray arr(quiet_array(2), Wavelength::nanometres(480.0));
+  std::vector<Time> wrong_size(3, Time::zero());
+  RngStream rng(719);
+  EXPECT_THROW(arr.detect({}, Time::zero(), Time::microseconds(1.0), rng, wrong_size),
+               std::invalid_argument);
+}
+
+// ---------- Vernier TDC ----------
+
+TEST(Vernier, ResolutionIsDelayDifference) {
+  tdc::VernierParams p;
+  p.slow_delay = Time::picoseconds(60.0);
+  p.fast_delay = Time::picoseconds(52.0);
+  p.mismatch_sigma = 0.0;
+  RngStream rng(727);
+  const tdc::VernierTdc v(p, rng);
+  EXPECT_NEAR(v.resolution().picoseconds(), 8.0, 1e-9);
+  EXPECT_NEAR(v.range().picoseconds(), 8.0 * 64, 1e-6);
+}
+
+TEST(Vernier, SubGateResolution) {
+  // The point of the Vernier: resolution finer than either gate delay.
+  tdc::VernierParams p;
+  RngStream rng(733);
+  const tdc::VernierTdc v(p, rng);
+  EXPECT_LT(v.resolution().seconds(), p.fast_delay.seconds());
+}
+
+TEST(Vernier, ConvertIdealStaircase) {
+  tdc::VernierParams p;
+  p.mismatch_sigma = 0.0;
+  RngStream rng(739);
+  const tdc::VernierTdc v(p, rng);
+  EXPECT_EQ(v.convert(Time::zero()), 0u);
+  EXPECT_EQ(v.convert(Time::picoseconds(7.9)), 1u);
+  EXPECT_EQ(v.convert(Time::picoseconds(8.1)), 2u);
+  EXPECT_EQ(v.convert(Time::picoseconds(39.9)), 5u);
+  // Saturates at the stage count.
+  EXPECT_EQ(v.convert(Time::nanoseconds(100.0)), 64u);
+}
+
+TEST(Vernier, MonotoneUnderMismatch) {
+  tdc::VernierParams p;
+  p.mismatch_sigma = 0.05;
+  RngStream rng(743);
+  const tdc::VernierTdc v(p, rng);
+  std::size_t prev = 0;
+  for (int i = 0; i <= 600; ++i) {
+    const auto code = v.convert(Time::picoseconds(i));
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+}
+
+TEST(Vernier, ConversionTimeTradeoff) {
+  // Finer resolution costs conversion time: stages x slow delay, much
+  // longer than the single-line TDC's one clock period.
+  tdc::VernierParams p;
+  RngStream rng(751);
+  const tdc::VernierTdc v(p, rng);
+  EXPECT_NEAR(v.conversion_time().nanoseconds(), 64 * 0.060, 1e-9);
+}
+
+TEST(Vernier, RejectsBadParams) {
+  tdc::VernierParams p;
+  p.slow_delay = Time::picoseconds(50.0);  // slower than fast? no: equal/less
+  p.fast_delay = Time::picoseconds(52.0);
+  RngStream rng(757);
+  EXPECT_THROW(tdc::VernierTdc(p, rng), std::invalid_argument);
+  p = tdc::VernierParams{};
+  p.stages = 0;
+  EXPECT_THROW(tdc::VernierTdc(p, rng), std::invalid_argument);
+}
+
+// ---------- Hamming (8,4) ----------
+
+TEST(Hamming84, RoundTripAllNibbles) {
+  for (std::uint8_t n = 0; n < 16; ++n) {
+    const auto r = modulation::Hamming84::decode(modulation::Hamming84::encode(n));
+    EXPECT_EQ(r.nibble, n);
+    EXPECT_FALSE(r.corrected);
+    EXPECT_FALSE(r.double_error);
+  }
+}
+
+TEST(Hamming84, CorrectsEverySingleBitError) {
+  for (std::uint8_t n = 0; n < 16; ++n) {
+    const std::uint8_t cw = modulation::Hamming84::encode(n);
+    for (unsigned b = 0; b < 8; ++b) {
+      const auto r =
+          modulation::Hamming84::decode(static_cast<std::uint8_t>(cw ^ (1u << b)));
+      EXPECT_EQ(r.nibble, n) << "nibble " << int(n) << " bit " << b;
+      EXPECT_TRUE(r.corrected);
+      EXPECT_FALSE(r.double_error);
+    }
+  }
+}
+
+TEST(Hamming84, DetectsEveryDoubleBitError) {
+  for (std::uint8_t n = 0; n < 16; ++n) {
+    const std::uint8_t cw = modulation::Hamming84::encode(n);
+    for (unsigned a = 0; a < 8; ++a) {
+      for (unsigned b = a + 1; b < 8; ++b) {
+        const auto r = modulation::Hamming84::decode(
+            static_cast<std::uint8_t>(cw ^ (1u << a) ^ (1u << b)));
+        EXPECT_TRUE(r.double_error) << "nibble " << int(n) << " bits " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(Hamming84, ByteVectorRoundTrip) {
+  const std::vector<std::uint8_t> data{0x00, 0xFF, 0xA5, 0x3C, 0x7E};
+  const auto coded = modulation::Hamming84::encode_bytes(data);
+  EXPECT_EQ(coded.size(), data.size() * 2);
+  const auto decoded = modulation::Hamming84::decode_bytes(coded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->data, data);
+  EXPECT_EQ(decoded->corrections, 0u);
+}
+
+TEST(Hamming84, ByteVectorCorrectsScatteredErrors) {
+  const std::vector<std::uint8_t> data{0xDE, 0xAD, 0xBE, 0xEF};
+  auto coded = modulation::Hamming84::encode_bytes(data);
+  coded[0] ^= 0x10;  // one flipped bit per codeword is correctable
+  coded[3] ^= 0x02;
+  coded[7] ^= 0x40;
+  const auto decoded = modulation::Hamming84::decode_bytes(coded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->data, data);
+  EXPECT_EQ(decoded->corrections, 3u);
+}
+
+TEST(Hamming84, ByteVectorFlagsDoubleError) {
+  auto coded = modulation::Hamming84::encode_bytes({0x42});
+  coded[1] ^= 0x21;  // two bits in one codeword
+  EXPECT_FALSE(modulation::Hamming84::decode_bytes(coded).has_value());
+  EXPECT_FALSE(modulation::Hamming84::decode_bytes({0x01}).has_value());  // odd size
+}
+
+// ---------- channel array ----------
+
+link::ChannelArrayConfig array_config() {
+  link::ChannelArrayConfig c;
+  c.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  c.crosstalk.decay_length = Length::micrometres(25.0);
+  return c;
+}
+
+TEST(ChannelArray, CrosstalkDropsWithPitch) {
+  const auto cfg = array_config();
+  const auto tight = link::evaluate_pitch(cfg, Length::micrometres(30.0));
+  const auto loose = link::evaluate_pitch(cfg, Length::micrometres(200.0));
+  EXPECT_GT(tight.p_crosstalk_capture, loose.p_crosstalk_capture);
+  EXPECT_LT(loose.p_crosstalk_capture, 0.01);
+}
+
+TEST(ChannelArray, DensityFloorsAtEndpointSize) {
+  const auto cfg = array_config();
+  const auto a = link::evaluate_pitch(cfg, Length::micrometres(10.0));
+  const auto b = link::evaluate_pitch(cfg, Length::micrometres(40.0));
+  // Pitch below the endpoint side cannot pack tighter.
+  EXPECT_DOUBLE_EQ(a.channels_per_mm, b.channels_per_mm);
+}
+
+TEST(ChannelArray, BestPitchIsInterior) {
+  const auto cfg = array_config();
+  const auto best =
+      link::best_pitch(cfg, Length::micrometres(20.0), Length::micrometres(500.0), 64);
+  // The optimum balances crosstalk against density: away from both ends.
+  EXPECT_GT(best.pitch.micrometres(), 25.0);
+  EXPECT_LT(best.pitch.micrometres(), 400.0);
+  EXPECT_GT(best.bandwidth_density_gbps_mm, 0.0);
+}
+
+TEST(ChannelArray, RejectsBadInputs) {
+  const auto cfg = array_config();
+  EXPECT_THROW(link::evaluate_pitch(cfg, Length::metres(0.0)), std::invalid_argument);
+  EXPECT_THROW(link::best_pitch(cfg, Length::micrometres(100.0),
+                                Length::micrometres(50.0), 8),
+               std::invalid_argument);
+}
+
+}  // namespace

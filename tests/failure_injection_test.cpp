@@ -1,0 +1,142 @@
+// Failure injection: degrade or kill individual hardware elements and
+// check the system's documented degradation story rather than silent
+// corruption.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "oci/link/optical_link.hpp"
+#include "oci/link/rs_link.hpp"
+#include "oci/spad/array.hpp"
+#include "oci/util/random.hpp"
+
+using namespace oci;
+using util::RngStream;
+using util::Time;
+
+// ---------- dead diode in a SPAD array ----------
+
+TEST(FailureInjection, ArrayToleratesOnePermanentlyDeadDiode) {
+  spad::SpadArrayParams p;
+  p.diodes = 4;
+  p.fill_factor = 1.0;
+  p.element.pdp_peak = 0.999;
+  p.element.dcr_at_ref = util::Frequency::hertz(0.0);
+  p.element.afterpulse_probability = 0.0;
+  p.element.jitter_sigma = Time::zero();
+  p.element.dead_time = Time::nanoseconds(40.0);
+  const spad::SpadArray arr(p, util::Wavelength::nanometres(480.0));
+  RngStream rng(443);
+
+  std::vector<photonics::PhotonArrival> photons;
+  for (int i = 0; i < 200; ++i) photons.push_back({Time::nanoseconds(15.0 * i), true});
+
+  // Diode 0 never recovers: the load balancer must route around it.
+  std::vector<Time> dead(4, Time::zero());
+  dead[0] = Time::seconds(std::numeric_limits<double>::max());
+  const auto dets = arr.detect(photons, Time::zero(), Time::microseconds(3.01), rng, dead);
+  // Three live diodes with 40 ns recovery against 15 ns arrivals still
+  // catch the overwhelming majority.
+  EXPECT_GT(dets.size(), 160u);
+  EXPECT_EQ(dead[0].seconds(), std::numeric_limits<double>::max());
+}
+
+TEST(FailureInjection, AllDiodesDeadDetectsNothing) {
+  spad::SpadArrayParams p;
+  p.diodes = 3;
+  const spad::SpadArray arr(p, util::Wavelength::nanometres(480.0));
+  RngStream rng(449);
+  std::vector<photonics::PhotonArrival> photons{{Time::nanoseconds(5.0), true}};
+  std::vector<Time> dead(3, Time::seconds(std::numeric_limits<double>::max()));
+  const auto dets = arr.detect(photons, Time::zero(), Time::microseconds(1.0), rng, dead);
+  EXPECT_TRUE(dets.empty());
+}
+
+// ---------- transmitter death mid-stream ----------
+
+TEST(FailureInjection, DarkTransmitterYieldsErasuresNotGarbage) {
+  // An LED that emits nothing (driver failure): every window is an
+  // erasure, the stats say so, and the decoded stream is the documented
+  // all-zero erasure symbol -- not random garbage.
+  link::OpticalLinkConfig cfg;
+  cfg.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  cfg.bits_per_symbol = 6;
+  cfg.led.peak_power = util::Power::watts(0.0);
+  cfg.spad.dcr_at_ref = util::Frequency::hertz(0.0);
+  cfg.spad.afterpulse_probability = 0.0;
+  cfg.calibrate = false;  // nothing to train on a dark transmitter
+  RngStream rng(457);
+  const link::OpticalLink link(cfg, rng);
+  RngStream tx(461);
+  const auto run = link.transmit({7, 13, 21, 42}, tx);
+  EXPECT_EQ(run.stats.erasures, 4u);
+  for (std::size_t i = 0; i < run.decoded.size(); ++i) {
+    EXPECT_EQ(run.decoded[i], 0u);
+    EXPECT_TRUE(run.erased[i]);
+  }
+}
+
+TEST(FailureInjection, RsLinkSurvivesBurstOfDeadWindows) {
+  // The RS layer's erasure handling covers a short transmitter brownout
+  // (a run of no-detection windows) within one block's parity budget.
+  link::OpticalLinkConfig cfg;
+  cfg.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  cfg.bits_per_symbol = 8;
+  cfg.channel_transmittance = 0.8;
+  cfg.led.peak_power = util::Power::microwatts(50.0);
+  cfg.spad.jitter_sigma = Time::zero();
+  cfg.spad.dcr_at_ref = util::Frequency::hertz(0.0);
+  cfg.spad.afterpulse_probability = 0.0;
+  cfg.calibration_samples = 30000;
+  RngStream rng(463);
+  const link::OpticalLink link(cfg, rng);
+
+  link::RsLinkConfig rs_cfg;
+  rs_cfg.block_data_bytes = 16;
+  rs_cfg.parity_bytes = 8;
+  const link::RsLink rs(link, rs_cfg);
+
+  // Healthy transfer first (sanity).
+  RngStream tx(467);
+  const std::vector<std::uint8_t> payload(12, 0x3C);
+  const auto healthy = rs.transfer(payload, tx);
+  ASSERT_TRUE(healthy.payload.has_value());
+
+  // Simulate the brownout at the RS layer: erase a run of 7 coded
+  // bytes (within the parity-8 budget) and decode directly.
+  const modulation::ReedSolomon codec(16, 8);
+  std::vector<std::uint8_t> block(16, 0x3C);
+  auto coded = codec.encode(block);
+  std::vector<std::size_t> erasures;
+  for (std::size_t i = 3; i < 10; ++i) {
+    coded[i] = 0;
+    erasures.push_back(i);
+  }
+  const auto result = codec.decode(coded, erasures);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->data, block);
+}
+
+// ---------- receiver clock failure ----------
+
+TEST(FailureInjection, SaturatedBackgroundStillNeverDeliversCorruptFrames) {
+  // Megahertz-class ambient flood: the link may lose every frame, but
+  // the CRC layer must not pass garbage.
+  link::OpticalLinkConfig cfg;
+  cfg.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  cfg.bits_per_symbol = 8;
+  cfg.led.peak_power = util::Power::nanowatts(5.0);  // starved signal
+  cfg.background_rate = util::Frequency::megahertz(50.0);
+  cfg.calibration_samples = 20000;
+  RngStream rng(479);
+  const link::OpticalLink link(cfg, rng);
+  RngStream tx(487);
+  modulation::Frame f;
+  f.payload = {1, 2, 3, 4, 5};
+  int delivered_wrong = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto r = link.transmit_frame(f, tx);
+    if (r.frame && r.frame->payload != f.payload) ++delivered_wrong;
+  }
+  EXPECT_EQ(delivered_wrong, 0);
+}

@@ -1,0 +1,264 @@
+// Unit tests for PPM codec, framing, and the OOK baseline.
+#include <gtest/gtest.h>
+
+#include "oci/modulation/frame.hpp"
+#include "oci/modulation/ook.hpp"
+#include "oci/modulation/ppm.hpp"
+
+namespace {
+
+using namespace oci::modulation;
+using oci::util::Time;
+
+PpmConfig cfg(unsigned k, SlotLabeling lab = SlotLabeling::kBinary) {
+  PpmConfig c;
+  c.bits_per_symbol = k;
+  c.slot_width = Time::nanoseconds(1.0);
+  c.labeling = lab;
+  return c;
+}
+
+// ---------- PPM ----------
+
+TEST(Ppm, SlotCount) {
+  EXPECT_EQ(PpmCodec(cfg(1)).slot_count(), 2u);
+  EXPECT_EQ(PpmCodec(cfg(4)).slot_count(), 16u);
+  EXPECT_EQ(PpmCodec(cfg(10)).slot_count(), 1024u);
+}
+
+TEST(Ppm, SymbolSpan) {
+  const PpmCodec codec(cfg(4));
+  EXPECT_DOUBLE_EQ(codec.symbol_span().nanoseconds(), 16.0);
+}
+
+TEST(Ppm, EncodeDecodeRoundTripBinary) {
+  const PpmCodec codec(cfg(5, SlotLabeling::kBinary));
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    EXPECT_EQ(codec.decode(codec.encode(s)), s);
+  }
+}
+
+TEST(Ppm, EncodeDecodeRoundTripGray) {
+  const PpmCodec codec(cfg(6, SlotLabeling::kGray));
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    EXPECT_EQ(codec.decode(codec.encode(s)), s);
+  }
+}
+
+TEST(Ppm, PulsePlacedAtSlotCentre) {
+  PpmConfig c = cfg(3, SlotLabeling::kBinary);
+  c.pulse_offset_fraction = 0.5;
+  const PpmCodec codec(c);
+  EXPECT_DOUBLE_EQ(codec.encode(0).nanoseconds(), 0.5);
+  EXPECT_DOUBLE_EQ(codec.encode(5).nanoseconds(), 5.5);
+}
+
+TEST(Ppm, DecodeClampsOutOfRangeToa) {
+  const PpmCodec codec(cfg(3, SlotLabeling::kBinary));
+  EXPECT_EQ(codec.slot_for_toa(Time::nanoseconds(-0.5)), 0u);
+  EXPECT_EQ(codec.slot_for_toa(Time::nanoseconds(100.0)), 7u);
+}
+
+TEST(Ppm, GrayLabellingAdjacentSlotsOneBit) {
+  const PpmCodec codec(cfg(5, SlotLabeling::kGray));
+  for (std::uint64_t slot = 0; slot + 1 < codec.slot_count(); ++slot) {
+    const auto a = codec.symbol_for_slot(slot);
+    const auto b = codec.symbol_for_slot(slot + 1);
+    EXPECT_EQ(PpmCodec::hamming(a, b), 1u) << "slot " << slot;
+  }
+}
+
+TEST(Ppm, BinaryLabellingAdjacentSlotsCanFlipMany) {
+  const PpmCodec codec(cfg(4, SlotLabeling::kBinary));
+  // Slot 7 -> 8 flips all 4 bits in binary labelling.
+  EXPECT_EQ(PpmCodec::hamming(codec.symbol_for_slot(7), codec.symbol_for_slot(8)), 4u);
+}
+
+TEST(Ppm, SymbolOutOfRangeThrows) {
+  const PpmCodec codec(cfg(3));
+  EXPECT_THROW(codec.encode(8), std::invalid_argument);
+  EXPECT_THROW(codec.slot_for_symbol(9), std::invalid_argument);
+  EXPECT_THROW(codec.symbol_for_slot(8), std::invalid_argument);
+}
+
+TEST(Ppm, RejectsBadConfig) {
+  EXPECT_THROW(PpmCodec(cfg(0)), std::invalid_argument);
+  EXPECT_THROW(PpmCodec(cfg(21)), std::invalid_argument);
+  PpmConfig bad = cfg(4);
+  bad.slot_width = Time::zero();
+  EXPECT_THROW(PpmCodec{bad}, std::invalid_argument);
+  bad = cfg(4);
+  bad.pulse_offset_fraction = 1.0;
+  EXPECT_THROW(PpmCodec{bad}, std::invalid_argument);
+}
+
+TEST(Ppm, Hamming) {
+  EXPECT_EQ(PpmCodec::hamming(0b1010, 0b1010), 0u);
+  EXPECT_EQ(PpmCodec::hamming(0b1010, 0b0101), 4u);
+  EXPECT_EQ(PpmCodec::hamming(0, 0xFF), 8u);
+}
+
+TEST(Ppm, PackUnpackBytesRoundTrip) {
+  for (unsigned k : {1u, 3u, 4u, 5u, 8u, 11u}) {
+    const PpmCodec codec(cfg(k));
+    const std::vector<std::uint8_t> bytes{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x7F, 0x80, 0x01};
+    const auto symbols = codec.pack_bytes(bytes);
+    for (auto s : symbols) EXPECT_LT(s, codec.slot_count());
+    const auto back = codec.unpack_bytes(symbols, bytes.size());
+    EXPECT_EQ(back, bytes) << "k = " << k;
+  }
+}
+
+TEST(Ppm, PackSymbolCount) {
+  const PpmCodec codec(cfg(5));
+  // 3 bytes = 24 bits -> ceil(24/5) = 5 symbols.
+  EXPECT_EQ(codec.pack_bytes({1, 2, 3}).size(), 5u);
+}
+
+TEST(Ppm, PackEmpty) {
+  const PpmCodec codec(cfg(4));
+  EXPECT_TRUE(codec.pack_bytes({}).empty());
+  EXPECT_TRUE(codec.unpack_bytes({}, 0).empty());
+}
+
+// ---------- CRC / framing ----------
+
+TEST(Crc8, KnownVectorsAndProperties) {
+  EXPECT_EQ(crc8({}), 0x00);
+  // CRC-8/ATM of "123456789" is 0xF4.
+  EXPECT_EQ(crc8({'1', '2', '3', '4', '5', '6', '7', '8', '9'}), 0xF4);
+  // Single-bit corruption must change the CRC.
+  const std::vector<std::uint8_t> msg{0x10, 0x20, 0x30};
+  std::vector<std::uint8_t> bad = msg;
+  bad[1] ^= 0x04;
+  EXPECT_NE(crc8(msg), crc8(bad));
+}
+
+TEST(Frame, SerializeParseRoundTrip) {
+  const PpmCodec codec(cfg(4));
+  const FrameCodec framer(codec, FrameConfig{});
+  Frame f;
+  f.payload = {0x01, 0x02, 0x03, 0xFF, 0x00, 0xAB};
+  const auto symbols = framer.serialize(f);
+  const auto parsed = framer.deserialize(symbols);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->frame.payload, f.payload);
+  EXPECT_EQ(parsed->symbols_consumed, symbols.size());
+}
+
+TEST(Frame, EmptyPayloadRoundTrip) {
+  const PpmCodec codec(cfg(5));
+  const FrameCodec framer(codec, FrameConfig{});
+  const auto symbols = framer.serialize(Frame{});
+  const auto parsed = framer.deserialize(symbols);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->frame.payload.empty());
+}
+
+TEST(Frame, CorruptedPayloadRejectedByCrc) {
+  const PpmCodec codec(cfg(4));
+  const FrameCodec framer(codec, FrameConfig{});
+  Frame f;
+  f.payload = {0x55, 0x66, 0x77};
+  auto symbols = framer.serialize(f);
+  symbols[symbols.size() - 3] ^= 1;  // flip a payload symbol
+  EXPECT_FALSE(framer.deserialize(symbols).has_value());
+}
+
+TEST(Frame, WrongPreambleRejected) {
+  const PpmCodec codec(cfg(4));
+  const FrameCodec framer(codec, FrameConfig{});
+  auto symbols = framer.serialize(Frame{.payload = {0x01}});
+  symbols[0] ^= 0x3;
+  EXPECT_FALSE(framer.deserialize(symbols).has_value());
+}
+
+TEST(Frame, TruncatedStreamRejected) {
+  const PpmCodec codec(cfg(4));
+  const FrameCodec framer(codec, FrameConfig{});
+  auto symbols = framer.serialize(Frame{.payload = {0x01, 0x02, 0x03, 0x04}});
+  symbols.resize(symbols.size() - 2);
+  EXPECT_FALSE(framer.deserialize(symbols).has_value());
+}
+
+TEST(Frame, OversizedPayloadThrows) {
+  const PpmCodec codec(cfg(4));
+  FrameConfig fc;
+  fc.max_payload = 4;
+  const FrameCodec framer(codec, fc);
+  Frame f;
+  f.payload.assign(5, 0xAA);
+  EXPECT_THROW(framer.serialize(f), std::invalid_argument);
+}
+
+TEST(Frame, FrameSymbolsAccountsForEverything) {
+  const PpmCodec codec(cfg(4));
+  const FrameCodec framer(codec, FrameConfig{});
+  Frame f;
+  f.payload = {1, 2, 3};
+  EXPECT_EQ(framer.serialize(f).size(), framer.frame_symbols(3));
+  // preamble 4 + (2 len + 3 payload + 1 crc) * 8 bits / 4 bits = 4 + 12.
+  EXPECT_EQ(framer.frame_symbols(3), 16u);
+}
+
+TEST(Frame, PreamblePattern) {
+  const PpmCodec codec(cfg(3));
+  const FrameCodec framer(codec, FrameConfig{});
+  const auto p = framer.preamble();
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0], 0u);
+  EXPECT_EQ(p[1], 7u);
+  EXPECT_EQ(p[2], 0u);
+  EXPECT_EQ(p[3], 7u);
+}
+
+// ---------- OOK ----------
+
+TEST(Ook, EncodePlacesPulsesForOnes) {
+  OokConfig c;
+  c.bit_period = Time::nanoseconds(40.0);
+  c.pulse_offset_fraction = 0.25;
+  const OokCodec codec(c);
+  const auto pulses = codec.encode({1, 0, 1, 1});
+  ASSERT_EQ(pulses.size(), 3u);
+  EXPECT_DOUBLE_EQ(pulses[0].nanoseconds(), 10.0);
+  EXPECT_DOUBLE_EQ(pulses[1].nanoseconds(), 90.0);
+  EXPECT_DOUBLE_EQ(pulses[2].nanoseconds(), 130.0);
+}
+
+TEST(Ook, DecodeRoundTrip) {
+  const OokCodec codec(OokConfig{});
+  const std::vector<std::uint8_t> bits{1, 0, 1, 1, 0, 0, 1, 0};
+  const auto pulses = codec.encode(bits);
+  EXPECT_EQ(codec.decode(pulses, bits.size()), bits);
+}
+
+TEST(Ook, DecodeIgnoresOutOfRangeDetections) {
+  const OokCodec codec(OokConfig{});
+  const std::vector<Time> dets{Time::nanoseconds(-5.0), Time::nanoseconds(400.0)};
+  const auto bits = codec.decode(dets, 4);
+  EXPECT_EQ(bits, (std::vector<std::uint8_t>{0, 0, 0, 0}));
+}
+
+TEST(Ook, DeadTimeLimitedRate) {
+  EXPECT_DOUBLE_EQ(
+      OokCodec::dead_time_limited_rate(Time::nanoseconds(40.0)).megabits_per_second(), 25.0);
+  EXPECT_THROW(OokCodec::dead_time_limited_rate(Time::zero()), std::invalid_argument);
+}
+
+TEST(Ook, BitRateIsInversePeriod) {
+  OokConfig c;
+  c.bit_period = Time::nanoseconds(10.0);
+  EXPECT_DOUBLE_EQ(OokCodec(c).bit_rate().megabits_per_second(), 100.0);
+}
+
+TEST(Ook, RejectsBadConfig) {
+  OokConfig c;
+  c.bit_period = Time::zero();
+  EXPECT_THROW(OokCodec{c}, std::invalid_argument);
+  c = OokConfig{};
+  c.pulse_offset_fraction = 1.0;
+  EXPECT_THROW(OokCodec{c}, std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,301 @@
+// Tests for the packet/MAC network layer over the shared optical bus.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "oci/net/mac.hpp"
+#include "oci/net/packet.hpp"
+#include "oci/net/stack_network.hpp"
+
+using namespace oci;
+using net::AlohaMac;
+using net::StackNetwork;
+using net::StackNetworkConfig;
+using net::TdmaMac;
+using net::TokenMac;
+using net::TrafficSpec;
+using util::RngStream;
+
+// ---------- helpers ----------
+
+StackNetworkConfig uniform_config(std::size_t dies, double per_die_load) {
+  StackNetworkConfig c;
+  c.dies = dies;
+  c.traffic.resize(dies);
+  for (auto& t : c.traffic) {
+    t.packets_per_slot = per_die_load;
+    t.uniform_destinations = true;
+  }
+  return c;
+}
+
+// ---------- latency summary ----------
+
+TEST(LatencySummary, EmptyIsZero) {
+  const auto s = net::summarize_latencies({});
+  EXPECT_EQ(s.samples, 0u);
+  EXPECT_EQ(s.mean_slots, 0.0);
+}
+
+TEST(LatencySummary, QuantilesOrdered) {
+  std::vector<double> lat;
+  for (int i = 1; i <= 100; ++i) lat.push_back(static_cast<double>(i));
+  const auto s = net::summarize_latencies(lat);
+  EXPECT_EQ(s.samples, 100u);
+  EXPECT_NEAR(s.mean_slots, 50.5, 1e-12);
+  EXPECT_LE(s.p50_slots, s.p95_slots);
+  EXPECT_LE(s.p95_slots, s.p99_slots);
+  EXPECT_LE(s.p99_slots, s.max_slots);
+  EXPECT_EQ(s.max_slots, 100.0);
+}
+
+// ---------- symbols per packet ----------
+
+TEST(SymbolsPerPacket, RoundsUp) {
+  // (8 + 4 overhead) bytes = 96 bits; at 7 bits/symbol -> ceil = 14.
+  EXPECT_EQ(net::symbols_per_packet(8, 7), 14u);
+  EXPECT_EQ(net::symbols_per_packet(8, 8), 12u);
+  EXPECT_EQ(net::symbols_per_packet(0, 8, 4), 4u);
+}
+
+TEST(SymbolsPerPacket, RejectsZeroBits) {
+  EXPECT_THROW((void)net::symbols_per_packet(8, 0), std::invalid_argument);
+}
+
+// ---------- MAC policies ----------
+
+TEST(TdmaMacPolicy, GrantsOnlyTheSlotOwner) {
+  TdmaMac mac(bus::TdmaSchedule::equal(4));
+  RngStream rng(211);
+  const std::vector<bool> all_busy(4, true);
+  for (std::uint64_t slot = 0; slot < 8; ++slot) {
+    const auto grant = mac.arbitrate(slot, all_busy, rng);
+    ASSERT_EQ(grant.size(), 1u);
+    EXPECT_EQ(grant.front(), slot % 4);
+  }
+}
+
+TEST(TdmaMacPolicy, IdleOwnerWastesTheSlot) {
+  TdmaMac mac(bus::TdmaSchedule::equal(2));
+  RngStream rng(223);
+  const std::vector<bool> only_one{false, true};
+  EXPECT_TRUE(mac.arbitrate(0, only_one, rng).empty());  // die 0 idle
+  EXPECT_EQ(mac.arbitrate(1, only_one, rng).size(), 1u);
+}
+
+TEST(TokenMacPolicy, WorkConservingSkipsIdleDies) {
+  TokenMac mac(4, /*pass_slots=*/0);
+  RngStream rng(227);
+  // Only die 3 is backlogged: it gets every slot despite the rotation.
+  const std::vector<bool> only_three{false, false, false, true};
+  for (int i = 0; i < 5; ++i) {
+    const auto grant = mac.arbitrate(static_cast<std::uint64_t>(i), only_three, rng);
+    ASSERT_EQ(grant.size(), 1u);
+    EXPECT_EQ(grant.front(), 3u);
+  }
+}
+
+TEST(TokenMacPolicy, PassCostBurnsSlots) {
+  TokenMac mac(2, /*pass_slots=*/2);
+  RngStream rng(229);
+  const std::vector<bool> only_one{false, true};
+  // Token starts at die 0 (idle): the pass to die 1 costs 2 dead slots.
+  EXPECT_TRUE(mac.arbitrate(0, only_one, rng).empty());
+  EXPECT_TRUE(mac.arbitrate(1, only_one, rng).empty());
+  const auto grant = mac.arbitrate(2, only_one, rng);
+  ASSERT_EQ(grant.size(), 1u);
+  EXPECT_EQ(grant.front(), 1u);
+  // Holder now owns the medium with no further pass cost.
+  EXPECT_EQ(mac.arbitrate(3, only_one, rng).size(), 1u);
+}
+
+TEST(TokenMacPolicy, ValidatesInputs) {
+  EXPECT_THROW(TokenMac(0), std::invalid_argument);
+  TokenMac mac(3);
+  RngStream rng(233);
+  const std::vector<bool> wrong_size(2, true);
+  EXPECT_THROW((void)mac.arbitrate(0, wrong_size, rng), std::invalid_argument);
+}
+
+TEST(AlohaMacPolicy, CertainAttemptCollidesWhenTwoBusy) {
+  AlohaMac mac(1.0);
+  RngStream rng(239);
+  const std::vector<bool> two_busy{true, true, false};
+  const auto grant = mac.arbitrate(0, two_busy, rng);
+  EXPECT_EQ(grant.size(), 2u);  // both transmit -> collision
+}
+
+TEST(AlohaMacPolicy, RejectsBadProbability) {
+  EXPECT_THROW(AlohaMac(0.0), std::invalid_argument);
+  EXPECT_THROW(AlohaMac(1.5), std::invalid_argument);
+}
+
+// ---------- network invariants ----------
+
+TEST(StackNetwork, ValidatesConfig) {
+  auto cfg = uniform_config(4, 0.05);
+  cfg.traffic.pop_back();
+  EXPECT_THROW(StackNetwork(cfg, std::make_unique<TokenMac>(4)), std::invalid_argument);
+
+  cfg = uniform_config(4, 0.05);
+  cfg.delivery_probability = 1.5;
+  EXPECT_THROW(StackNetwork(cfg, std::make_unique<TokenMac>(4)), std::invalid_argument);
+
+  cfg = uniform_config(4, 0.05);
+  cfg.max_attempts = 0;
+  EXPECT_THROW(StackNetwork(cfg, std::make_unique<TokenMac>(4)), std::invalid_argument);
+
+  cfg = uniform_config(4, 0.05);
+  cfg.traffic[0].uniform_destinations = false;
+  cfg.traffic[0].destination = 9;
+  EXPECT_THROW(StackNetwork(cfg, std::make_unique<TokenMac>(4)), std::invalid_argument);
+
+  EXPECT_THROW(StackNetwork(uniform_config(4, 0.05), nullptr), std::invalid_argument);
+}
+
+TEST(StackNetwork, ZeroLoadStaysSilent) {
+  StackNetwork netw(uniform_config(4, 0.0), std::make_unique<TokenMac>(4));
+  RngStream rng(241);
+  const auto r = netw.run(5000, rng);
+  EXPECT_EQ(r.total_offered(), 0u);
+  EXPECT_EQ(r.total_delivered(), 0u);
+  EXPECT_EQ(r.idle_slots, 5000u);
+}
+
+TEST(StackNetwork, PacketConservation) {
+  // offered = delivered + queue_drops + retry_drops + still queued.
+  auto cfg = uniform_config(6, 0.08);
+  cfg.delivery_probability = 0.9;
+  StackNetwork netw(cfg, std::make_unique<TokenMac>(6));
+  RngStream rng(251);
+  const auto r = netw.run(20000, rng);
+  std::uint64_t accounted = 0;
+  for (const auto& d : r.per_die) {
+    accounted += d.delivered + d.queue_drops + d.retry_drops;
+  }
+  EXPECT_EQ(r.total_offered(), accounted + netw.backlog());
+  EXPECT_GT(r.total_delivered(), 0u);
+}
+
+TEST(StackNetwork, TdmaSharesFairlyUnderSymmetricLoad) {
+  auto cfg = uniform_config(4, 0.2);  // 0.8 aggregate: near saturation
+  StackNetwork netw(cfg, std::make_unique<TdmaMac>(bus::TdmaSchedule::equal(4)));
+  RngStream rng(257);
+  const auto r = netw.run(40000, rng);
+  EXPECT_GT(r.fairness_index(), 0.99);
+}
+
+TEST(StackNetwork, TokenGivesLoneTalkerFullCapacity) {
+  // One saturated die, rest silent: work-conserving token -> ~every
+  // slot carries a packet; TDMA would cap it at 1/N.
+  auto cfg = uniform_config(8, 0.0);
+  cfg.traffic[2].packets_per_slot = 2.0;  // saturate die 2
+  cfg.queue_capacity = 10000;
+  StackNetwork token_net(cfg, std::make_unique<TokenMac>(8));
+  RngStream rng(263);
+  const auto token_run = token_net.run(10000, rng);
+  EXPECT_GT(token_run.carried_load(), 0.95);
+
+  StackNetwork tdma_net(cfg, std::make_unique<TdmaMac>(bus::TdmaSchedule::equal(8)));
+  RngStream rng2(263);
+  const auto tdma_run = tdma_net.run(10000, rng2);
+  EXPECT_NEAR(tdma_run.carried_load(), 1.0 / 8.0, 0.02);
+}
+
+TEST(StackNetwork, AlohaThroughputPeaksWellBelowOne) {
+  // Saturated slotted ALOHA tops out near 1/e; at p = 1 with several
+  // backlogged dies it collapses to zero (all collisions).
+  auto cfg = uniform_config(6, 0.5);
+  cfg.queue_capacity = 100000;
+  cfg.max_attempts = 1000000;  // isolate the MAC effect from ARQ drops
+  StackNetwork good(cfg, std::make_unique<AlohaMac>(1.0 / 6.0));
+  RngStream rng(269);
+  const auto good_run = good.run(20000, rng);
+  EXPECT_GT(good_run.carried_load(), 0.25);
+  EXPECT_LT(good_run.carried_load(), 0.45);
+
+  StackNetwork bad(cfg, std::make_unique<AlohaMac>(1.0));
+  RngStream rng2(269);
+  const auto bad_run = bad.run(20000, rng2);
+  EXPECT_LT(bad_run.carried_load(), 0.01);
+  EXPECT_GT(bad_run.collision_slots, 15000u);
+}
+
+TEST(StackNetwork, ArqRetriesLossyLink) {
+  auto cfg = uniform_config(2, 0.05);
+  cfg.delivery_probability = 0.5;
+  cfg.max_attempts = 10;
+  StackNetwork netw(cfg, std::make_unique<TokenMac>(2));
+  RngStream rng(271);
+  const auto r = netw.run(30000, rng);
+  std::uint64_t transmissions = 0;
+  for (const auto& d : r.per_die) transmissions += d.transmissions;
+  // Each delivery costs ~2 transmissions at p = 0.5.
+  EXPECT_GT(static_cast<double>(transmissions),
+            1.7 * static_cast<double>(r.total_delivered()));
+  EXPECT_GT(r.delivery_ratio(), 0.99);  // 10 attempts at 0.5 -> ~all arrive
+}
+
+TEST(StackNetwork, RetryBudgetDropsOnDeadLink) {
+  auto cfg = uniform_config(2, 0.02);
+  cfg.delivery_probability = 0.0;
+  cfg.max_attempts = 3;
+  StackNetwork netw(cfg, std::make_unique<TokenMac>(2));
+  RngStream rng(277);
+  const auto r = netw.run(10000, rng);
+  EXPECT_EQ(r.total_delivered(), 0u);
+  std::uint64_t retry_drops = 0;
+  for (const auto& d : r.per_die) retry_drops += d.retry_drops;
+  EXPECT_GT(retry_drops, 100u);
+}
+
+TEST(StackNetwork, QueueCapacityDropsAtEntry) {
+  auto cfg = uniform_config(1, 3.0);  // heavy overload on one die
+  cfg.traffic[0].uniform_destinations = false;
+  cfg.traffic[0].destination = net::kBroadcast;
+  cfg.queue_capacity = 4;
+  StackNetwork netw(cfg, std::make_unique<TokenMac>(1));
+  RngStream rng(281);
+  const auto r = netw.run(5000, rng);
+  EXPECT_GT(r.per_die[0].queue_drops, 1000u);
+  EXPECT_LE(netw.backlog(), 4u);
+}
+
+TEST(StackNetwork, LatencyGrowsWithLoad) {
+  auto light_cfg = uniform_config(4, 0.02);
+  auto heavy_cfg = uniform_config(4, 0.22);
+  StackNetwork light(light_cfg, std::make_unique<TdmaMac>(bus::TdmaSchedule::equal(4)));
+  StackNetwork heavy(heavy_cfg, std::make_unique<TdmaMac>(bus::TdmaSchedule::equal(4)));
+  RngStream rng1(283), rng2(283);
+  const auto light_run = light.run(30000, rng1);
+  const auto heavy_run = heavy.run(30000, rng2);
+  EXPECT_LT(light_run.latency.p99_slots, heavy_run.latency.p99_slots);
+  EXPECT_LT(light_run.latency.mean_slots, heavy_run.latency.mean_slots);
+}
+
+TEST(StackNetwork, WarmRestartContinuesQueues) {
+  auto cfg = uniform_config(2, 0.7);  // 1.4 aggregate: oversubscribed
+  cfg.queue_capacity = 100000;
+  StackNetwork netw(cfg, std::make_unique<TokenMac>(2));
+  RngStream rng(293);
+  (void)netw.run(5000, rng);
+  const std::size_t mid_backlog = netw.backlog();
+  EXPECT_GT(mid_backlog, 0u);
+  const auto second = netw.run(5000, rng);
+  // Latencies in the second window include packets queued in the first.
+  EXPECT_GT(second.latency.max_slots, 1000.0);
+}
+
+TEST(StackNetwork, WeightedTdmaSkewsBandwidth) {
+  // Both dies saturated: delivered bandwidth follows the 3:1 slot
+  // weights (at partial load it would follow min(offered, share)).
+  auto cfg = uniform_config(2, 1.0);
+  cfg.queue_capacity = 100000;
+  StackNetwork netw(cfg,
+                    std::make_unique<TdmaMac>(bus::TdmaSchedule({3, 1})));
+  RngStream rng(307);
+  const auto r = netw.run(20000, rng);
+  const double ratio = static_cast<double>(r.per_die[0].delivered) /
+                       static_cast<double>(r.per_die[1].delivered);
+  EXPECT_NEAR(ratio, 3.0, 0.3);
+}

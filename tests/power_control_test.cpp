@@ -1,0 +1,102 @@
+// Tests for the adaptive transmit-power control loop.
+#include <gtest/gtest.h>
+
+#include "oci/link/power_control.hpp"
+
+using namespace oci;
+using link::control_power;
+using link::PowerControlConfig;
+using util::Power;
+using util::RngStream;
+using util::Time;
+
+link::OpticalLinkConfig pc_link_config() {
+  link::OpticalLinkConfig c;
+  c.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  c.bits_per_symbol = 6;
+  c.channel_transmittance = 0.3;
+  c.spad.jitter_sigma = Time::picoseconds(40.0);
+  c.spad.dcr_at_ref = util::Frequency::hertz(0.0);
+  c.spad.afterpulse_probability = 0.0;
+  c.calibration_samples = 20000;
+  return c;
+}
+
+TEST(PowerControl, ValidatesConfig) {
+  RngStream rng(521);
+  PowerControlConfig ctrl;
+  ctrl.target_erasure_rate = 0.0;
+  EXPECT_THROW((void)control_power(pc_link_config(), ctrl, 1, rng), std::invalid_argument);
+  ctrl = PowerControlConfig{};
+  ctrl.min_power = Power::watts(0.0);
+  EXPECT_THROW((void)control_power(pc_link_config(), ctrl, 1, rng), std::invalid_argument);
+  ctrl = PowerControlConfig{};
+  ctrl.step_up = 0.9;
+  EXPECT_THROW((void)control_power(pc_link_config(), ctrl, 1, rng), std::invalid_argument);
+  ctrl = PowerControlConfig{};
+  ctrl.probe_symbols = 0;
+  EXPECT_THROW((void)control_power(pc_link_config(), ctrl, 1, rng), std::invalid_argument);
+}
+
+TEST(PowerControl, ConvergesAndMeetsTheBudget) {
+  PowerControlConfig ctrl;
+  ctrl.target_erasure_rate = 0.01;
+  ctrl.probe_symbols = 4000;
+  RngStream rng(523);
+  const auto r = control_power(pc_link_config(), ctrl, 77, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.erasure_rate, ctrl.target_erasure_rate);
+  EXPECT_GE(r.chosen_power.watts(), ctrl.min_power.watts());
+  EXPECT_LE(r.chosen_power.watts(), ctrl.max_power.watts());
+  EXPECT_FALSE(r.trajectory.empty());
+  EXPECT_GT(r.energy_per_bit.joules(), 0.0);
+}
+
+TEST(PowerControl, AnalyticSeedLandsNearTheAnswer) {
+  // The budget-derived first guess should need few refinement steps.
+  PowerControlConfig ctrl;
+  ctrl.target_erasure_rate = 0.01;
+  RngStream rng(541);
+  const auto r = control_power(pc_link_config(), ctrl, 79, rng);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.trajectory.size(), 4u);
+}
+
+TEST(PowerControl, DeadChannelReportsFailureNotThrow) {
+  auto cfg = pc_link_config();
+  cfg.channel_transmittance = 1e-9;  // 90 dB path loss
+  PowerControlConfig ctrl;
+  ctrl.target_erasure_rate = 1e-3;
+  ctrl.max_power = Power::microwatts(1.0);  // ceiling far too low
+  ctrl.max_iterations = 6;
+  RngStream rng(547);
+  const auto r = control_power(cfg, ctrl, 83, rng);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.erasure_rate, ctrl.target_erasure_rate);
+  EXPECT_LE(r.chosen_power.watts(), ctrl.max_power.watts() * (1.0 + 1e-12));
+}
+
+TEST(PowerControl, TightTargetCostsMorePower) {
+  PowerControlConfig loose;
+  loose.target_erasure_rate = 0.05;
+  PowerControlConfig tight;
+  tight.target_erasure_rate = 1e-4;
+  tight.probe_symbols = 20000;  // resolve the rarer erasures
+  RngStream rng1(557), rng2(557);
+  const auto r_loose = control_power(pc_link_config(), loose, 89, rng1);
+  const auto r_tight = control_power(pc_link_config(), tight, 89, rng2);
+  ASSERT_TRUE(r_loose.converged);
+  ASSERT_TRUE(r_tight.converged);
+  EXPECT_GT(r_tight.chosen_power.watts(), r_loose.chosen_power.watts());
+}
+
+TEST(PowerControl, TrajectoryRecordsEveryProbe) {
+  PowerControlConfig ctrl;
+  ctrl.target_erasure_rate = 0.01;
+  ctrl.max_iterations = 3;
+  RngStream rng(563);
+  const auto r = control_power(pc_link_config(), ctrl, 97, rng);
+  EXPECT_LE(r.trajectory.size(), 3u);
+  EXPECT_EQ(r.trajectory.back().power.watts(), r.chosen_power.watts());
+  EXPECT_EQ(r.trajectory.back().erasure_rate, r.erasure_rate);
+}

@@ -1,0 +1,221 @@
+// Property-style sweeps over the extension modules: Reed-Solomon
+// capability surface, WDM crosstalk-matrix invariants, network packet
+// conservation under every MAC, and clock-sync loop boundedness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <tuple>
+
+#include "oci/bus/clock_sync.hpp"
+#include "oci/modulation/reed_solomon.hpp"
+#include "oci/net/stack_network.hpp"
+#include "oci/photonics/wdm.hpp"
+#include "oci/util/random.hpp"
+
+using namespace oci;
+using modulation::ReedSolomon;
+using util::RngStream;
+using util::Time;
+
+// ---------- RS capability surface ----------
+
+// For every parity p and every split 2e + f <= p, a random pattern of e
+// errors and f erasures must decode to the original data.
+class RsCapability : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RsCapability, EveryMixWithinTheBoundDecodes) {
+  const std::size_t parity = GetParam();
+  const std::size_t k = 30;
+  ReedSolomon rs(k, parity);
+  RngStream rng(401 + parity);
+
+  for (std::size_t errors = 0; 2 * errors <= parity; ++errors) {
+    const std::size_t erasures = parity - 2 * errors;
+    std::vector<std::uint8_t> data(k);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    auto code = rs.encode(data);
+
+    std::vector<std::size_t> positions(code.size());
+    std::iota(positions.begin(), positions.end(), 0u);
+    std::shuffle(positions.begin(), positions.end(), rng.engine());
+
+    std::vector<std::size_t> erased(positions.begin(),
+                                    positions.begin() + static_cast<std::ptrdiff_t>(erasures));
+    for (const auto pos : erased) code[pos] = static_cast<std::uint8_t>(~code[pos]);
+    for (std::size_t e = 0; e < errors; ++e) {
+      std::uint8_t flip = 0;
+      while (flip == 0) flip = static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+      code[positions[erasures + e]] ^= flip;
+    }
+
+    const auto result = rs.decode(code, erased);
+    ASSERT_TRUE(result.has_value()) << "parity " << parity << " errors " << errors;
+    EXPECT_EQ(result->data, data) << "parity " << parity << " errors " << errors;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parity, RsCapability,
+                         ::testing::Values(std::size_t{2}, std::size_t{4}, std::size_t{8},
+                                           std::size_t{12}, std::size_t{16},
+                                           std::size_t{32}),
+                         [](const auto& info) { return "p" + std::to_string(info.param); });
+
+// Whatever the decoder returns must re-encode to itself: the output is
+// always a valid codeword, even when the input corruption exceeded the
+// design bound (fuzz over heavy corruption).
+TEST(RsFuzz, DecodedDataAlwaysReencodesConsistently) {
+  ReedSolomon rs(20, 8);
+  RngStream rng(409);
+  int successes = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> data(20);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    auto code = rs.encode(data);
+    const auto corruptions = static_cast<std::size_t>(rng.uniform_int(0, 12));
+    for (std::size_t c = 0; c < corruptions; ++c) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(code.size()) - 1));
+      code[pos] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    const auto result = rs.decode(code);
+    if (!result) continue;
+    ++successes;
+    // Re-encoding the delivered data must reproduce a codeword that
+    // decodes cleanly to the same data (self-consistency).
+    const auto reencoded = rs.encode(result->data);
+    const auto second = rs.decode(reencoded);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->data, result->data);
+    EXPECT_EQ(second->corrected_errors, 0u);
+  }
+  EXPECT_GT(successes, 50);  // the light-corruption trials must decode
+}
+
+// ---------- WDM matrix invariants ----------
+
+class WdmMatrix : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(WdmMatrix, RowInvariants) {
+  const auto [channels, isolation_db] = GetParam();
+  photonics::WdmGrid grid;
+  grid.channels = channels;
+  photonics::WdmFilter filter;
+  filter.adjacent_isolation_db = isolation_db;
+  const auto m = photonics::crosstalk_matrix(grid, filter);
+
+  for (std::size_t i = 0; i < channels; ++i) {
+    for (std::size_t j = 0; j < channels; ++j) {
+      EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+      if (i != j) {
+        // Off-diagonal leakage is strictly below the passband and
+        // monotonically non-increasing with grid distance.
+        EXPECT_LT(m[i][j], m[i][i]);
+      }
+    }
+    for (std::size_t j = 2; i + j < channels; ++j) {
+      EXPECT_LE(m[i][i + j], m[i][i + j - 1]);
+    }
+  }
+  // Tighter isolation can only reduce the worst aggregate ratio.
+  photonics::WdmFilter tighter = filter;
+  tighter.adjacent_isolation_db = isolation_db + 10.0;
+  tighter.isolation_floor_db = filter.isolation_floor_db + 10.0;
+  EXPECT_LE(photonics::worst_crosstalk_ratio(photonics::crosstalk_matrix(grid, tighter)),
+            photonics::worst_crosstalk_ratio(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WdmMatrix,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{4}, std::size_t{9}),
+                       ::testing::Values(15.0, 25.0, 35.0)),
+    [](const auto& info) {
+      return "ch" + std::to_string(std::get<0>(info.param)) + "_iso" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+// ---------- network conservation under every MAC ----------
+
+enum class MacKind { kTdma, kToken, kTokenPass, kAloha };
+
+class NetConservation : public ::testing::TestWithParam<std::tuple<MacKind, double>> {};
+
+std::unique_ptr<net::MacPolicy> build_mac(MacKind kind, std::size_t dies) {
+  switch (kind) {
+    case MacKind::kTdma:
+      return std::make_unique<net::TdmaMac>(bus::TdmaSchedule::equal(dies));
+    case MacKind::kToken:
+      return std::make_unique<net::TokenMac>(dies, 0);
+    case MacKind::kTokenPass:
+      return std::make_unique<net::TokenMac>(dies, 2);
+    case MacKind::kAloha:
+      return std::make_unique<net::AlohaMac>(1.0 / static_cast<double>(dies));
+  }
+  return nullptr;
+}
+
+TEST_P(NetConservation, OfferedEqualsAccountedPlusBacklog) {
+  const auto [kind, load] = GetParam();
+  const std::size_t dies = 5;
+  net::StackNetworkConfig cfg;
+  cfg.dies = dies;
+  cfg.traffic.resize(dies);
+  for (auto& t : cfg.traffic) {
+    t.packets_per_slot = load / static_cast<double>(dies);
+    t.uniform_destinations = true;
+  }
+  cfg.delivery_probability = 0.85;
+  cfg.max_attempts = 3;
+  cfg.queue_capacity = 64;
+
+  net::StackNetwork netw(cfg, build_mac(kind, dies));
+  RngStream rng(419 + static_cast<std::uint64_t>(load * 10));
+  const auto r = netw.run(15000, rng);
+
+  std::uint64_t accounted = 0;
+  for (const auto& d : r.per_die) accounted += d.delivered + d.queue_drops + d.retry_drops;
+  EXPECT_EQ(r.total_offered(), accounted + netw.backlog());
+  // Collisions only occur under random access.
+  if (kind != MacKind::kAloha) EXPECT_EQ(r.collision_slots, 0u);
+  // Carried load can never exceed one packet per slot.
+  EXPECT_LE(r.carried_load(), 1.0);
+}
+
+std::string mac_case_name(const ::testing::TestParamInfo<std::tuple<MacKind, double>>& info) {
+  static constexpr const char* kNames[] = {"tdma", "token", "tokenpass", "aloha"};
+  return std::string(kNames[static_cast<int>(std::get<0>(info.param))]) + "_load" +
+         std::to_string(static_cast<int>(std::get<1>(info.param) * 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Macs, NetConservation,
+    ::testing::Combine(::testing::Values(MacKind::kTdma, MacKind::kToken,
+                                         MacKind::kTokenPass, MacKind::kAloha),
+                       ::testing::Values(0.2, 0.8, 1.5)),
+    mac_case_name);
+
+// ---------- clock-sync boundedness ----------
+
+class ClockSyncSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClockSyncSweep, DisciplinedErrorStaysBoundedForRandomOscillators) {
+  RngStream param_rng(431 + GetParam());
+  bus::LocalClockParams c;
+  c.frequency_error_ppm = param_rng.uniform(-100.0, 100.0);
+  c.cycle_jitter_rms = Time::picoseconds(param_rng.uniform(0.0, 5.0));
+  bus::SyncLoopParams l;
+  l.sync_interval_cycles = static_cast<std::uint64_t>(param_rng.uniform_int(8, 512));
+  const bus::DisciplinedClock clk(c, l);
+  RngStream rng(433 + GetParam());
+  const auto r = clk.run(100000, rng, 10000);
+  // Whatever the oscillator, the loop holds the error under one 200 MHz
+  // cycle (5 ns) -- far below the unbounded free-running drift.
+  EXPECT_LT(r.max_abs_phase_error.nanoseconds(), 5.0)
+      << "ppm " << c.frequency_error_ppm << " interval " << l.sync_interval_cycles;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClockSyncSweep, ::testing::Range<std::uint64_t>(0, 10),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });

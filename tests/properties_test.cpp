@@ -1,0 +1,270 @@
+// Property-based / parameterized sweeps over the framework's invariants
+// (TEST_P + INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "oci/link/optical_link.hpp"
+#include "oci/link/tradeoff.hpp"
+#include "oci/modulation/frame.hpp"
+#include "oci/modulation/ppm.hpp"
+#include "oci/photonics/silicon.hpp"
+#include "oci/spad/spad.hpp"
+#include "oci/tdc/calibration.hpp"
+#include "oci/tdc/tdc.hpp"
+
+namespace {
+
+using namespace oci;
+using util::Frequency;
+using util::Length;
+using util::RngStream;
+using util::Time;
+using util::Wavelength;
+
+// ---------- PPM round trip over all K and both labelings ----------
+
+class PpmRoundTrip
+    : public ::testing::TestWithParam<std::tuple<unsigned, modulation::SlotLabeling>> {};
+
+TEST_P(PpmRoundTrip, EverySymbolSurvives) {
+  const auto [k, labeling] = GetParam();
+  modulation::PpmConfig c;
+  c.bits_per_symbol = k;
+  c.slot_width = Time::nanoseconds(1.0);
+  c.labeling = labeling;
+  const modulation::PpmCodec codec(c);
+  for (std::uint64_t s = 0; s < codec.slot_count(); ++s) {
+    EXPECT_EQ(codec.decode(codec.encode(s)), s) << "k=" << k;
+  }
+}
+
+TEST_P(PpmRoundTrip, SlotMappingIsBijective) {
+  const auto [k, labeling] = GetParam();
+  modulation::PpmConfig c;
+  c.bits_per_symbol = k;
+  c.labeling = labeling;
+  const modulation::PpmCodec codec(c);
+  std::vector<bool> seen(codec.slot_count(), false);
+  for (std::uint64_t s = 0; s < codec.slot_count(); ++s) {
+    const auto slot = codec.slot_for_symbol(s);
+    ASSERT_LT(slot, codec.slot_count());
+    EXPECT_FALSE(seen[slot]) << "collision at symbol " << s;
+    seen[slot] = true;
+    EXPECT_EQ(codec.symbol_for_slot(slot), s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrders, PpmRoundTrip,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 8u, 10u),
+                       ::testing::Values(modulation::SlotLabeling::kBinary,
+                                         modulation::SlotLabeling::kGray)));
+
+// ---------- frame round trip over payload sizes and K ----------
+
+class FrameRoundTrip
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {};
+
+TEST_P(FrameRoundTrip, PayloadSurvives) {
+  const auto [k, payload_size] = GetParam();
+  modulation::PpmConfig c;
+  c.bits_per_symbol = k;
+  const modulation::PpmCodec codec(c);
+  const modulation::FrameCodec framer(codec, modulation::FrameConfig{});
+  modulation::Frame f;
+  f.payload.resize(payload_size);
+  for (std::size_t i = 0; i < payload_size; ++i) {
+    f.payload[i] = static_cast<std::uint8_t>((i * 37 + k) & 0xFF);
+  }
+  const auto parsed = framer.deserialize(framer.serialize(f));
+  ASSERT_TRUE(parsed.has_value()) << "k=" << k << " size=" << payload_size;
+  EXPECT_EQ(parsed->frame.payload, f.payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndOrders, FrameRoundTrip,
+                         ::testing::Combine(::testing::Values(2u, 4u, 5u, 8u),
+                                            ::testing::Values(std::size_t{0},
+                                                              std::size_t{1},
+                                                              std::size_t{17},
+                                                              std::size_t{256})));
+
+// ---------- paper trade-off identities over the whole grid ----------
+
+class TradeoffIdentity
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>> {};
+
+TEST_P(TradeoffIdentity, MwEqualsDcPlusRf) {
+  const auto [n, cbits] = GetParam();
+  const link::TdcDesign d{n, cbits, Time::picoseconds(52.0)};
+  EXPECT_NEAR(link::measurement_window(d).seconds(),
+              (link::detection_cycle(d) + link::fine_range(d)).seconds(), 1e-18);
+}
+
+TEST_P(TradeoffIdentity, ThroughputIsBitsOverMw) {
+  const auto [n, cbits] = GetParam();
+  const link::TdcDesign d{n, cbits, Time::picoseconds(52.0)};
+  EXPECT_NEAR(link::throughput(d).bits_per_second(),
+              link::bits_per_sample(d) / link::measurement_window(d).seconds(), 1e-3);
+}
+
+TEST_P(TradeoffIdentity, DcDoublesPerCoarseBit) {
+  const auto [n, cbits] = GetParam();
+  const link::TdcDesign d{n, cbits, Time::picoseconds(52.0)};
+  const link::TdcDesign d1{n, cbits + 1, Time::picoseconds(52.0)};
+  EXPECT_NEAR(link::detection_cycle(d1).seconds(),
+              2.0 * link::detection_cycle(d).seconds(), 1e-18);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TradeoffIdentity,
+                         ::testing::Combine(::testing::Values(std::uint64_t{8},
+                                                              std::uint64_t{16},
+                                                              std::uint64_t{64},
+                                                              std::uint64_t{96},
+                                                              std::uint64_t{256}),
+                                            ::testing::Values(0u, 1u, 3u, 5u, 8u)));
+
+// ---------- TDC invariants across process seeds ----------
+
+class TdcInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TdcInvariants, CodesMonotoneAndBounded) {
+  RngStream rng(GetParam());
+  tdc::DelayLineParams p;
+  p.elements = 104;
+  p.nominal_delay = Time::picoseconds(52.0);
+  p.mismatch_sigma = 0.12;
+  tdc::DelayLine line(p, rng);
+  tdc::TdcConfig cfg;
+  cfg.coarse_bits = 3;
+  cfg.clock_period = Time::nanoseconds(4.8);
+  const tdc::Tdc tdc(std::move(line), cfg);
+
+  const std::uint64_t max_code =
+      8ull * tdc.line().elements_used(tdc.clock_period()) - 1;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 800; ++i) {
+    const Time toa = Time::seconds(tdc.toa_window().seconds() * i / 800.0);
+    const auto r = tdc.convert_ideal(toa);
+    EXPECT_LE(r.code, max_code);
+    EXPECT_GE(r.code, prev);
+    prev = r.code;
+  }
+}
+
+TEST_P(TdcInvariants, CalibrationBoundsResidual) {
+  RngStream rng(GetParam() + 1000);
+  tdc::DelayLineParams p;
+  p.elements = 104;
+  p.nominal_delay = Time::picoseconds(52.0);
+  p.mismatch_sigma = 0.12;
+  tdc::DelayLine line(p, rng);
+  tdc::TdcConfig cfg;
+  cfg.coarse_bits = 2;
+  cfg.clock_period = Time::nanoseconds(4.8);
+  const tdc::Tdc tdc(std::move(line), cfg);
+  RngStream cal(GetParam() + 2000);
+  const auto rep = tdc::code_density_test(tdc, 500000, cal);
+  const tdc::CalibrationLut lut(rep);
+
+  // The paper's requirement: calibration ensures a fixed resolution
+  // bound. Residual RMS < 1 LSB for every process corner.
+  RngStream probe(GetParam() + 3000);
+  double sum_sq = 0.0;
+  const int probes = 2000;
+  for (int i = 0; i < probes; ++i) {
+    const Time toa = probe.uniform_time(tdc.toa_window());
+    const auto r = tdc.convert(toa, probe);
+    const double err = lut.correct(r, tdc.clock_period()).seconds() - toa.seconds();
+    sum_sq += err * err;
+  }
+  EXPECT_LT(std::sqrt(sum_sq / probes), tdc.lsb().seconds());
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCorners, TdcInvariants,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// ---------- SPAD dead-time invariant across photon rates ----------
+
+class SpadDeadTime : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpadDeadTime, NoTwoDetectionsCloserThanDeadTime) {
+  const double photon_rate_mhz = GetParam();
+  spad::SpadParams p;
+  p.pdp_peak = 0.5;
+  p.dcr_at_ref = Frequency::kilohertz(50.0);
+  p.afterpulse_probability = 0.05;
+  p.jitter_sigma = Time::zero();  // jitter reorders timestamps, not physics
+  p.dead_time = Time::nanoseconds(40.0);
+  const spad::Spad det(p, Wavelength::nanometres(480.0));
+
+  RngStream rng(static_cast<std::uint64_t>(photon_rate_mhz * 1000) + 7);
+  const Time window = Time::microseconds(50.0);
+  std::vector<photonics::PhotonArrival> photons;
+  const auto n = rng.poisson(photon_rate_mhz * 1e6 * window.seconds());
+  for (std::int64_t i = 0; i < n; ++i) {
+    photons.push_back({rng.uniform_time(window), true});
+  }
+  std::sort(photons.begin(), photons.end(),
+            [](const auto& a, const auto& b) { return a.time < b.time; });
+
+  const auto dets = det.detect(photons, Time::zero(), window, rng);
+  for (std::size_t i = 1; i < dets.size(); ++i) {
+    EXPECT_GE((dets[i].true_time - dets[i - 1].true_time).nanoseconds(), 40.0 - 1e-6)
+        << "rate " << photon_rate_mhz << " MHz, detection " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SpadDeadTime,
+                         ::testing::Values(0.1, 1.0, 5.0, 20.0, 50.0, 200.0));
+
+// ---------- Beer-Lambert composition across wavelengths ----------
+
+class BeerLambert : public ::testing::TestWithParam<double> {};
+
+TEST_P(BeerLambert, ComposesAndIsMonotone) {
+  const Wavelength wl = Wavelength::nanometres(GetParam());
+  const double t10 = photonics::transmittance_si(wl, Length::micrometres(10.0));
+  const double t20 = photonics::transmittance_si(wl, Length::micrometres(20.0));
+  const double t30 = photonics::transmittance_si(wl, Length::micrometres(30.0));
+  EXPECT_NEAR(t30, t10 * t20, 1e-12);
+  EXPECT_LE(t30, t20);
+  EXPECT_LE(t20, t10);
+  EXPECT_GT(t10, 0.0);
+  EXPECT_LE(t10, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Wavelengths, BeerLambert,
+                         ::testing::Values(400.0, 520.0, 650.0, 850.0, 1000.0, 1100.0));
+
+// ---------- link SER monotone in photon budget ----------
+
+class LinkPhotonBudget : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinkPhotonBudget, ErasureRateMatchesPoissonMiss) {
+  const double transmittance = GetParam();
+  link::OpticalLinkConfig cfg;
+  cfg.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  cfg.bits_per_symbol = 4;
+  cfg.channel_transmittance = transmittance;
+  cfg.led.peak_power = util::Power::nanowatts(40.0);  // starved link
+  cfg.spad.dcr_at_ref = Frequency::hertz(0.0);
+  cfg.spad.afterpulse_probability = 0.0;
+  cfg.calibrate = false;
+
+  RngStream rng(601);
+  const link::OpticalLink link(cfg, rng);
+  RngStream tx(607);
+  const auto stats = link.measure(3000, tx);
+  const double mu = link.led().photons_per_pulse() * transmittance;
+  const double expected_miss = std::exp(-mu * link.detector().pdp());
+  const double measured =
+      static_cast<double>(stats.erasures) / static_cast<double>(stats.symbols_sent);
+  EXPECT_NEAR(measured, expected_miss, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, LinkPhotonBudget,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.3, 0.8));
+
+}  // namespace

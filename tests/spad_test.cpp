@@ -1,0 +1,257 @@
+// Unit tests for the SPAD detector model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "oci/spad/pdp.hpp"
+#include "oci/spad/spad.hpp"
+#include "oci/util/statistics.hpp"
+
+namespace {
+
+using namespace oci::spad;
+using oci::photonics::PhotonArrival;
+using oci::util::Frequency;
+using oci::util::RngStream;
+using oci::util::RunningStats;
+using oci::util::Temperature;
+using oci::util::Time;
+using oci::util::Voltage;
+using oci::util::Wavelength;
+
+SpadParams quiet_spad() {
+  SpadParams p;
+  p.dcr_at_ref = Frequency::hertz(0.0);
+  p.afterpulse_probability = 0.0;
+  p.jitter_sigma = Time::zero();
+  return p;
+}
+
+// ---------- PDP ----------
+
+TEST(Pdp, PeaksNearBlue) {
+  const double peak = pdp_spectral_shape(Wavelength::nanometres(480.0));
+  EXPECT_DOUBLE_EQ(peak, 1.0);
+  EXPECT_LT(pdp_spectral_shape(Wavelength::nanometres(850.0)), 0.1);
+  EXPECT_LT(pdp_spectral_shape(Wavelength::nanometres(350.0)), 0.1);
+}
+
+TEST(Pdp, AbsoluteScaleFromPeak) {
+  SpadParams p;
+  p.pdp_peak = 0.30;
+  EXPECT_NEAR(pdp(p, Wavelength::nanometres(480.0)), 0.30, 1e-12);
+  EXPECT_NEAR(pdp(p, Wavelength::nanometres(450.0)), 0.27, 1e-12);
+}
+
+TEST(Pdp, BiasFactorSaturates) {
+  const Voltage nominal = Voltage::volts(3.3);
+  EXPECT_DOUBLE_EQ(pdp_bias_factor(nominal, nominal), 1.0);
+  EXPECT_LT(pdp_bias_factor(Voltage::volts(1.0), nominal), 1.0);
+  EXPECT_GT(pdp_bias_factor(Voltage::volts(6.0), nominal), 1.0);
+  EXPECT_DOUBLE_EQ(pdp_bias_factor(Voltage::volts(0.0), nominal), 0.0);
+  // Diminishing returns: going 3.3 -> 6 V gains less than 1 -> 3.3 V.
+  const double low_gain = pdp_bias_factor(nominal, nominal) - pdp_bias_factor(Voltage::volts(1.0), nominal);
+  const double high_gain = pdp_bias_factor(Voltage::volts(6.0), nominal) - 1.0;
+  EXPECT_GT(low_gain, high_gain);
+}
+
+TEST(Pdp, DcrDoublingLaw) {
+  SpadParams p;
+  p.dcr_at_ref = Frequency::hertz(350.0);
+  p.dcr_ref_temperature = Temperature::celsius(25.0);
+  p.dcr_doubling_kelvin = 8.0;
+  EXPECT_NEAR(dark_count_rate(p, Temperature::celsius(25.0)).hertz(), 350.0, 1e-9);
+  EXPECT_NEAR(dark_count_rate(p, Temperature::celsius(33.0)).hertz(), 700.0, 1e-6);
+  EXPECT_NEAR(dark_count_rate(p, Temperature::celsius(17.0)).hertz(), 175.0, 1e-6);
+}
+
+// ---------- detection ----------
+
+TEST(Spad, DetectsStrongPulseWithCertainty) {
+  const Spad spad(quiet_spad(), Wavelength::nanometres(480.0));
+  EXPECT_NEAR(spad.pdp(), 0.30, 1e-12);
+  EXPECT_NEAR(spad.pulse_detection_probability(100.0), 1.0, 1e-9);
+  EXPECT_NEAR(spad.pulse_detection_probability(0.0), 0.0, 1e-12);
+}
+
+TEST(Spad, RequiredMeanPhotonsInverts) {
+  const Spad spad(quiet_spad(), Wavelength::nanometres(480.0));
+  const double mu = spad.required_mean_photons(0.99);
+  EXPECT_NEAR(spad.pulse_detection_probability(mu), 0.99, 1e-9);
+  EXPECT_THROW(spad.required_mean_photons(1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(spad.required_mean_photons(0.0), 0.0);
+}
+
+TEST(Spad, PdpThinning) {
+  const Spad spad(quiet_spad(), Wavelength::nanometres(480.0));
+  RngStream rng(31);
+  // 10000 well-separated photons: detections ~ Binomial(10000, 0.3).
+  std::vector<PhotonArrival> photons;
+  const Time gap = Time::nanoseconds(100.0);  // >> dead time
+  for (int i = 0; i < 10000; ++i) {
+    photons.push_back({gap * static_cast<double>(i), true});
+  }
+  const Time window = gap * 10000.0;
+  const auto dets = spad.detect(photons, Time::zero(), window, rng);
+  EXPECT_NEAR(static_cast<double>(dets.size()), 3000.0, 150.0);
+  for (const auto& d : dets) EXPECT_EQ(d.cause, DetectionCause::kSignal);
+}
+
+TEST(Spad, NonParalyzableDeadTime) {
+  SpadParams p = quiet_spad();
+  p.pdp_peak = 0.999;  // detect everything
+  p.dead_time = Time::nanoseconds(40.0);
+  p.quench = QuenchMode::kActive;
+  const Spad spad(p, Wavelength::nanometres(480.0));
+  RngStream rng(37);
+  // Photons every 10 ns for 400 ns: only every 4th can fire.
+  std::vector<PhotonArrival> photons;
+  for (int i = 0; i < 40; ++i) {
+    photons.push_back({Time::nanoseconds(10.0 * i), true});
+  }
+  const auto dets = spad.detect(photons, Time::zero(), Time::nanoseconds(400.0), rng);
+  EXPECT_EQ(dets.size(), 10u);  // t=0,40,80,...,360
+  for (std::size_t i = 1; i < dets.size(); ++i) {
+    EXPECT_GE((dets[i].true_time - dets[i - 1].true_time).nanoseconds(), 40.0 - 1e-9);
+  }
+}
+
+TEST(Spad, ParalyzableDeadTimeExtends) {
+  SpadParams p = quiet_spad();
+  p.pdp_peak = 0.999;
+  p.dead_time = Time::nanoseconds(40.0);
+  p.quench = QuenchMode::kPassive;
+  const Spad spad(p, Wavelength::nanometres(480.0));
+  RngStream rng(41);
+  // Photons every 10 ns continuously re-trigger the recharge: after the
+  // first detection the detector never recovers within the window.
+  std::vector<PhotonArrival> photons;
+  for (int i = 0; i < 40; ++i) {
+    photons.push_back({Time::nanoseconds(10.0 * i), true});
+  }
+  const auto dets = spad.detect(photons, Time::zero(), Time::nanoseconds(400.0), rng);
+  EXPECT_EQ(dets.size(), 1u);
+}
+
+TEST(Spad, DarkCountsAtExpectedRate) {
+  SpadParams p = quiet_spad();
+  p.dcr_at_ref = Frequency::kilohertz(100.0);
+  const Spad spad(p, Wavelength::nanometres(480.0), Temperature::celsius(25.0));
+  RngStream rng(43);
+  RunningStats s;
+  const Time window = Time::microseconds(100.0);
+  for (int i = 0; i < 200; ++i) {
+    const auto dets = spad.detect({}, Time::zero(), window, rng);
+    s.add(static_cast<double>(dets.size()));
+    for (const auto& d : dets) EXPECT_EQ(d.cause, DetectionCause::kDark);
+  }
+  // 100 kHz x 100 us = 10 expected (dead time shaves a touch off).
+  EXPECT_NEAR(s.mean(), 10.0, 0.5);
+}
+
+TEST(Spad, DcrFollowsTemperature) {
+  SpadParams p = quiet_spad();
+  p.dcr_at_ref = Frequency::hertz(350.0);
+  Spad spad(p, Wavelength::nanometres(480.0), Temperature::celsius(25.0));
+  const double dcr_cold = spad.dcr().hertz();
+  spad.set_temperature(Temperature::celsius(65.0));
+  EXPECT_NEAR(spad.dcr().hertz() / dcr_cold, 32.0, 0.1);  // 5 doublings
+}
+
+TEST(Spad, AfterpulsesFollowDetections) {
+  SpadParams p = quiet_spad();
+  p.pdp_peak = 0.999;
+  p.afterpulse_probability = 0.5;  // exaggerated for test power
+  p.afterpulse_tau = Time::nanoseconds(20.0);
+  const Spad spad(p, Wavelength::nanometres(480.0));
+  RngStream rng(47);
+  std::size_t afterpulses = 0;
+  std::size_t signals = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<PhotonArrival> photons{{Time::nanoseconds(1.0), true}};
+    const auto dets = spad.detect(photons, Time::zero(), Time::microseconds(1.0), rng);
+    for (const auto& d : dets) {
+      if (d.cause == DetectionCause::kAfterpulse) {
+        ++afterpulses;
+        // Afterpulse cannot occur inside the dead time.
+        EXPECT_GE(d.true_time.nanoseconds(), 1.0 + 40.0 - 1e-9);
+      } else {
+        ++signals;
+      }
+    }
+  }
+  EXPECT_EQ(signals, 500u);
+  // Cascaded afterpulsing: expected count slightly above p/(1-p) = 1 per
+  // 2 detections... with p=0.5 expect ~ signals * ~1.0 (geometric sum),
+  // loosely bounded here.
+  EXPECT_GT(afterpulses, 350u);
+  EXPECT_LT(afterpulses, 700u);
+}
+
+TEST(Spad, JitterSpreadsTimestamps) {
+  SpadParams p = quiet_spad();
+  p.pdp_peak = 0.999;
+  p.jitter_sigma = Time::picoseconds(100.0);
+  const Spad spad(p, Wavelength::nanometres(480.0));
+  RngStream rng(53);
+  RunningStats s;
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<PhotonArrival> photons{{Time::nanoseconds(50.0), true}};
+    const auto dets = spad.detect(photons, Time::zero(), Time::nanoseconds(100.0), rng);
+    if (dets.empty()) continue;  // PDP=0.999 still misses ~0.1% of pulses
+    s.add((dets[0].time - dets[0].true_time).picoseconds());
+  }
+  ASSERT_GT(s.count(), 2900u);
+  EXPECT_NEAR(s.mean(), 0.0, 10.0);
+  EXPECT_NEAR(s.stddev(), 100.0, 5.0);
+}
+
+TEST(Spad, InitiallyDeadUntilRespected) {
+  SpadParams p = quiet_spad();
+  p.pdp_peak = 0.999;
+  const Spad spad(p, Wavelength::nanometres(480.0));
+  RngStream rng(59);
+  std::vector<PhotonArrival> photons{{Time::nanoseconds(5.0), true}};
+  const auto dets = spad.detect(photons, Time::zero(), Time::nanoseconds(100.0), rng,
+                                /*initially_dead_until=*/Time::nanoseconds(10.0));
+  EXPECT_TRUE(dets.empty());
+}
+
+TEST(Spad, PhotonsOutsideWindowIgnored) {
+  SpadParams p = quiet_spad();
+  p.pdp_peak = 0.999;
+  const Spad spad(p, Wavelength::nanometres(480.0));
+  RngStream rng(61);
+  std::vector<PhotonArrival> photons{
+      {Time::nanoseconds(-5.0), true},
+      {Time::nanoseconds(150.0), true},
+  };
+  const auto dets = spad.detect(photons, Time::zero(), Time::nanoseconds(100.0), rng);
+  EXPECT_TRUE(dets.empty());
+}
+
+TEST(Spad, RejectsBadParams) {
+  SpadParams p;
+  p.dead_time = Time::zero();
+  EXPECT_THROW(Spad(p, Wavelength::nanometres(480.0)), std::invalid_argument);
+  p = SpadParams{};
+  p.afterpulse_probability = 1.0;
+  EXPECT_THROW(Spad(p, Wavelength::nanometres(480.0)), std::invalid_argument);
+}
+
+TEST(Spad, DetectionsSortedByTimestamp) {
+  SpadParams p = quiet_spad();
+  p.pdp_peak = 0.9;
+  p.jitter_sigma = Time::picoseconds(200.0);
+  const Spad spad(p, Wavelength::nanometres(480.0));
+  RngStream rng(67);
+  std::vector<PhotonArrival> photons;
+  for (int i = 0; i < 50; ++i) photons.push_back({Time::nanoseconds(45.0 * i), true});
+  const auto dets =
+      spad.detect(photons, Time::zero(), Time::microseconds(3.0), rng);
+  for (std::size_t i = 1; i < dets.size(); ++i) {
+    EXPECT_LE(dets[i - 1].time.seconds(), dets[i].time.seconds());
+  }
+}
+
+}  // namespace

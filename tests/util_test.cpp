@@ -1,0 +1,368 @@
+// Unit tests for oci::util -- units, RNG streams, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "oci/util/math.hpp"
+#include "oci/util/random.hpp"
+#include "oci/util/statistics.hpp"
+#include "oci/util/table.hpp"
+#include "oci/util/units.hpp"
+
+namespace {
+
+using namespace oci::util;
+
+// ---------- units ----------
+
+TEST(Units, TimeFactoriesRoundTrip) {
+  EXPECT_DOUBLE_EQ(Time::nanoseconds(5.0).seconds(), 5e-9);
+  EXPECT_DOUBLE_EQ(Time::picoseconds(52.0).nanoseconds(), 0.052);
+  EXPECT_DOUBLE_EQ(Time::microseconds(1.0).picoseconds(), 1e6);
+  EXPECT_DOUBLE_EQ(Time::milliseconds(2.0).seconds(), 2e-3);
+}
+
+TEST(Units, TimeArithmetic) {
+  const Time a = Time::nanoseconds(3.0);
+  const Time b = Time::nanoseconds(2.0);
+  EXPECT_DOUBLE_EQ((a + b).nanoseconds(), 5.0);
+  EXPECT_DOUBLE_EQ((a - b).nanoseconds(), 1.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).nanoseconds(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).nanoseconds(), 1.5);
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a, Time::nanoseconds(3.0));
+}
+
+TEST(Units, TimeCompoundAssignment) {
+  Time t = Time::nanoseconds(1.0);
+  t += Time::nanoseconds(2.0);
+  EXPECT_DOUBLE_EQ(t.nanoseconds(), 3.0);
+  t -= Time::nanoseconds(0.5);
+  EXPECT_DOUBLE_EQ(t.nanoseconds(), 2.5);
+  t *= 4.0;
+  EXPECT_DOUBLE_EQ(t.nanoseconds(), 10.0);
+}
+
+TEST(Units, FrequencyPeriodInverse) {
+  const Frequency f = Frequency::megahertz(200.0);
+  EXPECT_DOUBLE_EQ(f.period().nanoseconds(), 5.0);
+  EXPECT_DOUBLE_EQ(inverse(Time::nanoseconds(5.0)).megahertz(), 200.0);
+}
+
+TEST(Units, EnergyPowerTimeRelations) {
+  const Power p = Power::milliwatts(2.0);
+  const Time t = Time::nanoseconds(10.0);
+  const Energy e = p * t;
+  EXPECT_DOUBLE_EQ(e.picojoules(), 20.0);
+  EXPECT_DOUBLE_EQ((e / t).milliwatts(), 2.0);
+  EXPECT_DOUBLE_EQ((e / p).nanoseconds(), 10.0);
+}
+
+TEST(Units, SwitchingEnergyCV2) {
+  const Energy e = switching_energy(Capacitance::picofarads(2.0), Voltage::volts(1.2));
+  EXPECT_NEAR(e.picojoules(), 2.0 * 1.2 * 1.2, 1e-12);
+}
+
+TEST(Units, PhotonEnergyVisible) {
+  // 450 nm photon: E = hc/lambda ~ 4.414e-19 J.
+  const Energy e = photon_energy(Wavelength::nanometres(450.0));
+  EXPECT_NEAR(e.joules(), 4.414e-19, 5e-22);
+}
+
+TEST(Units, PhotonCountScalesWithEnergy) {
+  const Wavelength wl = Wavelength::nanometres(450.0);
+  const double n1 = photon_count(Energy::femtojoules(15.0), wl);
+  const double n2 = photon_count(Energy::femtojoules(30.0), wl);
+  EXPECT_NEAR(n2 / n1, 2.0, 1e-12);
+  EXPECT_GT(n1, 1.0e4);  // 15 fJ of blue light is tens of thousands of photons
+}
+
+TEST(Units, TemperatureCelsiusKelvin) {
+  EXPECT_DOUBLE_EQ(Temperature::celsius(20.0).kelvin(), 293.15);
+  EXPECT_NEAR(Temperature::kelvin(300.0).celsius(), 26.85, 1e-9);
+}
+
+TEST(Units, BitRateConversions) {
+  EXPECT_DOUBLE_EQ(BitRate::gigabits_per_second(2.5).bits_per_second(), 2.5e9);
+  EXPECT_DOUBLE_EQ(bits_over(10.0, Time::nanoseconds(5.0)).gigabits_per_second(), 2.0);
+}
+
+TEST(Units, WavelengthDistinctFromLength) {
+  static_assert(!std::is_same_v<Wavelength, Length>);
+  EXPECT_DOUBLE_EQ(Wavelength::nanometres(850.0).micrometres(), 0.85);
+}
+
+// ---------- math ----------
+
+TEST(MathHelpers, PowerOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(96));
+}
+
+TEST(MathHelpers, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(96), 6u);  // floor(log2 96)
+  EXPECT_EQ(ilog2(128), 7u);
+  EXPECT_THROW(ilog2(0), std::invalid_argument);
+}
+
+TEST(MathHelpers, BitsFor) {
+  EXPECT_EQ(bits_for(1), 0u);
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(256), 8u);
+  EXPECT_EQ(bits_for(257), 9u);
+}
+
+TEST(MathHelpers, GrayCodeRoundTrip) {
+  for (std::uint64_t v = 0; v < 1024; ++v) {
+    EXPECT_EQ(from_gray(to_gray(v)), v);
+  }
+}
+
+TEST(MathHelpers, GrayAdjacencyProperty) {
+  // Consecutive values differ in exactly one bit of their Gray code.
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const std::uint64_t diff = to_gray(v) ^ to_gray(v + 1);
+    EXPECT_EQ(std::popcount(diff), 1) << "at v=" << v;
+  }
+}
+
+// ---------- random ----------
+
+TEST(Random, Deterministic) {
+  RngStream a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Random, LabelledStreamsDiffer) {
+  RngStream a(42, "spad"), b(42, "tdc");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Random, DeriveSeedDependsOnLabel) {
+  EXPECT_NE(derive_seed(1, "x"), derive_seed(1, "y"));
+  EXPECT_NE(derive_seed(1, "x"), derive_seed(2, "x"));
+  EXPECT_EQ(derive_seed(7, "abc"), derive_seed(7, "abc"));
+}
+
+TEST(Random, UniformRange) {
+  RngStream rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Random, UniformIntInclusive) {
+  RngStream rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, NormalMoments) {
+  RngStream rng(11);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Random, ExponentialMean) {
+  RngStream rng(13);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential_mean(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(Random, PoissonMean) {
+  RngStream rng(17);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(static_cast<double>(rng.poisson(6.5)));
+  EXPECT_NEAR(s.mean(), 6.5, 0.1);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Random, BernoulliEdges) {
+  RngStream rng(19);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Random, TimeDraws) {
+  RngStream rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = rng.uniform_time(Time::nanoseconds(5.0));
+    EXPECT_GE(t.seconds(), 0.0);
+    EXPECT_LT(t.nanoseconds(), 5.0);
+  }
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(rng.exponential_time(Time::nanoseconds(50.0)).nanoseconds());
+  }
+  EXPECT_NEAR(s.mean(), 50.0, 1.5);
+}
+
+TEST(Random, ForkProducesIndependentStream) {
+  RngStream a(42);
+  RngStream child = a.fork("child");
+  RngStream parent_copy(42);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.uniform() == parent_copy.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+// ---------- statistics ----------
+
+TEST(Stats, RunningBasics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(Stats, RunningEmpty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, MergeMatchesBulk) {
+  RngStream rng(29);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, HistogramBinning) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.count(b), 1u);
+  h.add(-1.0);
+  h.add(10.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 10u);  // out-of-range not in total
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.1);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Stats, HistogramRejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Stats, WilsonIntervalBrackets) {
+  const auto e = wilson_interval(10, 1000);
+  EXPECT_NEAR(e.p, 0.01, 1e-12);
+  EXPECT_LT(e.lo, 0.01);
+  EXPECT_GT(e.hi, 0.01);
+  EXPECT_GE(e.lo, 0.0);
+  EXPECT_LE(e.hi, 1.0);
+}
+
+TEST(Stats, WilsonIntervalZeroTrials) {
+  const auto e = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(e.p, 0.0);
+  EXPECT_DOUBLE_EQ(e.lo, 0.0);
+  EXPECT_DOUBLE_EQ(e.hi, 0.0);
+}
+
+TEST(Stats, WilsonZeroSuccesses) {
+  const auto e = wilson_interval(0, 10000);
+  EXPECT_DOUBLE_EQ(e.p, 0.0);
+  EXPECT_DOUBLE_EQ(e.lo, 0.0);
+  EXPECT_GT(e.hi, 0.0);  // upper bound stays informative
+  EXPECT_LT(e.hi, 1e-3);
+}
+
+TEST(Stats, QuantileSorted) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.0);
+  EXPECT_THROW(quantile_sorted(std::span<const double>{}, 0.5), std::invalid_argument);
+}
+
+// ---------- table ----------
+
+TEST(Table, AlignedOutputContainsHeadersAndCells) {
+  Table t({"name", "value"});
+  t.new_row().add_cell("alpha").add_cell(1.5, 2);
+  t.new_row().add_cell("beta").add_cell(std::int64_t{42});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.new_row().add_cell("x,y").add_sci(1234.5);
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("a,b"), std::string::npos);
+  EXPECT_NE(s.find("x;y"), std::string::npos);  // comma sanitised
+}
+
+TEST(Table, MisuseThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_cell("no row yet"), std::logic_error);
+  t.new_row().add_cell("ok");
+  EXPECT_THROW(t.add_cell("row full"), std::logic_error);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, SiFormat) {
+  EXPECT_EQ(si_format(2.5e9, "bps", 1), "2.5 Gbps");
+  EXPECT_EQ(si_format(5.0e-9, "s", 1), "5.0 ns");
+  EXPECT_EQ(si_format(0.0, "W", 1), "0 W");
+  EXPECT_EQ(si_format(-3.0e6, "Hz", 0), "-3 MHz");
+}
+
+}  // namespace
