@@ -64,7 +64,7 @@ void print_reproduction() {
     RngStream rng(kSeed, "deadtime");
     const link::OpticalLink link(cfg, rng);
     RngStream tx(kSeed, "deadtime-tx");
-    return link.measure(10000, tx);
+    return link.measure(analysis::scaled(10000, 500), tx);
   };
 
   util::Table v({"configuration", "DC [ns]", "SER", "erasure fraction", "goodput"});

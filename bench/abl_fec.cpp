@@ -20,7 +20,7 @@ using util::RngStream;
 using util::Time;
 
 constexpr std::uint64_t kSeed = 20080608;
-constexpr int kTransfers = 150;
+const int kTransfers = static_cast<int>(analysis::scaled(150, 20));
 
 link::OpticalLinkConfig jittery_config(double jitter_ps) {
   link::OpticalLinkConfig c;
@@ -31,7 +31,7 @@ link::OpticalLinkConfig jittery_config(double jitter_ps) {
   c.led.pulse_width = Time::picoseconds(100.0);
   c.spad.jitter_sigma = Time::picoseconds(jitter_ps);
   c.spad.dcr_at_ref = util::Frequency::hertz(350.0);
-  c.calibration_samples = 150000;
+  c.calibration_samples = analysis::scaled(150000, 5000);
   return c;
 }
 

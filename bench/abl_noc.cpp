@@ -14,15 +14,23 @@
 //  (c) layer coupling -- the per-transfer delivery probability comes
 //      from the photon-level Monte Carlo link (FEC frame delivery at
 //      measured jitter), and ARQ turns residual loss into latency.
+//
+// Every (load, policy) and (jitter) point is an independent slot/photon
+// simulation, so the sweeps fan out over a sim::BatchRunner pool; the
+// per-point RNG streams derive from (seed, label, point index) and the
+// printed tables are bit-identical for any OCI_BATCH_THREADS setting.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "oci/analysis/report.hpp"
 #include "oci/link/fec_link.hpp"
 #include "oci/link/optical_link.hpp"
 #include "oci/net/stack_network.hpp"
+#include "oci/sim/batch_runner.hpp"
 #include "oci/util/table.hpp"
 
 namespace {
@@ -34,8 +42,15 @@ using util::RngStream;
 using util::Time;
 
 constexpr std::uint64_t kSeed = 20080616;
-constexpr std::uint64_t kSlots = 60000;
 constexpr std::size_t kDies = 8;
+
+std::uint64_t slots() { return analysis::scaled(60000, 1000); }
+
+sim::BatchRunner make_runner() {
+  sim::BatchConfig cfg;
+  cfg.root_seed = kSeed;
+  return sim::BatchRunner(cfg);
+}
 
 StackNetworkConfig traffic_config(double aggregate_load) {
   StackNetworkConfig c;
@@ -58,27 +73,36 @@ std::unique_ptr<net::MacPolicy> make_mac(const std::string& kind) {
   return std::make_unique<net::AlohaMac>(1.0 / static_cast<double>(kDies));
 }
 
-void saturation_table() {
+void saturation_table(const sim::BatchRunner& runner) {
+  const std::vector<double> loads{0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3};
+  const std::vector<std::string> kinds{"tdma", "token", "token+pass", "aloha"};
+
+  struct Point {
+    double carried = 0.0;
+    double p99 = 0.0;
+  };
+  // One pool task per (load, policy) pair -- 28 independent slot sims.
+  const auto points = runner.map(
+      loads.size() * kinds.size(), "saturation", [&](std::size_t i, RngStream& rng) {
+        const double load = loads[i / kinds.size()];
+        const std::string& kind = kinds[i % kinds.size()];
+        StackNetwork netw(traffic_config(load), make_mac(kind));
+        const auto r = netw.run(slots(), rng);
+        return Point{r.carried_load(), r.latency.p99_slots};
+      });
+
   util::Table t({"offered load", "tdma carried", "tdma p99", "token carried",
                  "token p99", "token+pass carried", "aloha carried"});
-  for (double load : {0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3}) {
-    std::vector<double> carried;
-    std::vector<double> p99;
-    for (const std::string kind : {"tdma", "token", "token+pass", "aloha"}) {
-      StackNetwork netw(traffic_config(load), make_mac(kind));
-      RngStream rng(kSeed + static_cast<std::uint64_t>(load * 100), kind);
-      const auto r = netw.run(kSlots, rng);
-      carried.push_back(r.carried_load());
-      p99.push_back(r.latency.p99_slots);
-    }
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    const Point* row = &points[li * kinds.size()];
     t.new_row()
-        .add_cell(load, 1)
-        .add_cell(carried[0], 3)
-        .add_cell(p99[0], 0)
-        .add_cell(carried[1], 3)
-        .add_cell(p99[1], 0)
-        .add_cell(carried[2], 3)
-        .add_cell(carried[3], 3);
+        .add_cell(loads[li], 1)
+        .add_cell(row[0].carried, 3)
+        .add_cell(row[0].p99, 0)
+        .add_cell(row[1].carried, 3)
+        .add_cell(row[1].p99, 0)
+        .add_cell(row[2].carried, 3)
+        .add_cell(row[3].carried, 3);
   }
   t.print(std::cout);
   std::cout
@@ -89,25 +113,36 @@ void saturation_table() {
          "near 1/e ~ 0.37 and sheds everything beyond it.\n\n";
 }
 
-void hotspot_table() {
+void hotspot_table(const sim::BatchRunner& runner) {
+  const std::vector<std::string> kinds{"tdma", "token"};
+
+  struct Row {
+    double hot_rate = 0.0;
+    double p99 = 0.0;
+    double util = 0.0;
+  };
+  const auto rows =
+      runner.map(kinds.size(), "hotspot", [&](std::size_t i, RngStream& rng) {
+        auto cfg = traffic_config(0.08);  // light background everywhere
+        cfg.traffic[3].packets_per_slot = 0.9;  // hot die
+        cfg.queue_capacity = 4096;
+        StackNetwork netw(cfg, make_mac(kinds[i]));
+        const auto r = netw.run(slots(), rng);
+        return Row{static_cast<double>(r.per_die[3].delivered) /
+                       static_cast<double>(r.slots),
+                   r.latency.p99_slots,
+                   1.0 - static_cast<double>(r.idle_slots) /
+                             static_cast<double>(r.slots)};
+      });
+
   util::Table t({"policy", "hot-die delivered/slot", "p99 [slots]",
                  "bus utilisation"});
-  for (const std::string kind : {"tdma", "token"}) {
-    auto cfg = traffic_config(0.08);  // light background everywhere
-    cfg.traffic[3].packets_per_slot = 0.9;  // hot die
-    cfg.queue_capacity = 4096;
-    StackNetwork netw(cfg, make_mac(kind));
-    RngStream rng(kSeed, kind + "-hot");
-    const auto r = netw.run(kSlots, rng);
-    const double hot_rate = static_cast<double>(r.per_die[3].delivered) /
-                            static_cast<double>(r.slots);
-    const double util =
-        1.0 - static_cast<double>(r.idle_slots) / static_cast<double>(r.slots);
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
     t.new_row()
-        .add_cell(std::string(kind))
-        .add_cell(hot_rate, 3)
-        .add_cell(r.latency.p99_slots, 0)
-        .add_cell(util, 3);
+        .add_cell(std::string(kinds[i]))
+        .add_cell(rows[i].hot_rate, 3)
+        .add_cell(rows[i].p99, 0)
+        .add_cell(rows[i].util, 3);
   }
   t.print(std::cout);
   std::cout
@@ -118,54 +153,69 @@ void hotspot_table() {
          "of magnitude.\n\n";
 }
 
-void layer_coupling_table() {
+void layer_coupling_table(const sim::BatchRunner& runner) {
   // Per-transfer delivery probability measured on the photon-level
   // link at each jitter, then fed to the packet simulation with ARQ.
-  link::OpticalLinkConfig lc;
-  lc.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
-  lc.bits_per_symbol = 8;
-  lc.channel_transmittance = 0.8;
-  lc.led.peak_power = util::Power::microwatts(50.0);
-  lc.led.pulse_width = Time::picoseconds(100.0);
-  lc.spad.dcr_at_ref = util::Frequency::hertz(350.0);
-  lc.calibration_samples = 100000;
-
+  // Each jitter point runs its own link calibration + slot sim task.
+  const std::vector<double> jitters{60.0, 120.0, 150.0, 180.0};
   const std::vector<std::uint8_t> payload(12, 0xA5);
+  const int probes = static_cast<int>(analysis::scaled(150, 20));
+
+  struct Row {
+    double p = 0.0;
+    double carried = 0.0;
+    double mean_latency = 0.0;
+    double p99 = 0.0;
+    double drops = 0.0;
+  };
+  const auto rows = runner.map(
+      jitters.size(), "layer-coupling", [&](std::size_t i, RngStream& rng) {
+        link::OpticalLinkConfig lc;
+        lc.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+        lc.bits_per_symbol = 8;
+        lc.channel_transmittance = 0.8;
+        lc.led.peak_power = util::Power::microwatts(50.0);
+        lc.led.pulse_width = Time::picoseconds(100.0);
+        lc.spad.dcr_at_ref = util::Frequency::hertz(350.0);
+        lc.calibration_samples = analysis::scaled(100000, 5000);
+        lc.spad.jitter_sigma = Time::picoseconds(jitters[i]);
+
+        RngStream process = rng.fork("link");
+        const link::OpticalLink link(lc, process);
+        const link::FecLink fec(link);
+        RngStream tx = rng.fork("tx");
+        int ok = 0;
+        for (int k = 0; k < probes; ++k) {
+          if (auto r = fec.transfer(payload, tx); r.payload && *r.payload == payload) ++ok;
+        }
+        const double p = static_cast<double>(ok) / probes;
+
+        auto cfg = traffic_config(0.6);
+        cfg.delivery_probability = std::max(p, 0.01);
+        cfg.max_attempts = 6;
+        // Slot wall-clock: framed packet symbols x the link symbol period.
+        const std::uint64_t symbols =
+            net::symbols_per_packet(payload.size(), link.bits_per_symbol());
+        cfg.slot_duration = link.symbol_period() * static_cast<double>(symbols);
+        StackNetwork netw(cfg, make_mac("token"));
+        RngStream run = rng.fork("run");
+        const auto r = netw.run(slots(), run);
+        std::uint64_t drops = 0;
+        for (const auto& d : r.per_die) drops += d.retry_drops;
+        return Row{p, r.carried_load(), r.latency.mean_slots,
+                   r.latency.p99_slots, static_cast<double>(drops)};
+      });
 
   util::Table t({"jitter [ps]", "frame delivery p", "net goodput [pkt/slot]",
                  "mean latency [slots]", "p99 [slots]", "retry drops"});
-  for (double jitter : {60.0, 120.0, 150.0, 180.0}) {
-    lc.spad.jitter_sigma = Time::picoseconds(jitter);
-    RngStream process(kSeed, "noc-link");
-    const link::OpticalLink link(lc, process);
-    const link::FecLink fec(link);
-    RngStream tx(kSeed, "noc-link-tx");
-    int ok = 0;
-    const int probes = 150;
-    for (int i = 0; i < probes; ++i) {
-      if (auto r = fec.transfer(payload, tx); r.payload && *r.payload == payload) ++ok;
-    }
-    const double p = static_cast<double>(ok) / probes;
-
-    auto cfg = traffic_config(0.6);
-    cfg.delivery_probability = std::max(p, 0.01);
-    cfg.max_attempts = 6;
-    // Slot wall-clock: framed packet symbols x the link symbol period.
-    const std::uint64_t symbols =
-        net::symbols_per_packet(payload.size(), link.bits_per_symbol());
-    cfg.slot_duration = link.symbol_period() * static_cast<double>(symbols);
-    StackNetwork netw(cfg, make_mac("token"));
-    RngStream rng(kSeed + static_cast<std::uint64_t>(jitter), "noc-run");
-    const auto r = netw.run(kSlots, rng);
-    std::uint64_t drops = 0;
-    for (const auto& d : r.per_die) drops += d.retry_drops;
+  for (std::size_t i = 0; i < jitters.size(); ++i) {
     t.new_row()
-        .add_cell(jitter, 0)
-        .add_cell(p, 3)
-        .add_cell(r.carried_load(), 3)
-        .add_cell(r.latency.mean_slots, 1)
-        .add_cell(r.latency.p99_slots, 0)
-        .add_cell(static_cast<double>(drops), 0);
+        .add_cell(jitters[i], 0)
+        .add_cell(rows[i].p, 3)
+        .add_cell(rows[i].carried, 3)
+        .add_cell(rows[i].mean_latency, 1)
+        .add_cell(rows[i].p99, 0)
+        .add_cell(rows[i].drops, 0);
   }
   t.print(std::cout);
   std::cout
@@ -176,13 +226,15 @@ void layer_coupling_table() {
 }
 
 void print_reproduction() {
+  const sim::BatchRunner runner = make_runner();
   analysis::print_banner(std::cout, "Ablation 13: MAC on the optical stack bus",
                          "TDMA vs token vs slotted ALOHA at packet granularity, "
                          "coupled to the photon-level link",
                          kSeed);
-  saturation_table();
-  hotspot_table();
-  layer_coupling_table();
+  std::cout << "sweep threads = " << runner.threads() << "\n";
+  saturation_table(runner);
+  hotspot_table(runner);
+  layer_coupling_table(runner);
 }
 
 void BM_NetworkSlot(benchmark::State& state) {
@@ -193,6 +245,21 @@ void BM_NetworkSlot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NetworkSlot);
+
+void BM_SaturationSweep(benchmark::State& state) {
+  const sim::BatchRunner runner = make_runner();
+  const std::vector<std::string> kinds{"tdma", "token", "token+pass", "aloha"};
+  for (auto _ : state) {
+    const auto points = runner.map(
+        kinds.size() * 4, "bm-saturation", [&](std::size_t i, RngStream& rng) {
+          const double load = 0.3 * static_cast<double>(i / kinds.size() + 1);
+          StackNetwork netw(traffic_config(load), make_mac(kinds[i % kinds.size()]));
+          return netw.run(2000, rng).total_delivered();
+        });
+    benchmark::DoNotOptimize(points.data());
+  }
+}
+BENCHMARK(BM_SaturationSweep);
 
 }  // namespace
 

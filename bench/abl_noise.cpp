@@ -22,7 +22,7 @@ using util::RngStream;
 using util::Time;
 
 constexpr std::uint64_t kSeed = 20080608;
-constexpr std::uint64_t kSymbols = 20000;
+const std::uint64_t kSymbols = analysis::scaled(20000, 500);
 
 link::OpticalLinkConfig noise_config() {
   link::OpticalLinkConfig c;
@@ -30,7 +30,7 @@ link::OpticalLinkConfig noise_config() {
   c.bits_per_symbol = 5;
   c.channel_transmittance = 0.5;
   c.led.peak_power = util::Power::microwatts(50.0);
-  c.calibration_samples = 150000;
+  c.calibration_samples = analysis::scaled(150000, 5000);
   return c;
 }
 

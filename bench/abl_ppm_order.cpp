@@ -22,7 +22,7 @@ using util::RngStream;
 using util::Time;
 
 constexpr std::uint64_t kSeed = 20080608;
-constexpr std::uint64_t kSymbols = 20000;
+const std::uint64_t kSymbols = analysis::scaled(20000, 500);
 
 OpticalLinkConfig base_config() {
   OpticalLinkConfig c;
@@ -32,7 +32,7 @@ OpticalLinkConfig base_config() {
   c.led.pulse_width = Time::picoseconds(300.0);
   c.spad.jitter_sigma = Time::picoseconds(42.5);
   c.spad.dcr_at_ref = util::Frequency::hertz(350.0);
-  c.calibration_samples = 200000;
+  c.calibration_samples = analysis::scaled(200000, 5000);
   return c;
 }
 

@@ -35,7 +35,7 @@ using util::RngStream;
 using util::Time;
 
 constexpr std::uint64_t kSeed = 20080613;
-constexpr int kTransfers = 120;
+const int kTransfers = static_cast<int>(analysis::scaled(120, 20));
 
 link::OpticalLinkConfig base_config() {
   link::OpticalLinkConfig c;
@@ -45,7 +45,7 @@ link::OpticalLinkConfig base_config() {
   c.led.peak_power = util::Power::microwatts(50.0);
   c.led.pulse_width = Time::picoseconds(100.0);
   c.spad.dcr_at_ref = util::Frequency::hertz(350.0);
-  c.calibration_samples = 150000;
+  c.calibration_samples = analysis::scaled(150000, 5000);
   return c;
 }
 

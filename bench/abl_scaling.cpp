@@ -12,15 +12,22 @@
 //  (c) the cost: relative element mismatch grows as devices shrink, so
 //      the DNL the calibration must absorb grows with the node ladder
 //      (Monte Carlo of the delay line at each node's mismatch).
+//
+// All three sweeps fan out over a sim::BatchRunner thread pool; the
+// per-node RNG streams derive purely from (seed, label, node index),
+// so the tables are bit-identical for any OCI_BATCH_THREADS setting.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "oci/analysis/report.hpp"
 #include "oci/electrical/pad.hpp"
 #include "oci/electrical/scaling.hpp"
 #include "oci/link/optical_link.hpp"
 #include "oci/link/tradeoff.hpp"
+#include "oci/sim/batch_runner.hpp"
 #include "oci/tdc/calibration.hpp"
 #include "oci/tdc/tdc.hpp"
 #include "oci/util/table.hpp"
@@ -34,18 +41,35 @@ using util::Time;
 
 constexpr std::uint64_t kSeed = 20080615;
 
-void tdc_scaling_table() {
+sim::BatchRunner make_runner() {
+  sim::BatchConfig cfg;
+  cfg.root_seed = kSeed;
+  return sim::BatchRunner(cfg);
+}
+
+void tdc_scaling_table(const sim::BatchRunner& runner) {
   // Fixed SPAD: 40 ns dead time, so DC(N,C) >= 40 ns everywhere. At
   // each node pick the best feasible (N, C) with that node's delta.
   const Time dead = Time::nanoseconds(40.0);
+  const auto& ladder = electrical::technology_ladder();
+
+  const auto rows =
+      runner.map(ladder.size(), "tdc-design", [&](std::size_t i, RngStream&) {
+        return link::best_design(ladder[i].delay_element, dead, 8, 4096, 0, 10);
+      });
+
+  double tp_250 = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] && ladder[i].feature_nm == 250.0) tp_250 = rows[i]->tp.bits_per_second();
+  }
+
   util::Table t({"node", "delta [ps]", "best N", "best C", "bits/sample",
                  "TP [Mbps]", "TP gain vs 250nm"});
-  double tp_250 = 0.0;
-  for (const TechnologyNode& node : electrical::technology_ladder()) {
-    const auto best = link::best_design(node.delay_element, dead, 8, 4096, 0, 10);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& best = rows[i];
     if (!best) continue;
+    const TechnologyNode& node = ladder[i];
     const double tp = best->tp.bits_per_second();
-    if (node.feature_nm == 250.0) tp_250 = tp;
     t.new_row()
         .add_cell(std::string(node.name))
         .add_cell(node.delay_element.picoseconds(), 0)
@@ -67,6 +91,7 @@ void tdc_scaling_table() {
 }
 
 void energy_scaling_table() {
+  // Closed-form per-node arithmetic -- not worth fanning out.
   util::Table t({"node", "LED driver [fJ/pulse]", "optical E/bit [fJ]",
                  "pad E/bit [fJ]", "optical advantage"});
   for (const TechnologyNode& node : electrical::technology_ladder()) {
@@ -104,30 +129,40 @@ void energy_scaling_table() {
          "load, so the optical energy advantage widens down the ladder.\n\n";
 }
 
-void mismatch_table() {
+void mismatch_table(const sim::BatchRunner& runner) {
   // Monte Carlo the delay line at each node's mismatch and report the
   // uncalibrated DNL spread the periodic calibration has to absorb.
+  // This is the heaviest sweep here: one 200k-sample code-density test
+  // per node, one node per pool task.
+  const auto& ladder = electrical::technology_ladder();
+  const auto samples = analysis::scaled(200000, 2000);
+
+  const auto rows = runner.map(
+      ladder.size(), "mismatch", [&](std::size_t i, RngStream& rng) {
+        const TechnologyNode& node = ladder[i];
+        tdc::DelayLineParams lp;
+        // 96 code elements plus margin so a slow-corner draw still covers
+        // the clock period (same rule the production link applies).
+        lp.elements = 108;
+        lp.nominal_delay = node.delay_element;
+        lp.mismatch_sigma = node.mismatch_sigma;
+        RngStream process = rng.fork("process");
+        const tdc::DelayLine line(lp, process);
+        tdc::TdcConfig cfg;
+        cfg.coarse_bits = 0;
+        cfg.clock_period = node.delay_element * 96.0;
+        const tdc::Tdc tdc(line, cfg);
+        RngStream hits = rng.fork("hits");
+        return tdc::code_density_test(tdc, samples, hits);
+      });
+
   util::Table t({"node", "mismatch sigma", "worst |DNL| [LSB]", "max |INL| [LSB]"});
-  for (const TechnologyNode& node : electrical::technology_ladder()) {
-    tdc::DelayLineParams lp;
-    // 96 code elements plus margin so a slow-corner draw still covers
-    // the clock period (same rule the production link applies).
-    lp.elements = 108;
-    lp.nominal_delay = node.delay_element;
-    lp.mismatch_sigma = node.mismatch_sigma;
-    RngStream rng(kSeed, node.name);
-    const tdc::DelayLine line(lp, rng);
-    tdc::TdcConfig cfg;
-    cfg.coarse_bits = 0;
-    cfg.clock_period = node.delay_element * 96.0;
-    const tdc::Tdc tdc(line, cfg);
-    RngStream hits(kSeed + 1, node.name);
-    const tdc::NonlinearityReport rep = tdc::code_density_test(tdc, 200000, hits);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
     t.new_row()
-        .add_cell(std::string(node.name))
-        .add_cell(node.mismatch_sigma, 3)
-        .add_cell(rep.max_abs_dnl, 2)
-        .add_cell(rep.max_abs_inl, 2);
+        .add_cell(std::string(ladder[i].name))
+        .add_cell(ladder[i].mismatch_sigma, 3)
+        .add_cell(rows[i].max_abs_dnl, 2)
+        .add_cell(rows[i].max_abs_inl, 2);
   }
   t.print(std::cout);
   std::cout
@@ -138,13 +173,15 @@ void mismatch_table() {
 }
 
 void print_reproduction() {
+  const sim::BatchRunner runner = make_runner();
   analysis::print_banner(std::cout, "Ablation 12: DSM technology scaling",
                          "TDC throughput, energy per bit, and mismatch across "
                          "the 250 nm -> 32 nm ladder",
                          kSeed);
-  tdc_scaling_table();
+  std::cout << "sweep threads = " << runner.threads() << "\n";
+  tdc_scaling_table(runner);
   energy_scaling_table();
-  mismatch_table();
+  mismatch_table(runner);
 }
 
 void BM_BestDesignAcrossLadder(benchmark::State& state) {
@@ -156,6 +193,30 @@ void BM_BestDesignAcrossLadder(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BestDesignAcrossLadder);
+
+void BM_MismatchSweep(benchmark::State& state) {
+  const sim::BatchRunner runner = make_runner();
+  const auto& ladder = electrical::technology_ladder();
+  for (auto _ : state) {
+    const auto rows = runner.map(
+        ladder.size(), "bm-mismatch", [&](std::size_t i, RngStream& rng) {
+          tdc::DelayLineParams lp;
+          lp.elements = 108;
+          lp.nominal_delay = ladder[i].delay_element;
+          lp.mismatch_sigma = ladder[i].mismatch_sigma;
+          RngStream process = rng.fork("process");
+          const tdc::DelayLine line(lp, process);
+          tdc::TdcConfig cfg;
+          cfg.coarse_bits = 0;
+          cfg.clock_period = ladder[i].delay_element * 96.0;
+          const tdc::Tdc tdc(line, cfg);
+          RngStream hits = rng.fork("hits");
+          return tdc::code_density_test(tdc, 20000, hits);
+        });
+    benchmark::DoNotOptimize(rows.data());
+  }
+}
+BENCHMARK(BM_MismatchSweep);
 
 }  // namespace
 

@@ -28,7 +28,7 @@ using util::Time;
 using util::Wavelength;
 
 constexpr std::uint64_t kSeed = 20080614;
-constexpr std::uint64_t kSymbols = 400;
+const std::uint64_t kSymbols = analysis::scaled(400, 40);
 
 link::WdmLinkConfig base_config() {
   link::WdmLinkConfig c;
@@ -42,7 +42,7 @@ link::WdmLinkConfig base_config() {
   c.base.led.peak_power = util::Power::microwatts(2.0);
   c.base.spad.jitter_sigma = Time::picoseconds(40.0);
   c.base.spad.dcr_at_ref = util::Frequency::hertz(350.0);
-  c.base.calibration_samples = 30000;
+  c.base.calibration_samples = analysis::scaled(30000, 2000);
   c.path_transmittance = 0.3;
   return c;
 }

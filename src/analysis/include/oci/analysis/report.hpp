@@ -33,4 +33,14 @@ void ascii_shademap(std::ostream& os, const std::vector<std::vector<double>>& fi
 /// crosses `level`. Used to print DC contour positions.
 [[nodiscard]] std::vector<double> contour_crossings(std::span<const double> row, double level);
 
+/// Workload scale factor for reproduction runs: the OCI_REPRO_SCALE
+/// environment variable parsed as a double clamped to (0, 1], read once
+/// per process; 1.0 when unset or unparseable. CI smoke runs set a tiny
+/// scale so every bench binary executes end-to-end in seconds.
+[[nodiscard]] double repro_scale();
+
+/// `n` Monte-Carlo samples/slots/probes scaled by repro_scale(), never
+/// below `lo` so the statistics code still has something to chew on.
+[[nodiscard]] std::uint64_t scaled(std::uint64_t n, std::uint64_t lo = 1);
+
 }  // namespace oci::analysis

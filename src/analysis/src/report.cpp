@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <limits>
 #include <ostream>
@@ -87,6 +88,24 @@ std::vector<double> contour_crossings(std::span<const double> row, double level)
     }
   }
   return out;
+}
+
+double repro_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("OCI_REPRO_SCALE");
+    if (!env) return 1.0;
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || !(v > 0.0)) return 1.0;
+    return std::min(v, 1.0);
+  }();
+  return scale;
+}
+
+std::uint64_t scaled(std::uint64_t n, std::uint64_t lo) {
+  const auto s = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(n) * repro_scale()));
+  return std::max(s, lo);
 }
 
 }  // namespace oci::analysis

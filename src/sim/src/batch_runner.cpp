@@ -1,0 +1,80 @@
+#include "oci/sim/batch_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace oci::sim {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (const char* env = std::getenv("OCI_BATCH_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    // Reject a leading '-' explicitly: strtoul wraps negatives around.
+    if (env[0] != '-' && end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(BatchConfig cfg)
+    : cfg_(cfg), threads_(resolve_threads(cfg.threads)) {}
+
+util::RngStream BatchRunner::task_stream(std::string_view label,
+                                         std::size_t index) const {
+  // Label selects a sweep-wide stream family; the index is folded in
+  // with an odd multiplier plus one more splitmix64 round so adjacent
+  // tasks land on decorrelated engine seeds.
+  std::uint64_t state = util::derive_seed(cfg_.root_seed, label) ^
+                        (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(index) + 1));
+  return util::RngStream(util::splitmix64(state));
+}
+
+void BatchRunner::for_each_index(
+    std::size_t tasks, const std::function<void(std::size_t)>& fn) const {
+  if (tasks == 0) return;
+  const std::size_t workers = std::min(threads_, tasks);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Stop handing out further tasks; in-flight ones finish.
+        next.store(tasks, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is the last worker
+  for (std::thread& th : pool) th.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace oci::sim

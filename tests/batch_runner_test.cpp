@@ -1,0 +1,137 @@
+// Unit tests for the parallel Monte-Carlo sweep engine: determinism
+// across thread counts, per-task stream independence, reduction
+// merging, and error propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "oci/sim/batch_runner.hpp"
+#include "oci/util/random.hpp"
+#include "oci/util/statistics.hpp"
+
+namespace {
+
+using oci::sim::BatchConfig;
+using oci::sim::BatchRunner;
+using oci::util::RngStream;
+using oci::util::RunningStats;
+
+BatchRunner make_runner(std::size_t threads, std::uint64_t seed = 20080615) {
+  BatchConfig cfg;
+  cfg.threads = threads;
+  cfg.root_seed = seed;
+  return BatchRunner(cfg);
+}
+
+// A stochastic per-task workload: several dependent draws so any
+// cross-task stream sharing or reordering would change the result.
+double mc_task(std::size_t i, RngStream& rng) {
+  double acc = static_cast<double>(i);
+  for (int k = 0; k < 100; ++k) {
+    acc += rng.normal(0.0, 1.0) * rng.uniform();
+    if (rng.bernoulli(0.3)) acc += static_cast<double>(rng.poisson(4.0));
+  }
+  return acc;
+}
+
+TEST(BatchRunner, MapIsBitIdenticalAcrossThreadCounts) {
+  const auto serial = make_runner(1).map(64, "mc", mc_task);
+  for (std::size_t threads : {2u, 3u, 8u}) {
+    const auto parallel = make_runner(threads).map(64, "mc", mc_task);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      // Bitwise equality, not tolerance: same stream, same arithmetic.
+      EXPECT_EQ(serial[i], parallel[i]) << "task " << i << " diverged at "
+                                        << threads << " threads";
+    }
+  }
+}
+
+TEST(BatchRunner, ReduceMergesPartialsDeterministically) {
+  auto body = [](std::size_t i, RngStream& rng, RunningStats& stats) {
+    for (int k = 0; k < 50; ++k) stats.add(mc_task(i, rng));
+  };
+  const RunningStats serial = make_runner(1).reduce(16, "reduce", body);
+  const RunningStats parallel = make_runner(4).reduce(16, "reduce", body);
+  EXPECT_EQ(serial.count(), parallel.count());
+  EXPECT_EQ(serial.mean(), parallel.mean());
+  EXPECT_EQ(serial.variance(), parallel.variance());
+  EXPECT_EQ(serial.min(), parallel.min());
+  EXPECT_EQ(serial.max(), parallel.max());
+  EXPECT_EQ(serial.count(), 16u * 50u);
+}
+
+TEST(BatchRunner, TaskStreamsAreDecorrelatedAcrossIndexAndLabel) {
+  const BatchRunner runner = make_runner(1);
+  std::set<std::uint64_t> first_draws;
+  for (std::size_t i = 0; i < 256; ++i) {
+    RngStream a = runner.task_stream("alpha", i);
+    RngStream b = runner.task_stream("beta", i);
+    EXPECT_NE(a.engine()(), b.engine()());
+    first_draws.insert(runner.task_stream("alpha", i).engine()());
+  }
+  // All 256 per-index streams produced distinct first draws.
+  EXPECT_EQ(first_draws.size(), 256u);
+}
+
+TEST(BatchRunner, TaskStreamIsIndependentOfPriorSweeps) {
+  const BatchRunner runner = make_runner(3);
+  const auto first = runner.map(8, "sweep", mc_task);
+  (void)runner.map(32, "other", mc_task);  // interleaved unrelated sweep
+  const auto second = runner.map(8, "sweep", mc_task);
+  EXPECT_EQ(first, second);
+}
+
+TEST(BatchRunner, CoversEveryIndexExactlyOnce) {
+  const BatchRunner runner = make_runner(4);
+  std::vector<std::atomic<int>> hits(1000);
+  runner.for_each_index(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(BatchRunner, PropagatesFirstTaskException) {
+  const BatchRunner runner = make_runner(4);
+  EXPECT_THROW(runner.for_each_index(64,
+                                     [](std::size_t i) {
+                                       if (i == 17) {
+                                         throw std::runtime_error("task 17");
+                                       }
+                                     }),
+               std::runtime_error);
+}
+
+TEST(BatchRunner, ZeroTasksIsANoOp) {
+  const BatchRunner runner = make_runner(4);
+  runner.for_each_index(0, [](std::size_t) { FAIL() << "must not be called"; });
+  EXPECT_TRUE(runner.map(0, "empty", mc_task).empty());
+}
+
+TEST(BatchRunner, DefaultThreadCountUsesHardware) {
+  if (std::getenv("OCI_BATCH_THREADS") != nullptr) {
+    GTEST_SKIP() << "OCI_BATCH_THREADS overrides the default";
+  }
+  const BatchRunner runner((BatchConfig()));
+  EXPECT_GE(runner.threads(), 1u);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    EXPECT_EQ(runner.threads(), hw);
+  }
+}
+
+TEST(BatchRunner, EnvVarOverridesThreadCount) {
+  ASSERT_EQ(setenv("OCI_BATCH_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(make_runner(8).threads(), 3u);
+  ASSERT_EQ(setenv("OCI_BATCH_THREADS", "garbage", 1), 0);
+  EXPECT_EQ(make_runner(8).threads(), 8u);
+  ASSERT_EQ(unsetenv("OCI_BATCH_THREADS"), 0);
+}
+
+}  // namespace

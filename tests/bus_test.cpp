@@ -65,7 +65,7 @@ TEST(Tdma, RejectsBadWeights) {
   EXPECT_THROW(TdmaSchedule({}), std::invalid_argument);
   EXPECT_THROW(TdmaSchedule({1, 0, 2}), std::invalid_argument);
   const TdmaSchedule s({1, 1});
-  EXPECT_THROW(s.next_slot(5, 0), std::out_of_range);
+  EXPECT_THROW((void)s.next_slot(5, 0), std::out_of_range);
 }
 
 // ---------- vertical bus ----------

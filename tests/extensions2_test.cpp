@@ -33,7 +33,7 @@ photonics::WaveguideParams wg_params() {
 TEST(Waveguide, DbHelpers) {
   EXPECT_NEAR(photonics::db_to_linear(3.0103), 0.5, 1e-4);
   EXPECT_NEAR(photonics::linear_to_db(0.1), 10.0, 1e-9);
-  EXPECT_THROW(photonics::linear_to_db(0.0), std::invalid_argument);
+  EXPECT_THROW((void)photonics::linear_to_db(0.0), std::invalid_argument);
 }
 
 TEST(Waveguide, LossBudgetAddsUp) {
@@ -56,7 +56,7 @@ TEST(Waveguide, MaxRouteInvertsLoss) {
   const photonics::Waveguide wg(wg_params());
   const Length max = wg.max_route(0.01, 2);  // 20 dB budget
   EXPECT_NEAR(wg.transmittance(max, 2), 0.01, 1e-6);
-  EXPECT_THROW(wg.max_route(0.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)wg.max_route(0.0, 0), std::invalid_argument);
 }
 
 TEST(Waveguide, CentimetreScaleReach) {
@@ -109,7 +109,7 @@ TEST(Pileup, CorrectionInvertsForward) {
   const Frequency truth = Frequency::megahertz(10.0);
   const Frequency measured = spad::nonparalyzable_rate(truth, tau);
   EXPECT_NEAR(spad::correct_nonparalyzable(measured, tau).hertz(), truth.hertz(), 1.0);
-  EXPECT_THROW(spad::correct_nonparalyzable(Frequency::megahertz(25.0), tau),
+  EXPECT_THROW((void)spad::correct_nonparalyzable(Frequency::megahertz(25.0), tau),
                std::invalid_argument);
 }
 
@@ -213,9 +213,9 @@ TEST(Sync, ValidatesInputs) {
   const auto cfg = sync_config();
   std::vector<Time> one{Time::zero()};
   std::vector<std::uint64_t> one_slot{0};
-  EXPECT_THROW(link::acquire_sync(one, one_slot, cfg), std::invalid_argument);
+  EXPECT_THROW((void)link::acquire_sync(one, one_slot, cfg), std::invalid_argument);
   std::vector<Time> two{Time::zero(), Time::zero()};
-  EXPECT_THROW(link::acquire_sync(two, one_slot, cfg), std::invalid_argument);
+  EXPECT_THROW((void)link::acquire_sync(two, one_slot, cfg), std::invalid_argument);
 }
 
 TEST(Sync, PhaseTrackerConverges) {
@@ -298,7 +298,7 @@ TEST(FecLink, NeverDeliversCorruptPayload) {
   const std::vector<std::uint8_t> payload{9, 8, 7, 6, 5};
   for (int i = 0; i < 40; ++i) {
     const auto r = fec.transfer(payload, tx);
-    if (r.payload) EXPECT_EQ(*r.payload, payload);
+    if (r.payload) { EXPECT_EQ(*r.payload, payload); }
   }
 }
 

@@ -265,9 +265,9 @@ TEST(ChannelArray, BestPitchIsInterior) {
 
 TEST(ChannelArray, RejectsBadInputs) {
   const auto cfg = array_config();
-  EXPECT_THROW(link::evaluate_pitch(cfg, Length::metres(0.0)), std::invalid_argument);
-  EXPECT_THROW(link::best_pitch(cfg, Length::micrometres(100.0),
-                                Length::micrometres(50.0), 8),
+  EXPECT_THROW((void)link::evaluate_pitch(cfg, Length::metres(0.0)), std::invalid_argument);
+  EXPECT_THROW((void)link::best_pitch(cfg, Length::micrometres(100.0),
+                                      Length::micrometres(50.0), 8),
                std::invalid_argument);
 }
 

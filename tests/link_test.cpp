@@ -81,7 +81,7 @@ TEST(Tradeoff, BestDesignIsFeasibleAndOptimal) {
   EXPECT_TRUE(best->feasible);
   for (const auto& p :
        sweep(Time::picoseconds(52.0), Time::nanoseconds(40.0), 8, 512, 0, 8)) {
-    if (p.feasible) EXPECT_LE(p.tp.bits_per_second(), best->tp.bits_per_second() + 1e-6);
+    if (p.feasible) { EXPECT_LE(p.tp.bits_per_second(), best->tp.bits_per_second() + 1e-6); }
   }
 }
 
@@ -94,8 +94,8 @@ TEST(Tradeoff, BestDesignRespectsDeadTimeMonotonically) {
 }
 
 TEST(Tradeoff, ValidationThrows) {
-  EXPECT_THROW(fine_range(TdcDesign{1, 2, Time::picoseconds(52.0)}), std::invalid_argument);
-  EXPECT_THROW(fine_range(TdcDesign{64, 2, Time::zero()}), std::invalid_argument);
+  EXPECT_THROW((void)fine_range(TdcDesign{1, 2, Time::picoseconds(52.0)}), std::invalid_argument);
+  EXPECT_THROW((void)fine_range(TdcDesign{64, 2, Time::zero()}), std::invalid_argument);
   EXPECT_THROW(sweep(Time::picoseconds(52.0), Time::nanoseconds(40.0), 64, 8, 0, 2),
                std::invalid_argument);
 }
@@ -142,8 +142,8 @@ TEST(Budget, RequiredPeakPowerClosesTheLoop) {
 TEST(Budget, RequiredPeakPowerRejectsBadTargets) {
   const oci::photonics::MicroLed led(bright_led());
   const oci::spad::Spad det(oci::spad::SpadParams{}, Wavelength::nanometres(450.0));
-  EXPECT_THROW(required_peak_power(led, 0.5, det, 1.0), std::invalid_argument);
-  EXPECT_THROW(required_peak_power(led, 0.0, det, 0.9), std::invalid_argument);
+  EXPECT_THROW((void)required_peak_power(led, 0.5, det, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)required_peak_power(led, 0.0, det, 0.9), std::invalid_argument);
 }
 
 // ---------- error model ----------

@@ -76,9 +76,9 @@ TEST(Ppm, BinaryLabellingAdjacentSlotsCanFlipMany) {
 
 TEST(Ppm, SymbolOutOfRangeThrows) {
   const PpmCodec codec(cfg(3));
-  EXPECT_THROW(codec.encode(8), std::invalid_argument);
-  EXPECT_THROW(codec.slot_for_symbol(9), std::invalid_argument);
-  EXPECT_THROW(codec.symbol_for_slot(8), std::invalid_argument);
+  EXPECT_THROW((void)codec.encode(8), std::invalid_argument);
+  EXPECT_THROW((void)codec.slot_for_symbol(9), std::invalid_argument);
+  EXPECT_THROW((void)codec.symbol_for_slot(8), std::invalid_argument);
 }
 
 TEST(Ppm, RejectsBadConfig) {
@@ -243,7 +243,7 @@ TEST(Ook, DecodeIgnoresOutOfRangeDetections) {
 TEST(Ook, DeadTimeLimitedRate) {
   EXPECT_DOUBLE_EQ(
       OokCodec::dead_time_limited_rate(Time::nanoseconds(40.0)).megabits_per_second(), 25.0);
-  EXPECT_THROW(OokCodec::dead_time_limited_rate(Time::zero()), std::invalid_argument);
+  EXPECT_THROW((void)OokCodec::dead_time_limited_rate(Time::zero()), std::invalid_argument);
 }
 
 TEST(Ook, BitRateIsInversePeriod) {

@@ -241,8 +241,8 @@ TEST(DieStack, RejectsBadSpecs) {
 
 TEST(DieStack, IndexOutOfRangeThrows) {
   const DieStack stack = DieStack::uniform(3, thin_die());
-  EXPECT_THROW(stack.transmittance(0, 5, Wavelength::nanometres(850.0)), std::out_of_range);
-  EXPECT_THROW(stack.silicon_path(5, 0), std::out_of_range);
+  EXPECT_THROW((void)stack.transmittance(0, 5, Wavelength::nanometres(850.0)), std::out_of_range);
+  EXPECT_THROW((void)stack.silicon_path(5, 0), std::out_of_range);
 }
 
 TEST(Crosstalk, DecaysWithPitch) {
@@ -276,7 +276,7 @@ TEST(PhotonStream, PulseSamplesInsideEnvelopeAndSorted) {
     EXPECT_GE(photons[i].time.seconds(), start.seconds());
     EXPECT_LE(photons[i].time.seconds(), (start + p.pulse_width).seconds() + 1e-15);
     EXPECT_TRUE(photons[i].is_signal);
-    if (i > 0) EXPECT_GE(photons[i].time.seconds(), photons[i - 1].time.seconds());
+    if (i > 0) { EXPECT_GE(photons[i].time.seconds(), photons[i - 1].time.seconds()); }
   }
 }
 

@@ -177,7 +177,7 @@ TEST_P(NetConservation, OfferedEqualsAccountedPlusBacklog) {
   for (const auto& d : r.per_die) accounted += d.delivered + d.queue_drops + d.retry_drops;
   EXPECT_EQ(r.total_offered(), accounted + netw.backlog());
   // Collisions only occur under random access.
-  if (kind != MacKind::kAloha) EXPECT_EQ(r.collision_slots, 0u);
+  if (kind != MacKind::kAloha) { EXPECT_EQ(r.collision_slots, 0u); }
   // Carried load can never exceed one packet per slot.
   EXPECT_LE(r.carried_load(), 1.0);
 }

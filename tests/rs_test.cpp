@@ -271,7 +271,7 @@ TEST(ReedSolomonCode, MixedBeyondBoundFails) {
   corrupted[27] ^= 0xF0;
   corrupted[5] ^= 0x3C;
   const auto result = rs.decode(corrupted, erasures);
-  if (result) EXPECT_NE(result->data, data);
+  if (result) { EXPECT_NE(result->data, data); }
 }
 
 TEST(ReedSolomonCode, ShortenedBlocksWork) {
@@ -429,6 +429,6 @@ TEST(RsLink, NeverDeliversCorruptPayload) {
   const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5, 6, 7, 8};
   for (int i = 0; i < 30; ++i) {
     const auto r = rs.transfer(payload, tx);
-    if (r.payload) EXPECT_EQ(*r.payload, payload);
+    if (r.payload) { EXPECT_EQ(*r.payload, payload); }
   }
 }

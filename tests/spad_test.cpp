@@ -78,7 +78,7 @@ TEST(Spad, RequiredMeanPhotonsInverts) {
   const Spad spad(quiet_spad(), Wavelength::nanometres(480.0));
   const double mu = spad.required_mean_photons(0.99);
   EXPECT_NEAR(spad.pulse_detection_probability(mu), 0.99, 1e-9);
-  EXPECT_THROW(spad.required_mean_photons(1.0), std::invalid_argument);
+  EXPECT_THROW((void)spad.required_mean_photons(1.0), std::invalid_argument);
   EXPECT_DOUBLE_EQ(spad.required_mean_photons(0.0), 0.0);
 }
 

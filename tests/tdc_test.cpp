@@ -377,7 +377,7 @@ TEST(Calibration, LutCorrectionReducesError) {
 TEST(Calibration, LutRejectsUse_WhenEmpty) {
   const CalibrationLut lut;
   EXPECT_FALSE(lut.valid());
-  EXPECT_THROW(lut.fine_interval(0), std::logic_error);
+  EXPECT_THROW((void)lut.fine_interval(0), std::logic_error);
 }
 
 TEST(Calibration, ZeroSamplesThrows) {
