@@ -1,0 +1,146 @@
+// Microbenchmarks for the zero-allocation hot path: the util samplers,
+// the fused TDC sample-and-decode, and the LinkEngine symbol loop
+// against the reference per-photon pipeline. CI runs this binary at
+// tiny scale and uploads the JSON (BENCH_link.json) so hot-path
+// regressions show up as artifact diffs, not anecdotes.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "oci/link/link_engine.hpp"
+#include "oci/link/optical_link.hpp"
+#include "oci/tdc/calibration.hpp"
+#include "oci/tdc/thermometer.hpp"
+#include "oci/util/samplers.hpp"
+
+namespace {
+
+using namespace oci;
+using util::RngStream;
+using util::Time;
+
+constexpr std::uint64_t kSeed = 20080608;
+
+// ---------- samplers ----------
+
+void BM_PoissonSamplerTable(benchmark::State& state) {
+  const util::PoissonSampler sampler(static_cast<double>(state.range(0)));
+  RngStream rng(kSeed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_PoissonSamplerTable)->Arg(2)->Arg(40)->Arg(800);
+
+void BM_PoissonGenericRng(benchmark::State& state) {
+  RngStream rng(kSeed);
+  const auto mean = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.poisson(mean));
+  }
+}
+BENCHMARK(BM_PoissonGenericRng)->Arg(2)->Arg(40)->Arg(800);
+
+void BM_AscendingUniformStream(benchmark::State& state) {
+  RngStream rng(kSeed);
+  for (auto _ : state) {
+    util::AscendingUniformStream order(100000);
+    double last = 0.0;
+    for (int i = 0; i < 64; ++i) last = order.next(rng);
+    benchmark::DoNotOptimize(last);
+  }
+}
+BENCHMARK(BM_AscendingUniformStream);
+
+// ---------- fused TDC sample+decode ----------
+
+tdc::DelayLine bench_line() {
+  tdc::DelayLineParams p;
+  p.elements = 108;
+  p.nominal_delay = Time::picoseconds(52.0);
+  p.mismatch_sigma = 0.12;
+  RngStream process(kSeed, "line");
+  return tdc::DelayLine(p, process);
+}
+
+void BM_SampleAndDecodeFused(benchmark::State& state) {
+  const tdc::DelayLine line = bench_line();
+  RngStream rng(kSeed, "fused");
+  const Time range = line.total_delay();
+  for (auto _ : state) {
+    const Time interval = rng.uniform_time(range);
+    benchmark::DoNotOptimize(
+        tdc::sample_and_decode(line, interval, rng, tdc::ThermometerDecode::kMajorityWindow));
+  }
+}
+BENCHMARK(BM_SampleAndDecodeFused);
+
+void BM_SampleAndDecodeMaterialised(benchmark::State& state) {
+  const tdc::DelayLine line = bench_line();
+  RngStream rng(kSeed, "naive");
+  const Time range = line.total_delay();
+  for (auto _ : state) {
+    const Time interval = rng.uniform_time(range);
+    benchmark::DoNotOptimize(
+        tdc::decode_thermometer(line.sample(interval, rng),
+                                tdc::ThermometerDecode::kMajorityWindow));
+  }
+}
+BENCHMARK(BM_SampleAndDecodeMaterialised);
+
+// ---------- link symbol loop ----------
+
+link::OpticalLinkConfig bench_link_config() {
+  link::OpticalLinkConfig c;
+  c.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  c.bits_per_symbol = 5;
+  c.channel_transmittance = 0.5;
+  c.led.peak_power = util::Power::microwatts(50.0);  // bright: worst case for the reference
+  c.spad.dcr_at_ref = util::Frequency::hertz(100.0);
+  c.calibrate = false;  // construction kept out of the timed region
+  return c;
+}
+
+void BM_EngineSymbol(benchmark::State& state) {
+  RngStream process(kSeed, "engine-link");
+  const link::OpticalLink link(bench_link_config(), process);
+  const link::LinkEngine engine(link);
+  RngStream tx(kSeed, "engine-tx");
+  link::LinkRunStats stats;
+  Time dead_until = Time::zero();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.transmit_symbol(17, Time::zero(), dead_until, stats, tx));
+    dead_until = Time::zero();
+  }
+}
+BENCHMARK(BM_EngineSymbol);
+
+void BM_ReferenceSymbol(benchmark::State& state) {
+  RngStream process(kSeed, "ref-link");
+  const link::OpticalLink link(bench_link_config(), process);
+  RngStream tx(kSeed, "ref-tx");
+  link::LinkRunStats stats;
+  Time dead_until = Time::zero();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        link.transmit_symbol_reference(17, Time::zero(), dead_until, stats, tx, {}));
+    dead_until = Time::zero();
+  }
+}
+BENCHMARK(BM_ReferenceSymbol);
+
+void BM_EngineMeasure(benchmark::State& state) {
+  RngStream process(kSeed, "measure-link");
+  const link::OpticalLink link(bench_link_config(), process);
+  const link::LinkEngine engine(link);
+  RngStream tx(kSeed, "measure-tx");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.measure(256, tx).symbol_errors);
+  }
+}
+BENCHMARK(BM_EngineMeasure);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Zero-allocation Monte-Carlo symbol engine for the optical link.
+//
+// The reference pipeline (OpticalLink::transmit_symbol_reference)
+// materialises every photon of a pulse, Bernoulli-thins each one by the
+// SPAD's PDP and heap-merges the survivors -- for a bright micro-LED
+// pulse that is thousands of pow()/Bernoulli draws and several vector
+// allocations per symbol. The engine exploits two standard
+// point-process identities to collapse all of that:
+//
+//  * Thinning: a Poisson photon stream thinned per-photon with
+//    probability PDP is itself Poisson with the pre-multiplied rate
+//    photons/pulse x transmittance x PDP (cached here), so avalanche
+//    CANDIDATES can be drawn directly -- photons that would never
+//    trigger are never generated.
+//  * Restart: conditional on anything before time t, a Poisson
+//    process's arrivals after t are again Poisson. Candidate arrivals
+//    are therefore streamed lazily in time order (one Exp(1) hazard
+//    step + one inverse-CDF evaluation each), and under active quench
+//    the stream simply fast-forwards across the SPAD's dead time.
+//
+// A typical bright symbol costs ~5 RNG draws and no heap allocation,
+// and is bit-identical between the per-symbol API and the batched
+// run_symbols() driver (a golden-regression test pins this). Against
+// the reference pipeline the engine is equivalent in distribution, not
+// draw-for-draw; a statistical regression test pins that agreement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "oci/link/optical_link.hpp"
+
+namespace oci::link {
+
+class LinkEngine {
+ public:
+  /// Cheap to construct (copies a handful of cached rate products, no
+  /// heap): build one per measurement run, after the link is fully
+  /// configured. Rebuild after set_temperature()/recalibrate() -- the
+  /// engine caches the DCR-derived noise rate.
+  explicit LinkEngine(const OpticalLink& link);
+
+  /// Sends one symbol starting at `start`; mirrors
+  /// OpticalLink::transmit_symbol exactly (same counters, same
+  /// dead-time carry semantics).
+  [[nodiscard]] std::uint64_t transmit_symbol(std::uint64_t symbol, util::Time start,
+                                              util::Time& dead_until, LinkRunStats& stats,
+                                              util::RngStream& rng) const;
+
+  /// Per-symbol outcome handed to run_symbols/run_sequence reducers.
+  struct SymbolOutcome {
+    std::uint64_t sent = 0;
+    std::uint64_t decoded = 0;
+    bool erased = false;  ///< no avalanche in the TOA window
+  };
+
+  /// Streams `count` random symbols back-to-back and hands each outcome
+  /// to `reduce(index, outcome)` -- the BatchRunner-friendly driver:
+  /// sweeps accumulate statistics without materialising per-symbol
+  /// vectors. Returns the aggregated counters.
+  template <typename Reducer>
+  LinkRunStats run_symbols(std::uint64_t count, util::RngStream& rng,
+                           Reducer&& reduce) const {
+    LinkRunStats stats;
+    util::Time t = util::Time::zero();
+    util::Time dead_until = util::Time::zero();
+    const std::uint64_t max_symbol = (std::uint64_t{1} << bits_per_symbol_) - 1;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto symbol = static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(max_symbol)));
+      const std::uint64_t erasures_before = stats.erasures;
+      const std::uint64_t decoded = transmit_symbol(symbol, t, dead_until, stats, rng);
+      reduce(i, SymbolOutcome{symbol, decoded, stats.erasures != erasures_before});
+      t += symbol_period_;
+    }
+    return stats;
+  }
+
+  /// Same driver over a caller-provided symbol sequence.
+  template <typename Reducer>
+  LinkRunStats run_sequence(std::span<const std::uint64_t> symbols, util::RngStream& rng,
+                            Reducer&& reduce) const {
+    LinkRunStats stats;
+    util::Time t = util::Time::zero();
+    util::Time dead_until = util::Time::zero();
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      const std::uint64_t erasures_before = stats.erasures;
+      const std::uint64_t decoded =
+          transmit_symbol(symbols[i], t, dead_until, stats, rng);
+      reduce(i, SymbolOutcome{symbols[i], decoded, stats.erasures != erasures_before});
+      t += symbol_period_;
+    }
+    return stats;
+  }
+
+  /// Random-symbol error-rate measurement (run_symbols, no reducer).
+  [[nodiscard]] LinkRunStats measure(std::uint64_t count, util::RngStream& rng) const;
+
+  /// First avalanche of an isolated training pulse over [0, window):
+  /// the observed (jittered) timestamp if the first trigger was a
+  /// signal photon, nullopt on no detection or a noise capture. Used by
+  /// OpticalLink::recalibrate's data-aided offset training.
+  [[nodiscard]] std::optional<util::Time> probe_pulse(util::Time pulse_start,
+                                                     util::RngStream& rng) const;
+
+ private:
+  struct WindowResult {
+    bool fired = false;
+    bool first_is_signal = false;
+    double first_observed_s = 0.0;  ///< jittered timestamp of the first avalanche
+    double last_fire_s = 0.0;       ///< pre-jitter time of the last avalanche
+  };
+
+  /// Simulates the SPAD over [window_start, window_end) with a pulse at
+  /// `pulse_start` plus flat-rate noise at `noise_rate` [Hz];
+  /// `dead_in_s` is the blind carry from the previous window.
+  WindowResult simulate_window(double pulse_start_s, double window_start_s,
+                               double window_end_s, double dead_in_s, double noise_rate,
+                               util::RngStream& rng) const;
+
+  const OpticalLink* link_;
+  const photonics::MicroLed* led_;
+  /// Cached PDP/transmittance product: mean avalanche candidates per
+  /// pulse = photons/pulse x transmittance x PDP.
+  double lambda_signal_ = 0.0;
+  /// Dark-count rate alone [Hz] -- the noise floor of a training probe.
+  double dark_rate_ = 0.0;
+  /// Flat candidate rate [Hz]: DCR + PDP-thinned background flux.
+  double noise_rate_ = 0.0;
+  double window_s_ = 0.0;
+  double dead_s_ = 0.0;
+  bool passive_quench_ = false;
+  double afterpulse_probability_ = 0.0;
+  util::Time afterpulse_tau_;
+  util::Time jitter_sigma_;
+  util::Time symbol_period_;
+  util::Energy tx_pulse_energy_;
+  util::Energy rx_energy_per_conversion_;
+  unsigned bits_per_symbol_ = 0;
+};
+
+}  // namespace oci::link

@@ -110,6 +110,8 @@ class OpticalLink {
   void recalibrate(std::uint64_t samples, util::RngStream& rng);
   /// Static TOA correction currently applied by the receiver.
   [[nodiscard]] util::Time detection_offset() const { return detection_offset_; }
+  /// Code-density calibration LUT in force (invalid when calibrate=false).
+  [[nodiscard]] const tdc::CalibrationLut& calibration_lut() const { return lut_; }
   /// Changes the operating temperature of detector and delay line
   /// WITHOUT recalibrating -- the drift the paper's periodic calibration
   /// must chase.
@@ -117,14 +119,28 @@ class OpticalLink {
 
   /// Sends one symbol starting at absolute time `start`; returns the
   /// decoded symbol and updates `stats`/`dead_until` (SPAD blind carry).
+  /// Runs on the allocation-free LinkEngine hot path.
   [[nodiscard]] std::uint64_t transmit_symbol(std::uint64_t symbol, util::Time start,
                                               util::Time& dead_until, LinkRunStats& stats,
                                               util::RngStream& rng) const;
 
   /// Same, with extra interference photons (time-sorted, absolute
   /// times) merged into the window -- the hook WDM crosstalk and other
-  /// co-channel aggressors use to reach this receiver's SPAD.
+  /// co-channel aggressors use to reach this receiver's SPAD. An empty
+  /// interference set takes the LinkEngine hot path; a non-empty one
+  /// runs the reference pipeline below.
   [[nodiscard]] std::uint64_t transmit_symbol_with_interference(
+      std::uint64_t symbol, util::Time start, util::Time& dead_until, LinkRunStats& stats,
+      util::RngStream& rng, std::vector<photonics::PhotonArrival> interference) const;
+
+  /// Reference implementation of one symbol window: materialises the
+  /// photon set (PhotonStream), thins it through SpadArray-style
+  /// detection (Spad::detect) and converts the first avalanche. This is
+  /// the general path (arbitrary interference photons) and the
+  /// statistical reference the LinkEngine is validated against; the
+  /// engine replaces its per-photon draws with exact thinned-process
+  /// streaming, so the two agree in distribution but not draw-for-draw.
+  [[nodiscard]] std::uint64_t transmit_symbol_reference(
       std::uint64_t symbol, util::Time start, util::Time& dead_until, LinkRunStats& stats,
       util::RngStream& rng, std::vector<photonics::PhotonArrival> interference) const;
 

@@ -1,0 +1,241 @@
+#include "oci/link/link_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace oci::link {
+
+namespace {
+
+using util::RngStream;
+using util::Time;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Afterpulse releases pending inside one window. Each entry required an
+// avalanche AND an afterpulse coin success, and firings are separated
+// by at least the dead time, so 64 concurrent pendings would need ~64
+// improbable coin hits in a single window: beyond any realistic
+// configuration. Overflow drops the release (documented, negligible).
+constexpr std::size_t kMaxPending = 64;
+
+}  // namespace
+
+LinkEngine::LinkEngine(const OpticalLink& link)
+    : link_(&link),
+      led_(&link.led()),
+      lambda_signal_(link.led().photons_per_pulse() *
+                     link.config().channel_transmittance * link.detector().pdp()),
+      dark_rate_(link.detector().dcr().hertz()),
+      noise_rate_(link.detector().dcr().hertz() +
+                  link.config().background_rate.hertz() * link.detector().pdp()),
+      window_s_(link.toa_window().seconds()),
+      dead_s_(link.detector().params().dead_time.seconds()),
+      passive_quench_(link.detector().params().quench == spad::QuenchMode::kPassive),
+      afterpulse_probability_(link.detector().params().afterpulse_probability),
+      afterpulse_tau_(link.detector().params().afterpulse_tau),
+      jitter_sigma_(link.detector().params().jitter_sigma),
+      symbol_period_(link.symbol_period()),
+      tx_pulse_energy_(link.led().electrical_pulse_energy()),
+      rx_energy_per_conversion_(link.config().rx_energy_per_conversion),
+      bits_per_symbol_(link.bits_per_symbol()) {}
+
+LinkEngine::WindowResult LinkEngine::simulate_window(double pulse_start_s,
+                                                     double window_start_s,
+                                                     double window_end_s, double dead_in_s,
+                                                     double noise_rate,
+                                                     RngStream& rng) const {
+  WindowResult result;
+  double dead = dead_in_s;
+
+  // Signal candidate stream: arrivals of the PDP-thinned pulse process,
+  // generated lazily in time order. sig_hazard walks the cumulative
+  // hazard [0, lambda_signal); the envelope's inverse CDF maps it back
+  // to a time.
+  double sig_hazard = 0.0;
+  double sig_next = kInf;
+  bool sig_exhausted = lambda_signal_ <= 0.0;
+  const auto advance_signal = [&] {
+    if (sig_exhausted) return;
+    sig_hazard += rng.exponential_mean(1.0);
+    if (sig_hazard >= lambda_signal_) {
+      sig_exhausted = true;
+      sig_next = kInf;
+      return;
+    }
+    sig_next =
+        pulse_start_s +
+        led_->sample_emission_time(sig_hazard / lambda_signal_).seconds();
+  };
+  advance_signal();
+
+  // Flat-rate noise candidate stream (dark counts + thinned background).
+  double noise_next = kInf;
+  const auto advance_noise = [&](double from) {
+    if (noise_rate <= 0.0) return;
+    noise_next = from + rng.exponential_mean(1.0 / noise_rate);
+  };
+  advance_noise(window_start_s);
+
+  std::array<double, kMaxPending> pending{};  // afterpulse release times
+  std::size_t n_pending = 0;
+
+  enum class Source { kSignal, kNoise, kAfterpulse };
+
+  while (true) {
+    if (!passive_quench_) {
+      // Active quench: nothing can fire before `dead`, and absorbed
+      // carriers have no effect, so fast-forward every stream. The
+      // signal stream restarts from the envelope mass already emitted
+      // by `dead` (restart property); the loop guards against the
+      // Gaussian envelope's approximate CDF/inverse-CDF pair.
+      while (!sig_exhausted && sig_next < dead) {
+        const double consumed =
+            lambda_signal_ * led_->emission_cdf(Time::seconds(dead - pulse_start_s));
+        sig_hazard = std::max(sig_hazard, consumed);
+        sig_next = kInf;
+        if (sig_hazard >= lambda_signal_) {
+          sig_exhausted = true;
+          break;
+        }
+        advance_signal();
+      }
+      if (noise_next < dead) advance_noise(dead);
+      // Pending afterpulses landing in the blind interval are absorbed.
+      for (std::size_t i = 0; i < n_pending;) {
+        if (pending[i] < dead) {
+          pending[i] = pending[--n_pending];
+        } else {
+          ++i;
+        }
+      }
+    }
+
+    // Earliest candidate across the three sources.
+    double t = sig_next;
+    Source source = Source::kSignal;
+    if (noise_next < t) {
+      t = noise_next;
+      source = Source::kNoise;
+    }
+    std::size_t pending_index = 0;
+    for (std::size_t i = 0; i < n_pending; ++i) {
+      if (pending[i] < t) {
+        t = pending[i];
+        source = Source::kAfterpulse;
+        pending_index = i;
+      }
+    }
+    if (t >= window_end_s) break;
+
+    const auto consume = [&] {
+      switch (source) {
+        case Source::kSignal:
+          advance_signal();
+          break;
+        case Source::kNoise:
+          advance_noise(noise_next);
+          break;
+        case Source::kAfterpulse:
+          pending[pending_index] = pending[--n_pending];
+          break;
+      }
+    };
+
+    if (passive_quench_ && t < dead) {
+      // Paralyzable dead time: the absorbed carrier restarts recharge.
+      dead = t + dead_s_;
+      consume();
+      continue;
+    }
+
+    // Avalanche fires. Only the first detection's timestamp reaches the
+    // TDC, so the jitter draw is spent on that one alone.
+    if (!result.fired) {
+      result.fired = true;
+      result.first_is_signal = source == Source::kSignal;
+      result.first_observed_s =
+          t + rng.normal_time(Time::zero(), jitter_sigma_).seconds();
+    }
+    result.last_fire_s = t;
+    dead = t + dead_s_;
+
+    if (afterpulse_probability_ > 0.0 && rng.bernoulli(afterpulse_probability_)) {
+      const double release = dead + rng.exponential_time(afterpulse_tau_).seconds();
+      if (release < window_end_s && n_pending < kMaxPending) {
+        pending[n_pending++] = release;
+      }
+    }
+    consume();
+  }
+
+  return result;
+}
+
+std::uint64_t LinkEngine::transmit_symbol(std::uint64_t symbol, Time start, Time& dead_until,
+                                          LinkRunStats& stats, RngStream& rng) const {
+  const double window_start_s = start.seconds();
+  const double window_end_s = window_start_s + window_s_;
+  const double pulse_start_s =
+      window_start_s + link_->ppm().encode(symbol).seconds();
+
+  const WindowResult window = simulate_window(pulse_start_s, window_start_s, window_end_s,
+                                              dead_until.seconds(), noise_rate_, rng);
+
+  // SPAD stays blind into the next window after its last avalanche.
+  if (window.fired) {
+    dead_until = Time::seconds(window.last_fire_s) + link_->detector().params().dead_time;
+  }
+
+  ++stats.symbols_sent;
+  stats.total_bits += bits_per_symbol_;
+  stats.tx_energy += tx_pulse_energy_;
+  stats.rx_energy += rx_energy_per_conversion_;
+  stats.elapsed += symbol_period_;
+
+  if (!window.fired) {
+    ++stats.erasures;
+    stats.bit_errors += modulation::PpmCodec::hamming(symbol, 0);
+    return 0;  // receiver emits the all-zero symbol on erasure
+  }
+
+  if (!window.first_is_signal) ++stats.noise_captures;
+
+  // TDC conversion of the first avalanche's TOA within the window.
+  const Time toa = Time::seconds(window.first_observed_s - window_start_s);
+  const tdc::Tdc& tdc = link_->tdc();
+  const tdc::TdcReading reading = tdc.convert(toa, rng);
+  const tdc::CalibrationLut& lut = link_->calibration_lut();
+  const Time calibrated =
+      lut.valid() ? lut.correct(reading, tdc.clock_period()) : reading.estimate;
+
+  // Static offset: subtract the trained receive-chain bias so the slot
+  // decision is centred on the encoder's pulse placement.
+  Time corrected = calibrated - link_->detection_offset();
+  if (corrected < Time::zero()) corrected = Time::zero();
+
+  const std::uint64_t decoded = link_->ppm().decode(corrected);
+  if (decoded != symbol) {
+    ++stats.symbol_errors;
+    stats.bit_errors += modulation::PpmCodec::hamming(symbol, decoded);
+  }
+  return decoded;
+}
+
+LinkRunStats LinkEngine::measure(std::uint64_t count, RngStream& rng) const {
+  return run_symbols(count, rng, [](std::uint64_t, const SymbolOutcome&) {});
+}
+
+std::optional<Time> LinkEngine::probe_pulse(Time pulse_start, RngStream& rng) const {
+  // Training pulses are a controlled procedure: the dark-count rate is
+  // intrinsic to the junction and stays, but ambient background flux is
+  // excluded (the reference training never merged background photons).
+  const WindowResult window =
+      simulate_window(pulse_start.seconds(), 0.0, window_s_, 0.0, dark_rate_, rng);
+  if (!window.fired || !window.first_is_signal) return std::nullopt;
+  return Time::seconds(window.first_observed_s);
+}
+
+}  // namespace oci::link

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "oci/link/link_engine.hpp"
 #include "oci/util/math.hpp"
 
 namespace oci::link {
@@ -140,18 +141,16 @@ void OpticalLink::recalibrate(std::uint64_t samples, RngStream& rng) {
   // brightness (NOT the envelope mean -- a bright pulse triggers near
   // its leading edge) together with any residual TDC bias.
   constexpr int kTrainingPulses = 1000;
+  const LinkEngine engine(*this);
   const Time window = tdc_.toa_window();
   double residual_sum_s = 0.0;
   std::int64_t training_hits = 0;
   for (int i = 0; i < kTrainingPulses; ++i) {
     // Random positions over most of the window average out local INL.
     const Time pulse_start = rng.uniform_time(window * 0.75);
-    const auto photons = stream_.sample_pulse(pulse_start, rng);
-    const auto detections = spad_.detect(photons, Time::zero(), window, rng);
-    if (detections.empty()) continue;
-    const spad::Detection& first = detections.front();
-    if (first.cause != spad::DetectionCause::kSignal) continue;
-    const tdc::TdcReading reading = tdc_.convert(first.time, rng);
+    const std::optional<Time> first = engine.probe_pulse(pulse_start, rng);
+    if (!first) continue;  // no detection, or a noise capture
+    const tdc::TdcReading reading = tdc_.convert(*first, rng);
     const Time calibrated =
         lut_.valid() ? lut_.correct(reading, tdc_.clock_period()) : reading.estimate;
     residual_sum_s += (calibrated - pulse_start).seconds();
@@ -169,10 +168,22 @@ void OpticalLink::set_temperature(util::Temperature t) {
 
 std::uint64_t OpticalLink::transmit_symbol(std::uint64_t symbol, Time start, Time& dead_until,
                                            LinkRunStats& stats, RngStream& rng) const {
-  return transmit_symbol_with_interference(symbol, start, dead_until, stats, rng, {});
+  return LinkEngine(*this).transmit_symbol(symbol, start, dead_until, stats, rng);
 }
 
 std::uint64_t OpticalLink::transmit_symbol_with_interference(
+    std::uint64_t symbol, Time start, Time& dead_until, LinkRunStats& stats, RngStream& rng,
+    std::vector<photonics::PhotonArrival> interference) const {
+  if (interference.empty()) {
+    // No co-channel aggressors: the streaming engine handles the
+    // window allocation-free.
+    return LinkEngine(*this).transmit_symbol(symbol, start, dead_until, stats, rng);
+  }
+  return transmit_symbol_reference(symbol, start, dead_until, stats, rng,
+                                   std::move(interference));
+}
+
+std::uint64_t OpticalLink::transmit_symbol_reference(
     std::uint64_t symbol, Time start, Time& dead_until, LinkRunStats& stats, RngStream& rng,
     std::vector<photonics::PhotonArrival> interference) const {
   const Time window = tdc_.toa_window();
@@ -238,29 +249,17 @@ OpticalLink::RunResult OpticalLink::transmit(const std::vector<std::uint64_t>& s
   RunResult result;
   result.decoded.reserve(symbols.size());
   result.erased.reserve(symbols.size());
-  Time t = Time::zero();
-  Time dead_until = Time::zero();
-  for (std::uint64_t s : symbols) {
-    const std::uint64_t erasures_before = result.stats.erasures;
-    result.decoded.push_back(transmit_symbol(s, t, dead_until, result.stats, rng));
-    result.erased.push_back(result.stats.erasures != erasures_before);
-    t += symbol_period();
-  }
+  const LinkEngine engine(*this);
+  result.stats = engine.run_sequence(
+      symbols, rng, [&](std::size_t, const LinkEngine::SymbolOutcome& out) {
+        result.decoded.push_back(out.decoded);
+        result.erased.push_back(out.erased);
+      });
   return result;
 }
 
 LinkRunStats OpticalLink::measure(std::uint64_t symbol_count, RngStream& rng) const {
-  LinkRunStats stats;
-  Time t = Time::zero();
-  Time dead_until = Time::zero();
-  const std::uint64_t max_symbol = (std::uint64_t{1} << bits_per_symbol_) - 1;
-  for (std::uint64_t i = 0; i < symbol_count; ++i) {
-    const auto symbol =
-        static_cast<std::uint64_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_symbol)));
-    (void)transmit_symbol(symbol, t, dead_until, stats, rng);
-    t += symbol_period();
-  }
-  return stats;
+  return LinkEngine(*this).measure(symbol_count, rng);
 }
 
 OpticalLink::FrameResult OpticalLink::transmit_frame(const modulation::Frame& frame,

@@ -60,6 +60,12 @@ class MicroLed {
   /// given a uniform u in [0,1). Used by PhotonStream.
   [[nodiscard]] Time sample_emission_time(double u) const;
 
+  /// Fraction of the pulse's photons emitted by time t from pulse start
+  /// (the CDF that sample_emission_time inverts). Monotone in t, 0 for
+  /// t <= 0, -> 1 for t beyond the envelope. Used by the link engine to
+  /// fast-forward its arrival stream over SPAD dead time.
+  [[nodiscard]] double emission_cdf(Time t) const;
+
  private:
   MicroLedParams params_;
 };

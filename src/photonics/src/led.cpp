@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "oci/util/math.hpp"
+
 namespace oci::photonics {
 
 namespace {
@@ -9,35 +11,7 @@ namespace {
 // width for the kGaussian shape (width = 6 sigma).
 constexpr double kGaussianWidthSigmas = 6.0;
 
-// Rational approximation of the inverse error function (Giles 2012
-// single-precision form, adequate for envelope sampling).
-double erfinv(double x) {
-  const double w = -std::log((1.0 - x) * (1.0 + x));
-  if (w < 5.0) {
-    const double ww = w - 2.5;
-    double p = 2.81022636e-08;
-    p = 3.43273939e-07 + p * ww;
-    p = -3.5233877e-06 + p * ww;
-    p = -4.39150654e-06 + p * ww;
-    p = 0.00021858087 + p * ww;
-    p = -0.00125372503 + p * ww;
-    p = -0.00417768164 + p * ww;
-    p = 0.246640727 + p * ww;
-    p = 1.50140941 + p * ww;
-    return p * x;
-  }
-  const double ww = std::sqrt(w) - 3.0;
-  double p = -0.000200214257;
-  p = 0.000100950558 + p * ww;
-  p = 0.00134934322 + p * ww;
-  p = -0.00367342844 + p * ww;
-  p = 0.00573950773 + p * ww;
-  p = -0.0076224613 + p * ww;
-  p = 0.00943887047 + p * ww;
-  p = 1.00167406 + p * ww;
-  p = 2.83297682 + p * ww;
-  return p * x;
-}
+using util::erfinv;
 }  // namespace
 
 MicroLed::MicroLed(const MicroLedParams& params) : params_(params) {
@@ -107,6 +81,24 @@ Time MicroLed::sample_emission_time(double u) const {
     }
   }
   return Time::zero();
+}
+
+double MicroLed::emission_cdf(Time t) const {
+  const double w = params_.pulse_width.seconds();
+  const double x = t.seconds();
+  if (x <= 0.0) return 0.0;
+  switch (params_.shape) {
+    case PulseShape::kRectangular:
+      return x >= w ? 1.0 : x / w;
+    case PulseShape::kExponential:
+      return 1.0 - std::exp(-x / w);
+    case PulseShape::kGaussian: {
+      const double sigma = w / kGaussianWidthSigmas;
+      const double mu = w / 2.0;
+      return 0.5 * std::erfc(-(x - mu) / (sigma * std::sqrt(2.0)));
+    }
+  }
+  return 1.0;
 }
 
 }  // namespace oci::photonics

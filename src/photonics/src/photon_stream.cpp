@@ -16,14 +16,22 @@ namespace {
 // detection probability p >= 1e-2 the chance that any photon beyond the
 // cap influences the receiver is (1-p)^4096 < 1e-17.
 constexpr std::int64_t kMaxSampledPhotons = 4096;
+
+// Validated in the member-initializer list, BEFORE the cached Poisson
+// sampler is built from the product. The negated comparison also rejects
+// NaN, which would otherwise slip through every downstream range check.
+double checked_transmittance(double t) {
+  if (!(t >= 0.0 && t <= 1.0)) {
+    throw std::invalid_argument("PhotonStream: transmittance must be in [0,1]");
+  }
+  return t;
+}
 }  // namespace
 
 PhotonStream::PhotonStream(const MicroLed& led, double channel_transmittance)
-    : led_(&led), transmittance_(channel_transmittance) {
-  if (channel_transmittance < 0.0 || channel_transmittance > 1.0) {
-    throw std::invalid_argument("PhotonStream: transmittance must be in [0,1]");
-  }
-}
+    : led_(&led),
+      transmittance_(checked_transmittance(channel_transmittance)),
+      pulse_count_(led.photons_per_pulse() * transmittance_) {}
 
 double PhotonStream::mean_photons_per_pulse() const {
   return led_->photons_per_pulse() * transmittance_;
@@ -31,8 +39,15 @@ double PhotonStream::mean_photons_per_pulse() const {
 
 std::vector<PhotonArrival> PhotonStream::sample_pulse(Time pulse_start,
                                                       RngStream& rng) const {
-  const auto n = rng.poisson(mean_photons_per_pulse());
   std::vector<PhotonArrival> out;
+  sample_pulse_into(pulse_start, rng, out);
+  return out;
+}
+
+void PhotonStream::sample_pulse_into(Time pulse_start, RngStream& rng,
+                                     std::vector<PhotonArrival>& out) const {
+  out.clear();
+  const auto n = pulse_count_.sample(rng);
   if (n <= kMaxSampledPhotons) {
     out.reserve(static_cast<std::size_t>(n));
     for (std::int64_t i = 0; i < n; ++i) {
@@ -41,28 +56,32 @@ std::vector<PhotonArrival> PhotonStream::sample_pulse(Time pulse_start,
     }
     std::sort(out.begin(), out.end(),
               [](const PhotonArrival& a, const PhotonArrival& b) { return a.time < b.time; });
-    return out;
+    return;
   }
-  // Bright-pulse path: draw the k smallest of n uniform order statistics
-  // sequentially. 1 - prod_{j<=i} V_j^{1/(n-j)} is distributed as the
-  // (i+1)-th ascending order statistic U_(i+1) of n iid uniforms, and
-  // sample_emission_time is a monotone inverse CDF, so the emitted times
-  // are exactly the earliest k arrivals of the full pulse, in order.
+  // Bright-pulse path: the k earliest of n uniform order statistics,
+  // streamed in ascending order; sample_emission_time is a monotone
+  // inverse CDF, so the emitted times are exactly the earliest k
+  // arrivals of the full pulse, already sorted.
   out.reserve(static_cast<std::size_t>(kMaxSampledPhotons));
-  double w = 1.0;
+  util::AscendingUniformStream order(n);
   for (std::int64_t i = 0; i < kMaxSampledPhotons; ++i) {
-    w *= std::pow(rng.uniform(), 1.0 / static_cast<double>(n - i));
-    const double u = std::min(1.0 - w, 1.0 - 1e-16);
+    const double u = order.next(rng);
     out.push_back(
         PhotonArrival{pulse_start + led_->sample_emission_time(u), /*is_signal=*/true});
   }
-  return out;
 }
 
 std::vector<PhotonArrival> PhotonStream::sample_background(Frequency rate, Time window_start,
                                                            Time window, RngStream& rng) {
   std::vector<PhotonArrival> out;
-  if (rate.hertz() <= 0.0 || window <= Time::zero()) return out;
+  sample_background_into(rate, window_start, window, rng, out);
+  return out;
+}
+
+void PhotonStream::sample_background_into(Frequency rate, Time window_start, Time window,
+                                          RngStream& rng, std::vector<PhotonArrival>& out) {
+  out.clear();
+  if (rate.hertz() <= 0.0 || window <= Time::zero()) return;
   const auto n = rng.poisson(rate.hertz() * window.seconds());
   out.reserve(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {
@@ -70,7 +89,6 @@ std::vector<PhotonArrival> PhotonStream::sample_background(Frequency rate, Time 
   }
   std::sort(out.begin(), out.end(),
             [](const PhotonArrival& a, const PhotonArrival& b) { return a.time < b.time; });
-  return out;
 }
 
 std::vector<PhotonArrival> PhotonStream::merge(std::vector<PhotonArrival> a,

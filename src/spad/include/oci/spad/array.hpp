@@ -49,6 +49,26 @@ class SpadArray {
       std::span<const photonics::PhotonArrival> photons, Time window_start, Time window,
       util::RngStream& rng, std::vector<Time>& dead_until) const;
 
+  /// Reusable working memory for detect_into (candidate heap + armed-
+  /// diode list). One scratch per calling thread.
+  struct DetectScratch {
+    struct Candidate {
+      Time time;
+      DetectionCause cause;
+      std::ptrdiff_t diode;  ///< -1: channel photon, routed when it fires
+    };
+    std::vector<Candidate> heap;
+    std::vector<std::size_t> armed;
+  };
+
+  /// Batch-oriented variant of detect(): writes the OR-ed detections
+  /// into `out` (cleared first) and reuses `scratch`, so a window loop
+  /// runs allocation-free after warm-up. Identical draws/results to
+  /// detect().
+  void detect_into(std::span<const photonics::PhotonArrival> photons, Time window_start,
+                   Time window, util::RngStream& rng, std::vector<Time>& dead_until,
+                   DetectScratch& scratch, std::vector<Detection>& out) const;
+
   /// Effective dead time of the OR-ed output under low flux: the window
   /// during which ALL diodes are simultaneously blind after a burst is
   /// ~ dead/M for Poisson-split arrivals; we report dead/M as the

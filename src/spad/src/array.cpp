@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
-#include <queue>
 #include <stdexcept>
 
 namespace oci::spad {
@@ -31,17 +30,11 @@ double SpadArray::pulse_detection_probability(double mean_photons) const {
 
 namespace {
 
-struct ArrayCandidate {
-  Time time;
-  DetectionCause cause;
-  /// Diode the event is physically tied to; kAnyDiode for channel
-  /// photons, which land on whichever diode is armed.
-  std::ptrdiff_t diode;
-};
 constexpr std::ptrdiff_t kAnyDiode = -1;
 
 struct LaterArrayCandidate {
-  bool operator()(const ArrayCandidate& a, const ArrayCandidate& b) const {
+  bool operator()(const SpadArray::DetectScratch::Candidate& a,
+                  const SpadArray::DetectScratch::Candidate& b) const {
     return a.time > b.time;
   }
 };
@@ -52,13 +45,29 @@ std::vector<Detection> SpadArray::detect(std::span<const photonics::PhotonArriva
                                          Time window_start, Time window,
                                          util::RngStream& rng,
                                          std::vector<Time>& dead_until) const {
+  DetectScratch scratch;
+  std::vector<Detection> merged;
+  detect_into(photons, window_start, window, rng, dead_until, scratch, merged);
+  return merged;
+}
+
+void SpadArray::detect_into(std::span<const photonics::PhotonArrival> photons,
+                            Time window_start, Time window, util::RngStream& rng,
+                            std::vector<Time>& dead_until, DetectScratch& scratch,
+                            std::vector<Detection>& merged) const {
   if (dead_until.size() != diodes_.size()) {
     throw std::invalid_argument("SpadArray: dead_until must have one entry per diode");
   }
   const Time window_end = window_start + window;
   const SpadParams& el = params_.element;
 
-  std::priority_queue<ArrayCandidate, std::vector<ArrayCandidate>, LaterArrayCandidate> heap;
+  std::vector<DetectScratch::Candidate>& heap = scratch.heap;
+  heap.clear();
+  const LaterArrayCandidate later{};
+  const auto push = [&](Time time, DetectionCause cause, std::ptrdiff_t diode) {
+    heap.push_back(DetectScratch::Candidate{time, cause, diode});
+    std::push_heap(heap.begin(), heap.end(), later);
+  };
 
   // Channel photons: thinned by fill factor x PDP up front (Geiger-mode
   // trigger model); routing to a diode is deferred to firing time so we
@@ -66,9 +75,8 @@ std::vector<Detection> SpadArray::detect(std::span<const photonics::PhotonArriva
   for (const auto& ph : photons) {
     if (ph.time < window_start || ph.time >= window_end) continue;
     if (!rng.bernoulli(pdp())) continue;
-    heap.push(ArrayCandidate{
-        ph.time, ph.is_signal ? DetectionCause::kSignal : DetectionCause::kBackground,
-        kAnyDiode});
+    push(ph.time, ph.is_signal ? DetectionCause::kSignal : DetectionCause::kBackground,
+         kAnyDiode);
   }
 
   // Dark counts originate inside a specific junction.
@@ -77,19 +85,20 @@ std::vector<Detection> SpadArray::detect(std::span<const photonics::PhotonArriva
     for (std::size_t d = 0; d < diodes_.size(); ++d) {
       const auto n_dark = rng.poisson(dcr.hertz() * window.seconds());
       for (std::int64_t i = 0; i < n_dark; ++i) {
-        heap.push(ArrayCandidate{window_start + rng.uniform_time(window),
-                                 DetectionCause::kDark, static_cast<std::ptrdiff_t>(d)});
+        push(window_start + rng.uniform_time(window), DetectionCause::kDark,
+             static_cast<std::ptrdiff_t>(d));
       }
     }
   }
 
-  std::vector<std::size_t> armed;
+  std::vector<std::size_t>& armed = scratch.armed;
   armed.reserve(diodes_.size());
-  std::vector<Detection> merged;
+  merged.clear();
 
   while (!heap.empty()) {
-    const ArrayCandidate c = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const DetectScratch::Candidate c = heap.back();
+    heap.pop_back();
 
     std::size_t d;
     if (c.diode == kAnyDiode) {
@@ -129,15 +138,13 @@ std::vector<Detection> SpadArray::detect(std::span<const photonics::PhotonArriva
     if (el.afterpulse_probability > 0.0 && rng.bernoulli(el.afterpulse_probability)) {
       const Time release = dead_until[d] + rng.exponential_time(el.afterpulse_tau);
       if (release < window_end) {
-        heap.push(ArrayCandidate{release, DetectionCause::kAfterpulse,
-                                 static_cast<std::ptrdiff_t>(d)});
+        push(release, DetectionCause::kAfterpulse, static_cast<std::ptrdiff_t>(d));
       }
     }
   }
 
   std::sort(merged.begin(), merged.end(),
             [](const Detection& a, const Detection& b) { return a.time < b.time; });
-  return merged;
 }
 
 Time SpadArray::effective_dead_time() const {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
 
 #include "oci/spad/pdp.hpp"
@@ -41,13 +40,12 @@ double Spad::required_mean_photons(double detection_probability) const {
 
 namespace {
 
-struct Candidate {
-  Time time;
-  DetectionCause cause;
-};
-
+// Candidates live in the scratch heap as Detections with only
+// true_time/cause filled in; jitter is applied when one fires.
 struct LaterCandidate {
-  bool operator()(const Candidate& a, const Candidate& b) const { return a.time > b.time; }
+  bool operator()(const Detection& a, const Detection& b) const {
+    return a.true_time > b.true_time;
+  }
 };
 
 }  // namespace
@@ -55,19 +53,33 @@ struct LaterCandidate {
 std::vector<Detection> Spad::detect(std::span<const PhotonArrival> photons, Time window_start,
                                     Time window, RngStream& rng,
                                     Time initially_dead_until) const {
+  DetectScratch scratch;
+  std::vector<Detection> detections;
+  detect_into(photons, window_start, window, rng, initially_dead_until, scratch, detections);
+  return detections;
+}
+
+void Spad::detect_into(std::span<const PhotonArrival> photons, Time window_start, Time window,
+                       RngStream& rng, Time initially_dead_until, DetectScratch& scratch,
+                       std::vector<Detection>& detections) const {
   const Time window_end = window_start + window;
 
   // Min-heap of all candidate avalanche triggers: thinned photons, dark
   // counts, and dynamically spawned afterpulses.
-  std::priority_queue<Candidate, std::vector<Candidate>, LaterCandidate> heap;
+  std::vector<Detection>& heap = scratch.heap;
+  heap.clear();
+  const LaterCandidate later{};
+  const auto push = [&](Time time, DetectionCause cause) {
+    heap.push_back(Detection{Time::zero(), time, cause});
+    std::push_heap(heap.begin(), heap.end(), later);
+  };
 
   // PDP thinning of the incident photons: each photon independently
   // triggers with probability PDP (Geiger-mode trigger model).
   for (const auto& ph : photons) {
     if (ph.time < window_start || ph.time >= window_end) continue;
     if (rng.bernoulli(pdp_)) {
-      heap.push(Candidate{ph.time,
-                          ph.is_signal ? DetectionCause::kSignal : DetectionCause::kBackground});
+      push(ph.time, ph.is_signal ? DetectionCause::kSignal : DetectionCause::kBackground);
     }
   }
 
@@ -75,31 +87,32 @@ std::vector<Detection> Spad::detect(std::span<const PhotonArrival> photons, Time
   if (dcr_.hertz() > 0.0) {
     const auto n_dark = rng.poisson(dcr_.hertz() * window.seconds());
     for (std::int64_t i = 0; i < n_dark; ++i) {
-      heap.push(Candidate{window_start + rng.uniform_time(window), DetectionCause::kDark});
+      push(window_start + rng.uniform_time(window), DetectionCause::kDark);
     }
   }
 
-  std::vector<Detection> detections;
+  detections.clear();
   Time dead_until = initially_dead_until;
 
   while (!heap.empty()) {
-    const Candidate c = heap.top();
-    heap.pop();
-    if (c.time < dead_until) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const Detection c = heap.back();
+    heap.pop_back();
+    if (c.true_time < dead_until) {
       // Blind interval. Passive quench: the absorbed carrier restarts
       // the recharge (paralyzable dead time).
       if (params_.quench == QuenchMode::kPassive) {
-        dead_until = c.time + params_.dead_time;
+        dead_until = c.true_time + params_.dead_time;
       }
       continue;
     }
     // Avalanche fires.
     Detection det;
-    det.true_time = c.time;
-    det.time = c.time + rng.normal_time(Time::zero(), params_.jitter_sigma);
+    det.true_time = c.true_time;
+    det.time = c.true_time + rng.normal_time(Time::zero(), params_.jitter_sigma);
     det.cause = c.cause;
     detections.push_back(det);
-    dead_until = c.time + params_.dead_time;
+    dead_until = c.true_time + params_.dead_time;
 
     // Trap release: with probability p_ap an afterpulse candidate fires
     // after the dead time with an exponential release delay. It may
@@ -107,14 +120,13 @@ std::vector<Detection> Spad::detect(std::span<const PhotonArrival> photons, Time
     if (params_.afterpulse_probability > 0.0 && rng.bernoulli(params_.afterpulse_probability)) {
       const Time release = dead_until + rng.exponential_time(params_.afterpulse_tau);
       if (release < window_end) {
-        heap.push(Candidate{release, DetectionCause::kAfterpulse});
+        push(release, DetectionCause::kAfterpulse);
       }
     }
   }
 
   std::sort(detections.begin(), detections.end(),
             [](const Detection& a, const Detection& b) { return a.time < b.time; });
-  return detections;
 }
 
 }  // namespace oci::spad

@@ -78,6 +78,16 @@ class DelayLine {
   /// of the latch. May contain bubbles.
   [[nodiscard]] ThermometerCode sample(Time interval, RngStream& rng) const;
 
+  /// Same, writing into a caller-provided code buffer (resized to
+  /// size()) so conversion loops reuse one allocation. Consumes RNG
+  /// draws identically to sample().
+  void sample_into(Time interval, RngStream& rng, ThermometerCode& out) const;
+
+  /// Tap switching instants as prefix sums in seconds (size N+1,
+  /// boundary 0 first). Exposed for the fused sample-and-decode fast
+  /// path in thermometer.hpp.
+  [[nodiscard]] std::span<const double> boundaries_seconds() const { return boundaries_s_; }
+
   /// True iff the chain at current conditions still covers the given
   /// clock period (the paper requires Rf >= one clock period).
   [[nodiscard]] bool covers(Time clock_period) const;

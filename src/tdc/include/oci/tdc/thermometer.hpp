@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 
 #include "oci/tdc/delay_line.hpp"
 
@@ -18,8 +20,21 @@ enum class ThermometerDecode {
 };
 
 /// Decodes a (possibly bubbled) thermometer code into a tap count.
+[[nodiscard]] std::size_t decode_thermometer(std::span<const std::uint8_t> code,
+                                             ThermometerDecode method);
 [[nodiscard]] std::size_t decode_thermometer(const ThermometerCode& code,
                                              ThermometerDecode method);
+
+/// Fused DelayLine::sample + decode_thermometer. Exploits the latch
+/// structure: outside the metastability window of the hit edge every
+/// tap bit is determined by a binary search over the (sorted) tap
+/// boundaries, so only the few racing taps are resolved with RNG draws
+/// and no thermometer code is materialised. Consumes RNG draws in the
+/// same order as sample() and returns the identical decoded tap count
+/// (a property test pins this), at O(log N) instead of O(N) per
+/// conversion with zero allocation -- the TDC/code-density hot path.
+[[nodiscard]] std::size_t sample_and_decode(const DelayLine& line, Time interval,
+                                            RngStream& rng, ThermometerDecode method);
 
 /// Number of bubbles: taps whose value differs from the clean
 /// thermometer code implied by the ones count.

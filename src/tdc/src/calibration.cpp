@@ -49,8 +49,10 @@ NonlinearityReport code_density_test(const Tdc& tdc, std::uint64_t samples,
     const Time interval = rng.uniform_time(period);
     std::size_t code;
     if (with_metastability) {
-      const ThermometerCode raw = tdc.line().sample(interval, rng);
-      code = decode_thermometer(raw, tdc.config().decode);
+      // Fused sample+decode: same draws/result as materialising the
+      // thermometer code, O(log N) per hit -- this loop is the bulk of
+      // every calibration and of the abl_scaling mismatch sweep.
+      code = sample_and_decode(tdc.line(), interval, rng, tdc.config().decode);
     } else {
       code = tdc.line().ideal_code(interval);
     }

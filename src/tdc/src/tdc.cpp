@@ -88,8 +88,9 @@ TdcReading Tdc::convert(Time toa, RngStream& rng) const {
   if (t >= window) t = std::nexttoward(window, 0.0);
   const auto edge = static_cast<unsigned>(std::ceil(t / T - 1e-15));
   const Time interval = Time::seconds(static_cast<double>(edge) * T - t);
-  const ThermometerCode code = line_.sample(interval, rng);
-  const std::size_t taps = decode_thermometer(code, config_.decode);
+  // Fused fast path: identical draws and result to sample() + decode,
+  // without materialising the thermometer code (conversion hot path).
+  const std::size_t taps = sample_and_decode(line_, interval, rng, config_.decode);
   return finish(toa, edge, taps);
 }
 

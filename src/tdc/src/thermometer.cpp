@@ -1,37 +1,40 @@
 #include "oci/tdc/thermometer.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstddef>
+#include <vector>
 
 namespace oci::tdc {
 
 namespace {
 
-std::size_t ones_count(const ThermometerCode& code) {
+std::size_t ones_count(std::span<const std::uint8_t> code) {
   return static_cast<std::size_t>(std::count(code.begin(), code.end(), std::uint8_t{1}));
 }
 
-std::size_t leading_ones(const ThermometerCode& code) {
+std::size_t leading_ones(std::span<const std::uint8_t> code) {
   std::size_t k = 0;
   while (k < code.size() && code[k] == 1) ++k;
   return k;
 }
 
-std::size_t majority_window(const ThermometerCode& code) {
+std::size_t majority_window(std::span<const std::uint8_t> code) {
   if (code.size() < 3) return ones_count(code);
-  ThermometerCode filtered(code.size(), 0);
+  std::size_t filtered_ones = 0;
   for (std::size_t i = 0; i < code.size(); ++i) {
     // 3-tap neighbourhood with edge replication.
     const std::uint8_t a = code[i == 0 ? 0 : i - 1];
     const std::uint8_t b = code[i];
     const std::uint8_t c = code[i + 1 < code.size() ? i + 1 : code.size() - 1];
-    filtered[i] = static_cast<std::uint8_t>((a + b + c) >= 2 ? 1 : 0);
+    if (a + b + c >= 2) ++filtered_ones;
   }
-  return ones_count(filtered);
+  return filtered_ones;
 }
 
 }  // namespace
 
-std::size_t decode_thermometer(const ThermometerCode& code, ThermometerDecode method) {
+std::size_t decode_thermometer(std::span<const std::uint8_t> code, ThermometerDecode method) {
   switch (method) {
     case ThermometerDecode::kOnesCount:
       return ones_count(code);
@@ -41,6 +44,10 @@ std::size_t decode_thermometer(const ThermometerCode& code, ThermometerDecode me
       return majority_window(code);
   }
   return ones_count(code);
+}
+
+std::size_t decode_thermometer(const ThermometerCode& code, ThermometerDecode method) {
+  return decode_thermometer(std::span<const std::uint8_t>(code), method);
 }
 
 std::size_t count_bubbles(const ThermometerCode& code) {
@@ -54,5 +61,97 @@ std::size_t count_bubbles(const ThermometerCode& code) {
 }
 
 bool is_clean(const ThermometerCode& code) { return count_bubbles(code) == 0; }
+
+std::size_t sample_and_decode(const DelayLine& line, Time interval, RngStream& rng,
+                              ThermometerDecode method) {
+  const std::span<const double> b = line.boundaries_seconds();  // size N+1
+  const std::size_t n = line.size();
+  const double t = interval.seconds();
+  const double meta = line.params().metastability_window.seconds();
+
+  // Tap i switches at b[i+1]; its margin t - b[i+1] is (weakly)
+  // monotone decreasing in i, so the three latch regimes form a
+  // deterministic-1 prefix, a metastable middle, and a deterministic-0
+  // suffix. The partition predicates reproduce sample()'s per-tap
+  // comparisons exactly, including the |margin| == meta edge.
+  const double* first = b.data() + 1;
+  const double* last = first + n;
+  const double* ones_end = std::partition_point(first, last, [&](double sw) {
+    const double margin = t - sw;
+    return meta > 0.0 ? margin >= meta : margin > 0.0;
+  });
+  const double* meta_end =
+      std::partition_point(ones_end, last, [&](double sw) { return t - sw > -meta; });
+  const auto ones = static_cast<std::size_t>(ones_end - first);
+  const auto zero_from = static_cast<std::size_t>(meta_end - first);
+  const std::size_t m = zero_from - ones;
+
+  // Degenerate chains fall back to population count, as majority_window
+  // does; ones-count just adds the racing taps' coin flips.
+  if (method == ThermometerDecode::kOnesCount ||
+      (method == ThermometerDecode::kMajorityWindow && n < 3)) {
+    std::size_t random_ones = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (rng.bernoulli(0.5)) ++random_ones;
+    }
+    return ones + random_ones;
+  }
+
+  if (method == ThermometerDecode::kLeadingOnes) {
+    // All m racing taps draw (RNG parity with sample()), even past the
+    // first zero.
+    std::size_t run = 0;
+    bool stopped = false;
+    for (std::size_t i = 0; i < m; ++i) {
+      const bool bit = rng.bernoulli(0.5);
+      if (!stopped) {
+        if (bit) {
+          ++run;
+        } else {
+          stopped = true;
+        }
+      }
+    }
+    return ones + run;
+  }
+
+  // kMajorityWindow: only positions whose 3-tap neighbourhood touches a
+  // racing tap can deviate from the clean prefix/suffix; evaluate just
+  // those against the sampled bits and count the rest analytically.
+  constexpr std::size_t kInlineBits = 64;
+  std::array<std::uint8_t, kInlineBits> inline_bits{};
+  std::vector<std::uint8_t> spill_bits;
+  std::uint8_t* bits = inline_bits.data();
+  if (m > kInlineBits) {
+    spill_bits.resize(m);
+    bits = spill_bits.data();
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    bits[i] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+
+  const auto bit_at = [&](std::ptrdiff_t i) -> int {
+    // Edge replication, as the full filter applies at the chain ends.
+    if (i < 0) i = 0;
+    if (i >= static_cast<std::ptrdiff_t>(n)) i = static_cast<std::ptrdiff_t>(n) - 1;
+    const auto u = static_cast<std::size_t>(i);
+    if (u < ones) return 1;
+    if (u >= zero_from) return 0;
+    return bits[u - ones];
+  };
+
+  // Positions 0 .. ones-2 filter to 1, positions zero_from+1 .. n-1 to 0.
+  std::size_t filtered_ones = ones >= 2 ? ones - 1 : 0;
+  const std::size_t lo = ones == 0 ? 0 : ones - 1;
+  const std::size_t hi = std::min(zero_from, n - 1);
+  for (std::size_t p = lo; p <= hi; ++p) {
+    if (bit_at(static_cast<std::ptrdiff_t>(p) - 1) + bit_at(static_cast<std::ptrdiff_t>(p)) +
+            bit_at(static_cast<std::ptrdiff_t>(p) + 1) >=
+        2) {
+      ++filtered_ones;
+    }
+  }
+  return filtered_ones;
+}
 
 }  // namespace oci::tdc

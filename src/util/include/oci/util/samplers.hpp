@@ -1,0 +1,60 @@
+// Precomputed samplers for the Monte-Carlo hot path. The generic
+// RngStream draws rebuild their std:: distribution objects on every
+// call, which is fine for cold code but dominates the per-symbol link
+// loop. These samplers are built once per fixed parameter set and then
+// draw with a bounded, small number of uniforms and no allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oci/util/random.hpp"
+
+namespace oci::util {
+
+/// Poisson sampler for one fixed mean. For means up to
+/// `kMaxTableMean` the inverse CDF is tabulated at construction and a
+/// draw costs exactly one uniform plus a binary search; larger means
+/// fall back to RngStream::poisson (the mean is then big enough that
+/// the generic sampler's setup cost is amortised by the caller's own
+/// per-photon work).
+class PoissonSampler {
+ public:
+  static constexpr double kMaxTableMean = 1024.0;
+
+  PoissonSampler() = default;  ///< mean 0: always draws 0
+  explicit PoissonSampler(double mean);
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] bool table_backed() const { return !cdf_.empty(); }
+
+  [[nodiscard]] std::int64_t sample(RngStream& rng) const;
+
+ private:
+  double mean_ = 0.0;
+  std::vector<double> cdf_;  ///< cdf_[k] = P(X <= k); empty => fallback
+};
+
+/// Streams the ascending order statistics U_(1) <= U_(2) <= ... of n
+/// iid uniform draws, one at a time, without generating or sorting all
+/// n values: 1 - prod_{j<=i} V_j^{1/(n-j)} is distributed as U_(i+1).
+/// Composing next() with a monotone inverse CDF therefore yields the
+/// earliest arrivals of an n-photon pulse in time order -- the
+/// bright-pulse path of PhotonStream.
+class AscendingUniformStream {
+ public:
+  explicit AscendingUniformStream(std::int64_t n) : n_(n) {}
+
+  /// Uniforms still available (initially n).
+  [[nodiscard]] std::int64_t remaining() const { return n_ - drawn_; }
+
+  /// Next order statistic in [0, 1); call at most n times.
+  [[nodiscard]] double next(RngStream& rng);
+
+ private:
+  std::int64_t n_;
+  std::int64_t drawn_ = 0;
+  double w_ = 1.0;
+};
+
+}  // namespace oci::util

@@ -1,0 +1,49 @@
+#include "oci/util/samplers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oci::util {
+
+PoissonSampler::PoissonSampler(double mean) : mean_(mean) {
+  // Negated form rejects NaN alongside negative means.
+  if (!(mean >= 0.0)) throw std::invalid_argument("PoissonSampler: mean must be >= 0");
+  if (mean == 0.0 || mean > kMaxTableMean) return;  // fallback path
+
+  // Tabulate P(X <= k) until the tail is below double resolution. The
+  // recurrence p_{k+1} = p_k * mean / (k+1) underflows for tiny means'
+  // far tail, so also stop once the CDF stops changing.
+  const auto cap = static_cast<std::size_t>(
+      mean + 12.0 * std::sqrt(mean) + 24.0);
+  cdf_.reserve(cap);
+  double p = std::exp(-mean);
+  double acc = p;
+  cdf_.push_back(acc);
+  for (std::size_t k = 1; k <= cap; ++k) {
+    p *= mean / static_cast<double>(k);
+    const double next = acc + p;
+    if (next == acc && acc >= 1.0 - 1e-12) break;
+    acc = next;
+    cdf_.push_back(acc);
+  }
+}
+
+std::int64_t PoissonSampler::sample(RngStream& rng) const {
+  if (mean_ == 0.0) return 0;
+  if (cdf_.empty()) return rng.poisson(mean_);
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<std::int64_t>(cdf_.size()) - 1;
+  return static_cast<std::int64_t>(it - cdf_.begin());
+}
+
+double AscendingUniformStream::next(RngStream& rng) {
+  // V^{1/(n-i)} of the running product; the 1e-16 clamp keeps the value
+  // strictly below 1 for inverse-CDF consumers.
+  w_ *= std::pow(rng.uniform(), 1.0 / static_cast<double>(n_ - drawn_));
+  ++drawn_;
+  return std::min(1.0 - w_, 1.0 - 1e-16);
+}
+
+}  // namespace oci::util

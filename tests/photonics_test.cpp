@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "oci/photonics/die_stack.hpp"
 #include "oci/photonics/led.hpp"
@@ -262,6 +263,8 @@ TEST(PhotonStream, MeanPhotonsScalesWithTransmittance) {
   EXPECT_NEAR(half.mean_photons_per_pulse() / full.mean_photons_per_pulse(), 0.5, 1e-12);
   EXPECT_THROW(PhotonStream(led, 1.5), std::invalid_argument);
   EXPECT_THROW(PhotonStream(led, -0.1), std::invalid_argument);
+  EXPECT_THROW(PhotonStream(led, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
 }
 
 TEST(PhotonStream, PulseSamplesInsideEnvelopeAndSorted) {

@@ -386,4 +386,78 @@ TEST(Calibration, ZeroSamplesThrows) {
   EXPECT_THROW(code_density_test(tdc, 0, rng), std::invalid_argument);
 }
 
+// ---------- fused sample-and-decode fast path ----------
+
+// The conversion hot path (sample_and_decode) must be draw-for-draw and
+// result-for-result identical to materialising the thermometer code and
+// decoding it, across every decode method, metastability width (zero,
+// paper-scale, absurdly wide), chain length, and interval -- including
+// intervals pinned exactly onto tap boundaries and the window edges.
+TEST(Thermometer, SampleAndDecodeMatchesMaterialisedPath) {
+  const ThermometerDecode methods[] = {ThermometerDecode::kOnesCount,
+                                       ThermometerDecode::kLeadingOnes,
+                                       ThermometerDecode::kMajorityWindow};
+  const double meta_ps[] = {0.0, 4.0, 60.0, 5000.0};
+  const std::size_t sizes[] = {1, 2, 3, 17, 96};
+
+  for (const std::size_t n : sizes) {
+    for (const double meta : meta_ps) {
+      DelayLineParams p;
+      p.elements = n;
+      p.nominal_delay = Time::picoseconds(52.0);
+      p.mismatch_sigma = 0.12;
+      p.odd_even_skew = 0.2;
+      p.metastability_window = Time::picoseconds(meta);
+      RngStream process(1000 + n);
+      const DelayLine line(p, process);
+
+      RngStream pick(2000 + n + static_cast<std::uint64_t>(meta));
+      for (const ThermometerDecode method : methods) {
+        for (int trial = 0; trial < 60; ++trial) {
+          Time interval;
+          switch (trial % 4) {
+            case 0:  // uniform over the chain
+              interval = pick.uniform_time(line.total_delay() * 1.1);
+              break;
+            case 1:  // exactly on a tap boundary
+              interval = line.boundary(static_cast<std::size_t>(
+                  pick.uniform_int(0, static_cast<std::int64_t>(n))));
+              break;
+            case 2:  // exactly meta below a boundary
+              interval = line.boundary(static_cast<std::size_t>(pick.uniform_int(
+                             0, static_cast<std::int64_t>(n)))) -
+                         p.metastability_window;
+              break;
+            default:  // before the chain / negative margins everywhere
+              interval = Time::seconds(-1e-12);
+              break;
+          }
+          RngStream fused(static_cast<std::uint64_t>(trial) * 7919 + 13);
+          RngStream naive(static_cast<std::uint64_t>(trial) * 7919 + 13);
+          const std::size_t fast = sample_and_decode(line, interval, fused, method);
+          const std::size_t slow = decode_thermometer(line.sample(interval, naive), method);
+          ASSERT_EQ(fast, slow) << "n=" << n << " meta=" << meta
+                                << " method=" << static_cast<int>(method)
+                                << " interval=" << interval.seconds();
+          // Identical RNG consumption: the next raw draw must agree.
+          ASSERT_EQ(fused.engine()(), naive.engine()());
+        }
+      }
+    }
+  }
+}
+
+TEST(Thermometer, SampleIntoReusesBuffer) {
+  DelayLineParams p = paper_line_params();
+  RngStream process(31);
+  const DelayLine line(p, process);
+  ThermometerCode buffer;
+  for (int i = 0; i < 5; ++i) {
+    RngStream a(100 + i), b(100 + i);
+    const Time interval = Time::picoseconds(52.0 * i * 7);
+    line.sample_into(interval, a, buffer);
+    EXPECT_EQ(buffer, line.sample(interval, b));
+  }
+}
+
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "oci/util/math.hpp"
 #include "oci/util/random.hpp"
+#include "oci/util/samplers.hpp"
 #include "oci/util/statistics.hpp"
 #include "oci/util/table.hpp"
 #include "oci/util/units.hpp"
@@ -363,6 +364,72 @@ TEST(Table, SiFormat) {
   EXPECT_EQ(si_format(5.0e-9, "s", 1), "5.0 ns");
   EXPECT_EQ(si_format(0.0, "W", 1), "0 W");
   EXPECT_EQ(si_format(-3.0e6, "Hz", 0), "-3 MHz");
+}
+
+// ---------- samplers ----------
+
+TEST(Samplers, PoissonSamplerMatchesMomentsAcrossMeans) {
+  for (const double mean : {0.3, 4.0, 60.0, 500.0}) {
+    const PoissonSampler sampler(mean);
+    EXPECT_TRUE(sampler.table_backed());
+    RngStream rng(4242 + static_cast<std::uint64_t>(mean));
+    RunningStats s;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) s.add(static_cast<double>(sampler.sample(rng)));
+    // Poisson: mean == variance; tolerate ~5 sigma of sampling noise.
+    const double tol = 5.0 * std::sqrt(mean / n);
+    EXPECT_NEAR(s.mean(), mean, tol + 5e-2) << "mean " << mean;
+    EXPECT_NEAR(s.variance(), mean, 6.0 * mean / std::sqrt(static_cast<double>(n)) + 0.1)
+        << "mean " << mean;
+  }
+}
+
+TEST(Samplers, PoissonSamplerEdgeCases) {
+  const PoissonSampler zero;
+  RngStream rng(77);
+  EXPECT_EQ(zero.sample(rng), 0);
+  EXPECT_FALSE(zero.table_backed());
+
+  // Above the table limit: falls back to the generic draw but stays a
+  // valid Poisson (spot-check the mean).
+  const PoissonSampler big(5000.0);
+  EXPECT_FALSE(big.table_backed());
+  RunningStats s;
+  for (int i = 0; i < 2000; ++i) s.add(static_cast<double>(big.sample(rng)));
+  EXPECT_NEAR(s.mean(), 5000.0, 25.0);
+
+  EXPECT_THROW(PoissonSampler(-1.0), std::invalid_argument);
+}
+
+TEST(Samplers, AscendingUniformStreamIsSortedAndMatchesSortedUniforms) {
+  // The streamed order statistics must be ascending, in [0,1), and
+  // distributed like sorting n uniforms: compare the mean of U_(1) of
+  // n=8 against its analytic 1/(n+1).
+  RngStream rng(991);
+  RunningStats first_stat;
+  for (int trial = 0; trial < 20000; ++trial) {
+    AscendingUniformStream order(8);
+    double prev = -1.0;
+    const double first = order.next(rng);
+    first_stat.add(first);
+    prev = first;
+    for (int k = 1; k < 8; ++k) {
+      const double u = order.next(rng);
+      ASSERT_GE(u, prev);
+      ASSERT_LT(u, 1.0);
+      prev = u;
+    }
+    EXPECT_EQ(order.remaining(), 0);
+  }
+  EXPECT_NEAR(first_stat.mean(), 1.0 / 9.0, 0.005);
+}
+
+TEST(Math, NormalQuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-7);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-4);
+  EXPECT_THROW((void)normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(1.0), std::invalid_argument);
 }
 
 }  // namespace
