@@ -1,11 +1,14 @@
 // Microbenchmarks for the zero-allocation hot path: the util samplers,
 // the fused TDC sample-and-decode, and the LinkEngine symbol loop
-// against the reference per-photon pipeline. CI runs this binary at
-// tiny scale and uploads the JSON (BENCH_link.json) so hot-path
-// regressions show up as artifact diffs, not anecdotes.
+// against the reference per-photon pipeline. The binary writes the
+// stable-schema BENCH_link.json trajectory document (see
+// support/bench_json.hpp) that CI uploads and diffs across runs, so
+// hot-path regressions show up as artifact diffs, not anecdotes.
 #include <benchmark/benchmark.h>
 
 #include <vector>
+
+#include "support/bench_json.hpp"
 
 #include "oci/link/link_engine.hpp"
 #include "oci/link/optical_link.hpp"
@@ -108,11 +111,14 @@ void BM_EngineSymbol(benchmark::State& state) {
   RngStream tx(kSeed, "engine-tx");
   link::LinkRunStats stats;
   Time dead_until = Time::zero();
+  const std::uint64_t draws_before = tx.draws();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         engine.transmit_symbol(17, Time::zero(), dead_until, stats, tx));
     dead_until = Time::zero();
   }
+  state.counters["rng_draws"] = benchmark::Counter(
+      static_cast<double>(tx.draws() - draws_before), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_EngineSymbol);
 
@@ -122,11 +128,14 @@ void BM_ReferenceSymbol(benchmark::State& state) {
   RngStream tx(kSeed, "ref-tx");
   link::LinkRunStats stats;
   Time dead_until = Time::zero();
+  const std::uint64_t draws_before = tx.draws();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         link.transmit_symbol_reference(17, Time::zero(), dead_until, stats, tx, {}));
     dead_until = Time::zero();
   }
+  state.counters["rng_draws"] = benchmark::Counter(
+      static_cast<double>(tx.draws() - draws_before), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_ReferenceSymbol);
 
@@ -143,4 +152,7 @@ BENCHMARK(BM_EngineMeasure);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return oci::benchsupport::run_and_export(argc, argv, "bench_link_engine",
+                                           "BENCH_link.json");
+}

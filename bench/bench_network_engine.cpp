@@ -1,0 +1,221 @@
+// Microbenchmarks for the multi-source LinkEngine across the
+// interference-bearing system paths: one victim window merged with
+// co-channel aggressor pulses (engine k-way hazard merge vs the
+// materialise/sort/thin reference pipeline), full WDM windows, the
+// photon-level vertical-bus broadcast and contended-upstream paths,
+// and the LinkEngine-coupled NoC slot simulation. The binary writes
+// the stable-schema BENCH_network.json trajectory document (see
+// support/bench_json.hpp) that CI uploads and diffs across runs.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/bench_json.hpp"
+
+#include "oci/bus/vertical_bus.hpp"
+#include "oci/link/link_engine.hpp"
+#include "oci/link/symbol_delivery.hpp"
+#include "oci/link/wdm_link.hpp"
+#include "oci/net/stack_network.hpp"
+
+namespace {
+
+using namespace oci;
+using photonics::PhotonArrival;
+using util::RngStream;
+using util::Time;
+
+constexpr std::uint64_t kSeed = 20080615;
+
+// ---------- interference: K aggressors on one link ----------
+
+link::OpticalLinkConfig victim_config() {
+  link::OpticalLinkConfig c;
+  c.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  c.bits_per_symbol = 5;
+  c.channel_transmittance = 0.5;
+  c.led.peak_power = util::Power::microwatts(50.0);  // bright: worst case for the reference
+  c.spad.dcr_at_ref = util::Frequency::hertz(100.0);
+  c.calibrate = false;  // construction kept out of the timed region
+  return c;
+}
+
+constexpr std::size_t kAggressors = 4;
+constexpr double kAggressorMean = 6.0;  // leaked photons per aggressor pulse
+
+std::array<link::SourcePulse, kAggressors> aggressor_pulses(const link::OpticalLink& link,
+                                                            Time window_start) {
+  // Aggressor pulses scattered across the victim's window, the way
+  // neighbouring channels' PPM symbols land.
+  std::array<link::SourcePulse, kAggressors> a{};
+  const Time window = link.toa_window();
+  for (std::size_t k = 0; k < kAggressors; ++k) {
+    a[k] = link::SourcePulse{
+        &link.led(), kAggressorMean,
+        window_start + window * (static_cast<double>(k + 1) / (kAggressors + 1.0))};
+  }
+  return a;
+}
+
+void BM_InterferenceEngineSymbol(benchmark::State& state) {
+  RngStream process(kSeed, "int-engine-link");
+  const link::OpticalLink link(victim_config(), process);
+  const link::LinkEngine engine(link);
+  link::EngineScratch scratch;
+  const auto aggressors = aggressor_pulses(link, Time::zero());
+  RngStream tx(kSeed, "int-engine-tx");
+  link::LinkRunStats stats;
+  Time dead_until = Time::zero();
+  const std::uint64_t draws_before = tx.draws();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.transmit_symbol(17, Time::zero(), aggressors,
+                                                    dead_until, stats, tx, scratch));
+    dead_until = Time::zero();
+  }
+  state.counters["rng_draws"] = benchmark::Counter(
+      static_cast<double>(tx.draws() - draws_before), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_InterferenceEngineSymbol);
+
+void BM_InterferenceReferenceSymbol(benchmark::State& state) {
+  RngStream process(kSeed, "int-ref-link");
+  const link::OpticalLink link(victim_config(), process);
+  const auto aggressors = aggressor_pulses(link, Time::zero());
+  RngStream tx(kSeed, "int-ref-tx");
+  link::LinkRunStats stats;
+  Time dead_until = Time::zero();
+  const std::uint64_t draws_before = tx.draws();
+  for (auto _ : state) {
+    // The old consumer-side recipe: materialise every leaked photon,
+    // sort, and hand the vector to the per-photon reference pipeline.
+    std::vector<PhotonArrival> interference;
+    for (const auto& a : aggressors) {
+      const auto n = tx.poisson(a.mean_photons);
+      for (std::int64_t p = 0; p < n; ++p) {
+        const Time offset = link.led().sample_emission_time(tx.uniform());
+        interference.push_back(PhotonArrival{a.start + offset, /*is_signal=*/false});
+      }
+    }
+    std::sort(interference.begin(), interference.end(),
+              [](const PhotonArrival& x, const PhotonArrival& y) { return x.time < y.time; });
+    benchmark::DoNotOptimize(link.transmit_symbol_reference(
+        17, Time::zero(), dead_until, stats, tx, std::move(interference)));
+    dead_until = Time::zero();
+  }
+  state.counters["rng_draws"] = benchmark::Counter(
+      static_cast<double>(tx.draws() - draws_before), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_InterferenceReferenceSymbol);
+
+// ---------- WDM: full crosstalk-coupled windows ----------
+
+link::WdmLinkConfig wdm_config() {
+  link::WdmLinkConfig c;
+  c.grid.channels = 4;
+  c.base.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  c.base.bits_per_symbol = 6;
+  c.base.led.peak_power = util::Power::microwatts(2.0);
+  c.base.spad.dcr_at_ref = util::Frequency::hertz(350.0);
+  c.base.calibrate = false;
+  c.path_transmittance = 0.3;
+  c.filter.adjacent_isolation_db = 20.0;  // leaky demux: aggressors actually land
+  return c;
+}
+
+void BM_WdmEngineWindow(benchmark::State& state) {
+  RngStream process(kSeed, "wdm-engine");
+  const link::WdmLink wdm(wdm_config(), process);
+  RngStream tx(kSeed, "wdm-engine-tx");
+  const std::uint64_t draws_before = tx.draws();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wdm.measure(4, tx).per_channel.size());
+  }
+  state.counters["rng_draws"] = benchmark::Counter(
+      static_cast<double>(tx.draws() - draws_before), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_WdmEngineWindow);
+
+void BM_WdmReferenceWindow(benchmark::State& state) {
+  RngStream process(kSeed, "wdm-ref");
+  const link::WdmLink wdm(wdm_config(), process);
+  RngStream tx(kSeed, "wdm-ref-tx");
+  const std::uint64_t draws_before = tx.draws();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wdm.measure_reference(4, tx).per_channel.size());
+  }
+  state.counters["rng_draws"] = benchmark::Counter(
+      static_cast<double>(tx.draws() - draws_before), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_WdmReferenceWindow);
+
+// ---------- vertical bus: broadcast + contended upstream ----------
+
+bus::VerticalBusConfig bus_config() {
+  bus::VerticalBusConfig c;
+  c.dies = 4;
+  c.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  c.bits_per_symbol = 5;
+  c.led.wavelength = util::Wavelength::nanometres(850.0);
+  c.led.peak_power = util::Power::microwatts(200.0);
+  c.spad.dcr_at_ref = util::Frequency::hertz(350.0);
+  return c;
+}
+
+void BM_BusBroadcast(benchmark::State& state) {
+  const bus::VerticalBus vbus(bus_config());
+  RngStream rng(kSeed, "bus-broadcast");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vbus.monte_carlo_broadcast(256, rng).per_die.size());
+  }
+}
+BENCHMARK(BM_BusBroadcast);
+
+void BM_BusContention(benchmark::State& state) {
+  const bus::VerticalBus vbus(bus_config());
+  const std::array<std::size_t, 3> talkers{1, 2, 3};
+  RngStream rng(kSeed, "bus-contention");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vbus.monte_carlo_upstream_contention(talkers, 256, rng).noise_captures);
+  }
+}
+BENCHMARK(BM_BusContention);
+
+// ---------- NoC: LinkEngine-coupled slot simulation ----------
+
+void BM_NocCoupledSlots(benchmark::State& state) {
+  RngStream process(kSeed, "noc-link");
+  const link::OpticalLink phy_link(victim_config(), process);
+  link::SymbolDeliveryModel phy(phy_link);
+
+  net::StackNetworkConfig cfg;
+  cfg.dies = 8;
+  cfg.traffic.resize(cfg.dies);
+  for (auto& t : cfg.traffic) {
+    t.packets_per_slot = 0.08;
+    t.uniform_destinations = true;
+  }
+  cfg.delivery_model = [&phy](const net::Packet& p, RngStream& rng) {
+    return phy.deliver(p.payload_bytes, rng);
+  };
+  net::StackNetwork netw(cfg, std::make_unique<net::TokenMac>(cfg.dies, 0));
+  RngStream rng(kSeed, "noc-run");
+  const std::uint64_t draws_before = rng.draws();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netw.run(100, rng).total_delivered());
+  }
+  state.counters["rng_draws"] = benchmark::Counter(
+      static_cast<double>(rng.draws() - draws_before), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_NocCoupledSlots);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return oci::benchsupport::run_and_export(argc, argv, "bench_network_engine",
+                                           "BENCH_network.json");
+}

@@ -1,11 +1,20 @@
 #include "oci/bus/vertical_bus.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
 
+#include "oci/link/link_engine.hpp"
 #include "oci/photonics/led.hpp"
 #include "oci/spad/spad.hpp"
 
 namespace oci::bus {
+
+double BusBroadcastResult::worst_symbol_error_rate() const {
+  double worst = 0.0;
+  for (const auto& stats : per_die) worst = std::max(worst, stats.symbol_error_rate());
+  return worst;
+}
 
 VerticalBus::VerticalBus(const VerticalBusConfig& config)
     : config_(config), stack_(photonics::DieStack::uniform(config.dies, config.die)) {
@@ -61,6 +70,121 @@ BitRate VerticalBus::upstream_rate_per_die() const {
   if (talkers == 0) return BitRate::bits_per_second(0.0);
   return BitRate::bits_per_second(link::throughput(config_.design).bits_per_second() /
                                   static_cast<double>(talkers));
+}
+
+link::OpticalLinkConfig VerticalBus::receiver_link_config(std::size_t tx_die,
+                                                          std::size_t rx_die) const {
+  if (tx_die >= config_.dies || rx_die >= config_.dies) {
+    throw std::invalid_argument("VerticalBus: die index out of range");
+  }
+  link::OpticalLinkConfig c;
+  c.design = config_.design;
+  c.bits_per_symbol = config_.bits_per_symbol;
+  c.led = config_.led;
+  c.spad = config_.spad;
+  c.channel_transmittance =
+      stack_.transmittance(tx_die, rx_die, config_.led.wavelength);
+  c.calibrate = config_.mc_calibrate;
+  c.calibration_samples = config_.mc_calibration_samples;
+  return c;
+}
+
+BusBroadcastResult VerticalBus::monte_carlo_broadcast(std::uint64_t symbols,
+                                                      util::RngStream& rng) const {
+  BusBroadcastResult out;
+  // Receiver chains first (construction may consume calibration draws),
+  // then one shared symbol stream: a broadcast pulse train is identical
+  // at every die, only the optical budget and detector noise differ.
+  std::vector<std::unique_ptr<link::OpticalLink>> links;
+  links.reserve(config_.dies - 1);
+  for (std::size_t die = 0; die < config_.dies; ++die) {
+    if (die == config_.master) continue;
+    util::RngStream process = rng.fork("bus-die-process");
+    links.push_back(std::make_unique<link::OpticalLink>(
+        receiver_link_config(config_.master, die), process));
+    out.dies.push_back(die);
+  }
+
+  // Every die replays the SAME transmitted stream: each receiver copies
+  // this stream's state and regenerates the symbols on the fly, so a
+  // deep-BER run needs O(1) memory, not an O(symbols) vector.
+  const util::RngStream symbol_proto = rng.fork("bus-symbols");
+  const std::uint64_t max_symbol =
+      (std::uint64_t{1} << links.front()->bits_per_symbol()) - 1;
+
+  out.per_die.reserve(links.size());
+  for (const auto& l : links) {
+    const link::LinkEngine engine(*l);
+    util::RngStream pick = symbol_proto;  // identical stream per die
+    util::RngStream tx = rng.fork("bus-die-rx");
+    link::LinkRunStats stats;
+    Time t = Time::zero();
+    Time dead_until = Time::zero();
+    for (std::uint64_t s = 0; s < symbols; ++s) {
+      const auto symbol = static_cast<std::uint64_t>(
+          pick.uniform_int(0, static_cast<std::int64_t>(max_symbol)));
+      (void)engine.transmit_symbol(symbol, t, dead_until, stats, tx);
+      t += l->symbol_period();
+    }
+    out.per_die.push_back(stats);
+  }
+  return out;
+}
+
+link::LinkRunStats VerticalBus::monte_carlo_upstream_contention(
+    std::span<const std::size_t> talkers, std::uint64_t symbols,
+    util::RngStream& rng) const {
+  if (talkers.empty()) {
+    throw std::invalid_argument("VerticalBus: contention needs at least one talker");
+  }
+  for (std::size_t i = 0; i < talkers.size(); ++i) {
+    if (talkers[i] >= config_.dies || talkers[i] == config_.master) {
+      throw std::invalid_argument("VerticalBus: talkers must be non-master dies");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (talkers[j] == talkers[i]) {
+        throw std::invalid_argument("VerticalBus: talkers must be distinct dies");
+      }
+    }
+  }
+
+  // The slot owner's chain to the master is the victim link; every
+  // colliding talker leaks its full pulse through its own stack
+  // transmittance as an aggressor source.
+  util::RngStream process = rng.fork("contention-link");
+  const link::OpticalLink link(receiver_link_config(talkers[0], config_.master), process);
+  const link::LinkEngine engine(link);
+  const photonics::MicroLed& led = link.led();  // uniform LED template per die
+
+  std::vector<double> aggressor_mean;
+  aggressor_mean.reserve(talkers.size() - 1);
+  for (std::size_t k = 1; k < talkers.size(); ++k) {
+    aggressor_mean.push_back(
+        led.photons_per_pulse() *
+        stack_.transmittance(talkers[k], config_.master, config_.led.wavelength));
+  }
+
+  link::EngineScratch scratch;
+  scratch.reserve_sources(talkers.size());
+  std::vector<link::SourcePulse> aggressors(aggressor_mean.size());
+  link::LinkRunStats stats;
+  util::RngStream tx = rng.fork("contention-tx");
+  const std::uint64_t max_symbol = (std::uint64_t{1} << link.bits_per_symbol()) - 1;
+  Time t = Time::zero();
+  Time dead_until = Time::zero();
+  for (std::uint64_t s = 0; s < symbols; ++s) {
+    const auto symbol = static_cast<std::uint64_t>(
+        tx.uniform_int(0, static_cast<std::int64_t>(max_symbol)));
+    for (std::size_t k = 0; k < aggressors.size(); ++k) {
+      const auto colliding = static_cast<std::uint64_t>(
+          tx.uniform_int(0, static_cast<std::int64_t>(max_symbol)));
+      aggressors[k] =
+          link::SourcePulse{&led, aggressor_mean[k], t + link.ppm().encode(colliding)};
+    }
+    (void)engine.transmit_symbol(symbol, t, aggressors, dead_until, stats, tx, scratch);
+    t += link.symbol_period();
+  }
+  return stats;
 }
 
 Energy VerticalBus::broadcast_energy_per_delivered_bit() const {

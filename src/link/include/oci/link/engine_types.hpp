@@ -1,0 +1,60 @@
+// Shared vocabulary types between the LinkEngine and its multi-source
+// consumers (OpticalLink, WdmLink, bus::VerticalBus). They live in
+// their own header so OpticalLink can expose engine-typed entry points
+// without a circular include against link_engine.hpp.
+#pragma once
+
+#include <vector>
+
+#include "oci/util/units.hpp"
+
+namespace oci::photonics {
+class MicroLed;
+}  // namespace oci::photonics
+
+namespace oci::link {
+
+/// One pulsed photon source as the victim SPAD sees it: an LED envelope
+/// starting at `start` that delivers `mean_photons` photons (Poisson)
+/// to the victim's detector plane. The engine thins by the victim's PDP
+/// internally, so callers pass OPTICAL means: photons/pulse x the
+/// collected fraction along that aggressor's path (demux leakage,
+/// stack transmittance, coupling). `led` selects the temporal envelope
+/// and must outlive the engine call.
+struct SourcePulse {
+  const photonics::MicroLed* led = nullptr;
+  double mean_photons = 0.0;
+  util::Time start;
+};
+
+/// Reusable working memory for the multi-source engine: the per-source
+/// lazy hazard states the k-way merge streams from. One scratch per
+/// calling thread; cleared-and-refilled each window, so a sweep loop
+/// runs allocation-free once the first window has sized the buffer.
+class EngineScratch {
+ public:
+  EngineScratch() = default;
+
+  /// Pre-sizes the source-state buffer (optional; the first window
+  /// grows it on demand).
+  void reserve_sources(std::size_t n) { states_.reserve(n); }
+
+ private:
+  friend class LinkEngine;
+
+  /// Lazy candidate stream of one thinned inhomogeneous source: the
+  /// cumulative hazard consumed so far and the next candidate time.
+  struct SourceState {
+    const photonics::MicroLed* led = nullptr;
+    double lambda = 0.0;   ///< mean avalanche candidates (photons x PDP)
+    double start_s = 0.0;  ///< absolute envelope start [s]
+    double hazard = 0.0;   ///< cumulative hazard consumed in [0, lambda)
+    double next_s = 0.0;   ///< next candidate arrival [s] (+inf = exhausted)
+    bool is_signal = false;
+    bool exhausted = false;
+  };
+
+  std::vector<SourceState> states_;
+};
+
+}  // namespace oci::link

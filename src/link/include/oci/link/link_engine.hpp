@@ -18,17 +18,30 @@
 //    step + one inverse-CDF evaluation each), and under active quench
 //    the stream simply fast-forwards across the SPAD's dead time.
 //
+// Both identities hold per source, so the engine generalises to K
+// merged inhomogeneous sources -- the victim's own pulse plus any
+// number of aggressor pulses (WDM leakage, neighbour-channel
+// crosstalk, colliding bus talkers), each an independent thinned
+// Poisson process with its own envelope and start time -- via a small
+// k-way merge over per-source lazy hazard states. A quiet aggressor
+// costs ONE Exp(1) draw per window (its first hazard step usually
+// overshoots the whole pulse mass); the reference pipeline pays a
+// Poisson count draw, an envelope inverse-CDF per photon, a sort, a
+// vector merge and a Bernoulli per photon for the same physics.
+//
 // A typical bright symbol costs ~5 RNG draws and no heap allocation,
 // and is bit-identical between the per-symbol API and the batched
 // run_symbols() driver (a golden-regression test pins this). Against
 // the reference pipeline the engine is equivalent in distribution, not
-// draw-for-draw; a statistical regression test pins that agreement.
+// draw-for-draw; statistical regression tests pin that agreement for
+// the isolated, interference, WDM and bus-contention paths.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
 
+#include "oci/link/engine_types.hpp"
 #include "oci/link/optical_link.hpp"
 
 namespace oci::link {
@@ -47,6 +60,19 @@ class LinkEngine {
   [[nodiscard]] std::uint64_t transmit_symbol(std::uint64_t symbol, util::Time start,
                                               util::Time& dead_until, LinkRunStats& stats,
                                               util::RngStream& rng) const;
+
+  /// Multi-source symbol: the victim's own pulse plus `aggressors`
+  /// (co-channel crosstalk, WDM leakage, colliding talkers) merged
+  /// with the flat noise/afterpulse streams. Aggressor triggers that
+  /// win the TDC conversion count as noise captures, exactly like the
+  /// reference pipeline's interference photons. `scratch` supplies the
+  /// per-source merge states; reuse one per thread and the loop is
+  /// allocation-free after the first window.
+  [[nodiscard]] std::uint64_t transmit_symbol(std::uint64_t symbol, util::Time start,
+                                              std::span<const SourcePulse> aggressors,
+                                              util::Time& dead_until, LinkRunStats& stats,
+                                              util::RngStream& rng,
+                                              EngineScratch& scratch) const;
 
   /// Per-symbol outcome handed to run_symbols/run_sequence reducers.
   struct SymbolOutcome {
@@ -112,18 +138,33 @@ class LinkEngine {
     double last_fire_s = 0.0;       ///< pre-jitter time of the last avalanche
   };
 
-  /// Simulates the SPAD over [window_start, window_end) with a pulse at
-  /// `pulse_start` plus flat-rate noise at `noise_rate` [Hz];
+  using SourceState = EngineScratch::SourceState;
+
+  /// Builds the victim's own pulse-candidate state for a pulse at
+  /// `pulse_start_s` (lambda pre-multiplied at construction).
+  [[nodiscard]] SourceState signal_state(double pulse_start_s) const;
+
+  /// Simulates the SPAD over [window_start, window_end) against the
+  /// merged candidate streams of `sources` (element 0 conventionally
+  /// the victim's pulse) plus flat-rate noise at `noise_rate` [Hz];
   /// `dead_in_s` is the blind carry from the previous window.
-  WindowResult simulate_window(double pulse_start_s, double window_start_s,
+  WindowResult simulate_window(std::span<SourceState> sources, double window_start_s,
                                double window_end_s, double dead_in_s, double noise_rate,
                                util::RngStream& rng) const;
+
+  /// Shared back half of every transmit flavour: runs the window,
+  /// updates counters/dead carry, converts the first avalanche.
+  std::uint64_t finish_symbol(std::uint64_t symbol, util::Time start,
+                              std::span<SourceState> sources, util::Time& dead_until,
+                              LinkRunStats& stats, util::RngStream& rng) const;
 
   const OpticalLink* link_;
   const photonics::MicroLed* led_;
   /// Cached PDP/transmittance product: mean avalanche candidates per
   /// pulse = photons/pulse x transmittance x PDP.
   double lambda_signal_ = 0.0;
+  /// Victim PDP alone: thins aggressor SourcePulse optical means.
+  double pdp_ = 0.0;
   /// Dark-count rate alone [Hz] -- the noise floor of a training probe.
   double dark_rate_ = 0.0;
   /// Flat candidate rate [Hz]: DCR + PDP-thinned background flux.

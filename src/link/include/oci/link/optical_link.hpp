@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "oci/link/budget.hpp"
+#include "oci/link/engine_types.hpp"
 #include "oci/link/tradeoff.hpp"
 #include "oci/modulation/frame.hpp"
 #include "oci/modulation/ppm.hpp"
@@ -77,6 +79,9 @@ struct LinkRunStats {
   [[nodiscard]] util::BitRate raw_throughput() const;
   [[nodiscard]] util::BitRate goodput() const;  ///< error-free bits per time
   [[nodiscard]] util::Energy energy_per_bit() const;
+
+  /// Counter-wise accumulation (per-die / per-channel aggregation).
+  LinkRunStats& operator+=(const LinkRunStats& other);
 };
 
 class OpticalLink {
@@ -124,11 +129,23 @@ class OpticalLink {
                                               util::Time& dead_until, LinkRunStats& stats,
                                               util::RngStream& rng) const;
 
-  /// Same, with extra interference photons (time-sorted, absolute
-  /// times) merged into the window -- the hook WDM crosstalk and other
-  /// co-channel aggressors use to reach this receiver's SPAD. An empty
-  /// interference set takes the LinkEngine hot path; a non-empty one
-  /// runs the reference pipeline below.
+  /// Same, with co-channel aggressor pulses (WDM leakage, neighbour
+  /// crosstalk, colliding bus talkers) described as SourcePulse
+  /// processes and merged by the multi-source LinkEngine -- the
+  /// allocation-free fast path every interference-bearing consumer
+  /// uses. Convenience wrapper: a hot loop should hold its own
+  /// LinkEngine and call it directly (this rebuilds the cached rate
+  /// products on every call).
+  [[nodiscard]] std::uint64_t transmit_symbol_with_interference(
+      std::uint64_t symbol, util::Time start, std::span<const SourcePulse> aggressors,
+      util::Time& dead_until, LinkRunStats& stats, util::RngStream& rng,
+      EngineScratch& scratch) const;
+
+  /// Materialised-photon flavour, retained as the statistical ORACLE:
+  /// an empty interference set takes the LinkEngine hot path; a
+  /// non-empty one runs the reference pipeline below. No bench or
+  /// sweep hot path calls this any more -- regression tests use it to
+  /// pin the engine's distributions.
   [[nodiscard]] std::uint64_t transmit_symbol_with_interference(
       std::uint64_t symbol, util::Time start, util::Time& dead_until, LinkRunStats& stats,
       util::RngStream& rng, std::vector<photonics::PhotonArrival> interference) const;

@@ -7,6 +7,14 @@
 // fire the detector first decode as noise captures -- exactly the
 // failure mode the abl_wdm bench sweeps against channel spacing.
 //
+// Transport runs on the multi-source LinkEngine: each victim window
+// merges its own pulse with K-1 aggressor SourcePulses (one per other
+// channel, mean = photons/pulse x collected fraction) instead of
+// materialising, sorting and per-photon-thinning leaked photons. The
+// old materialised pipeline is retained as transmit_reference /
+// measure_reference -- the statistical oracle the engine path is
+// z-tested against, and deliberately NOT called by any bench loop.
+//
 // Approximation: leaked photons are detected with the VICTIM channel's
 // PDP. Grid spacings are tens of nm where the PDP curve is smooth, so
 // the neighbouring channels' true PDP differs by only a few percent.
@@ -58,6 +66,7 @@ class WdmLink {
 
   /// Transmits symbol-aligned streams, one per channel (all streams
   /// must have equal length), with inter-channel crosstalk applied.
+  /// Runs on the multi-source LinkEngine fast path.
   [[nodiscard]] RunResult transmit(const std::vector<std::vector<std::uint64_t>>& symbols,
                                    util::RngStream& rng) const;
 
@@ -66,7 +75,26 @@ class WdmLink {
   [[nodiscard]] RunResult measure(std::uint64_t symbols_per_channel,
                                   util::RngStream& rng) const;
 
+  /// Statistical oracle: same contract as transmit(), but every window
+  /// materialises the leaked aggressor photons and runs the reference
+  /// per-photon pipeline (transmit_symbol_reference). Orders of
+  /// magnitude slower; only regression tests and the engine-vs-
+  /// reference microbenches should call it.
+  [[nodiscard]] RunResult transmit_reference(
+      const std::vector<std::vector<std::uint64_t>>& symbols, util::RngStream& rng) const;
+
+  /// Random-symbol flavour of transmit_reference.
+  [[nodiscard]] RunResult measure_reference(std::uint64_t symbols_per_channel,
+                                            util::RngStream& rng) const;
+
  private:
+  /// Throws unless `symbols` is one equal-length stream per channel.
+  void check_streams(const std::vector<std::vector<std::uint64_t>>& symbols) const;
+
+  /// Equal-length random symbol streams, one per channel.
+  [[nodiscard]] std::vector<std::vector<std::uint64_t>> random_streams(
+      std::uint64_t symbols_per_channel, util::RngStream& rng) const;
+
   /// Path transmittance for channel wavelength (excl. filter).
   [[nodiscard]] double path_for(std::size_t channel) const;
 

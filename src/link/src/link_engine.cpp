@@ -28,6 +28,7 @@ LinkEngine::LinkEngine(const OpticalLink& link)
       led_(&link.led()),
       lambda_signal_(link.led().photons_per_pulse() *
                      link.config().channel_transmittance * link.detector().pdp()),
+      pdp_(link.detector().pdp()),
       dark_rate_(link.detector().dcr().hertz()),
       noise_rate_(link.detector().dcr().hertz() +
                   link.config().background_rate.hertz() * link.detector().pdp()),
@@ -42,7 +43,18 @@ LinkEngine::LinkEngine(const OpticalLink& link)
       rx_energy_per_conversion_(link.config().rx_energy_per_conversion),
       bits_per_symbol_(link.bits_per_symbol()) {}
 
-LinkEngine::WindowResult LinkEngine::simulate_window(double pulse_start_s,
+LinkEngine::SourceState LinkEngine::signal_state(double pulse_start_s) const {
+  SourceState s;
+  s.led = led_;
+  s.lambda = lambda_signal_;
+  s.start_s = pulse_start_s;
+  s.is_signal = true;
+  s.exhausted = s.lambda <= 0.0;
+  s.next_s = kInf;
+  return s;
+}
+
+LinkEngine::WindowResult LinkEngine::simulate_window(std::span<SourceState> sources,
                                                      double window_start_s,
                                                      double window_end_s, double dead_in_s,
                                                      double noise_rate,
@@ -50,26 +62,21 @@ LinkEngine::WindowResult LinkEngine::simulate_window(double pulse_start_s,
   WindowResult result;
   double dead = dead_in_s;
 
-  // Signal candidate stream: arrivals of the PDP-thinned pulse process,
-  // generated lazily in time order. sig_hazard walks the cumulative
-  // hazard [0, lambda_signal); the envelope's inverse CDF maps it back
-  // to a time.
-  double sig_hazard = 0.0;
-  double sig_next = kInf;
-  bool sig_exhausted = lambda_signal_ <= 0.0;
-  const auto advance_signal = [&] {
-    if (sig_exhausted) return;
-    sig_hazard += rng.exponential_mean(1.0);
-    if (sig_hazard >= lambda_signal_) {
-      sig_exhausted = true;
-      sig_next = kInf;
+  // Per-source candidate streams: arrivals of each PDP-thinned pulse
+  // process, generated lazily in time order. Each hazard walks the
+  // cumulative mass [0, lambda); the envelope's inverse CDF maps it
+  // back to a time.
+  const auto advance = [&](SourceState& s) {
+    if (s.exhausted) return;
+    s.hazard += rng.exponential_mean(1.0);
+    if (s.hazard >= s.lambda) {
+      s.exhausted = true;
+      s.next_s = kInf;
       return;
     }
-    sig_next =
-        pulse_start_s +
-        led_->sample_emission_time(sig_hazard / lambda_signal_).seconds();
+    s.next_s = s.start_s + s.led->sample_emission_time(s.hazard / s.lambda).seconds();
   };
-  advance_signal();
+  for (SourceState& s : sources) advance(s);
 
   // Flat-rate noise candidate stream (dark counts + thinned background).
   double noise_next = kInf;
@@ -82,25 +89,27 @@ LinkEngine::WindowResult LinkEngine::simulate_window(double pulse_start_s,
   std::array<double, kMaxPending> pending{};  // afterpulse release times
   std::size_t n_pending = 0;
 
-  enum class Source { kSignal, kNoise, kAfterpulse };
+  enum class Kind { kPulse, kNoise, kAfterpulse };
 
   while (true) {
     if (!passive_quench_) {
       // Active quench: nothing can fire before `dead`, and absorbed
-      // carriers have no effect, so fast-forward every stream. The
-      // signal stream restarts from the envelope mass already emitted
+      // carriers have no effect, so fast-forward every stream. Each
+      // pulse stream restarts from the envelope mass already emitted
       // by `dead` (restart property); the loop guards against the
       // Gaussian envelope's approximate CDF/inverse-CDF pair.
-      while (!sig_exhausted && sig_next < dead) {
-        const double consumed =
-            lambda_signal_ * led_->emission_cdf(Time::seconds(dead - pulse_start_s));
-        sig_hazard = std::max(sig_hazard, consumed);
-        sig_next = kInf;
-        if (sig_hazard >= lambda_signal_) {
-          sig_exhausted = true;
-          break;
+      for (SourceState& s : sources) {
+        while (!s.exhausted && s.next_s < dead) {
+          const double consumed =
+              s.lambda * s.led->emission_cdf(Time::seconds(dead - s.start_s));
+          s.hazard = std::max(s.hazard, consumed);
+          s.next_s = kInf;
+          if (s.hazard >= s.lambda) {
+            s.exhausted = true;
+            break;
+          }
+          advance(s);
         }
-        advance_signal();
       }
       if (noise_next < dead) advance_noise(dead);
       // Pending afterpulses landing in the blind interval are absorbed.
@@ -113,32 +122,41 @@ LinkEngine::WindowResult LinkEngine::simulate_window(double pulse_start_s,
       }
     }
 
-    // Earliest candidate across the three sources.
-    double t = sig_next;
-    Source source = Source::kSignal;
+    // Earliest candidate across every stream: k-way merge by linear
+    // scan (K is the source count -- a handful; a heap would cost more
+    // in bookkeeping than it saves).
+    double t = kInf;
+    Kind kind = Kind::kPulse;
+    std::size_t winner = 0;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (sources[i].next_s < t) {
+        t = sources[i].next_s;
+        winner = i;
+      }
+    }
     if (noise_next < t) {
       t = noise_next;
-      source = Source::kNoise;
+      kind = Kind::kNoise;
     }
     std::size_t pending_index = 0;
     for (std::size_t i = 0; i < n_pending; ++i) {
       if (pending[i] < t) {
         t = pending[i];
-        source = Source::kAfterpulse;
+        kind = Kind::kAfterpulse;
         pending_index = i;
       }
     }
     if (t >= window_end_s) break;
 
     const auto consume = [&] {
-      switch (source) {
-        case Source::kSignal:
-          advance_signal();
+      switch (kind) {
+        case Kind::kPulse:
+          advance(sources[winner]);
           break;
-        case Source::kNoise:
+        case Kind::kNoise:
           advance_noise(noise_next);
           break;
-        case Source::kAfterpulse:
+        case Kind::kAfterpulse:
           pending[pending_index] = pending[--n_pending];
           break;
       }
@@ -155,7 +173,7 @@ LinkEngine::WindowResult LinkEngine::simulate_window(double pulse_start_s,
     // TDC, so the jitter draw is spent on that one alone.
     if (!result.fired) {
       result.fired = true;
-      result.first_is_signal = source == Source::kSignal;
+      result.first_is_signal = kind == Kind::kPulse && sources[winner].is_signal;
       result.first_observed_s =
           t + rng.normal_time(Time::zero(), jitter_sigma_).seconds();
     }
@@ -174,14 +192,13 @@ LinkEngine::WindowResult LinkEngine::simulate_window(double pulse_start_s,
   return result;
 }
 
-std::uint64_t LinkEngine::transmit_symbol(std::uint64_t symbol, Time start, Time& dead_until,
-                                          LinkRunStats& stats, RngStream& rng) const {
+std::uint64_t LinkEngine::finish_symbol(std::uint64_t symbol, Time start,
+                                        std::span<SourceState> sources, Time& dead_until,
+                                        LinkRunStats& stats, RngStream& rng) const {
   const double window_start_s = start.seconds();
   const double window_end_s = window_start_s + window_s_;
-  const double pulse_start_s =
-      window_start_s + link_->ppm().encode(symbol).seconds();
 
-  const WindowResult window = simulate_window(pulse_start_s, window_start_s, window_end_s,
+  const WindowResult window = simulate_window(sources, window_start_s, window_end_s,
                                               dead_until.seconds(), noise_rate_, rng);
 
   // SPAD stays blind into the next window after its last avalanche.
@@ -224,6 +241,36 @@ std::uint64_t LinkEngine::transmit_symbol(std::uint64_t symbol, Time start, Time
   return decoded;
 }
 
+std::uint64_t LinkEngine::transmit_symbol(std::uint64_t symbol, Time start, Time& dead_until,
+                                          LinkRunStats& stats, RngStream& rng) const {
+  SourceState signal =
+      signal_state(start.seconds() + link_->ppm().encode(symbol).seconds());
+  return finish_symbol(symbol, start, std::span<SourceState>(&signal, 1), dead_until,
+                       stats, rng);
+}
+
+std::uint64_t LinkEngine::transmit_symbol(std::uint64_t symbol, Time start,
+                                          std::span<const SourcePulse> aggressors,
+                                          Time& dead_until, LinkRunStats& stats,
+                                          RngStream& rng, EngineScratch& scratch) const {
+  std::vector<SourceState>& sources = scratch.states_;
+  sources.clear();
+  sources.reserve(aggressors.size() + 1);
+  sources.push_back(signal_state(start.seconds() + link_->ppm().encode(symbol).seconds()));
+  for (const SourcePulse& a : aggressors) {
+    SourceState s;
+    s.led = a.led;
+    s.lambda = a.mean_photons * pdp_;  // thinning: victim PDP pre-multiplied
+    s.start_s = a.start.seconds();
+    s.is_signal = false;
+    s.exhausted = s.lambda <= 0.0 || a.led == nullptr;
+    s.next_s = kInf;
+    sources.push_back(s);
+  }
+  return finish_symbol(symbol, start, std::span<SourceState>(sources), dead_until, stats,
+                       rng);
+}
+
 LinkRunStats LinkEngine::measure(std::uint64_t count, RngStream& rng) const {
   return run_symbols(count, rng, [](std::uint64_t, const SymbolOutcome&) {});
 }
@@ -232,8 +279,9 @@ std::optional<Time> LinkEngine::probe_pulse(Time pulse_start, RngStream& rng) co
   // Training pulses are a controlled procedure: the dark-count rate is
   // intrinsic to the junction and stays, but ambient background flux is
   // excluded (the reference training never merged background photons).
-  const WindowResult window =
-      simulate_window(pulse_start.seconds(), 0.0, window_s_, 0.0, dark_rate_, rng);
+  SourceState signal = signal_state(pulse_start.seconds());
+  const WindowResult window = simulate_window(std::span<SourceState>(&signal, 1), 0.0,
+                                              window_s_, 0.0, dark_rate_, rng);
   if (!window.fired || !window.first_is_signal) return std::nullopt;
   return Time::seconds(window.first_observed_s);
 }

@@ -98,6 +98,19 @@ Energy LinkRunStats::energy_per_bit() const {
   return Energy::joules((tx_energy + rx_energy).joules() / static_cast<double>(total_bits));
 }
 
+LinkRunStats& LinkRunStats::operator+=(const LinkRunStats& other) {
+  symbols_sent += other.symbols_sent;
+  symbol_errors += other.symbol_errors;
+  erasures += other.erasures;
+  noise_captures += other.noise_captures;
+  bit_errors += other.bit_errors;
+  total_bits += other.total_bits;
+  elapsed += other.elapsed;
+  tx_energy += other.tx_energy;
+  rx_energy += other.rx_energy;
+  return *this;
+}
+
 OpticalLink::OpticalLink(const OpticalLinkConfig& config, RngStream& process_rng)
     : config_(config),
       led_(config.led),
@@ -169,6 +182,13 @@ void OpticalLink::set_temperature(util::Temperature t) {
 std::uint64_t OpticalLink::transmit_symbol(std::uint64_t symbol, Time start, Time& dead_until,
                                            LinkRunStats& stats, RngStream& rng) const {
   return LinkEngine(*this).transmit_symbol(symbol, start, dead_until, stats, rng);
+}
+
+std::uint64_t OpticalLink::transmit_symbol_with_interference(
+    std::uint64_t symbol, Time start, std::span<const SourcePulse> aggressors,
+    Time& dead_until, LinkRunStats& stats, RngStream& rng, EngineScratch& scratch) const {
+  return LinkEngine(*this).transmit_symbol(symbol, start, aggressors, dead_until, stats,
+                                           rng, scratch);
 }
 
 std::uint64_t OpticalLink::transmit_symbol_with_interference(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "oci/link/link_engine.hpp"
+
 namespace oci::link {
 
 using photonics::PhotonArrival;
@@ -52,8 +54,7 @@ double WdmLink::RunResult::worst_symbol_error_rate() const {
   return worst;
 }
 
-WdmLink::RunResult WdmLink::transmit(const std::vector<std::vector<std::uint64_t>>& symbols,
-                                     RngStream& rng) const {
+void WdmLink::check_streams(const std::vector<std::vector<std::uint64_t>>& symbols) const {
   if (symbols.size() != links_.size()) {
     throw std::invalid_argument("WdmLink: one symbol stream per channel required");
   }
@@ -63,21 +64,83 @@ WdmLink::RunResult WdmLink::transmit(const std::vector<std::vector<std::uint64_t
       throw std::invalid_argument("WdmLink: symbol streams must be equal length");
     }
   }
+}
+
+WdmLink::RunResult WdmLink::transmit(const std::vector<std::vector<std::uint64_t>>& symbols,
+                                     RngStream& rng) const {
+  check_streams(symbols);
+  const std::size_t length = symbols.empty() ? 0 : symbols.front().size();
 
   RunResult result;
   result.per_channel.resize(links_.size());
   std::vector<Time> dead_until(links_.size(), Time::zero());
+  // Per-channel engines, one scratch and one aggressor buffer reused
+  // across every window: after the first window the whole run is
+  // allocation-free (modulo the decoded/erased output growth).
+  std::vector<LinkEngine> engines;
+  engines.reserve(links_.size());
+  for (const auto& l : links_) engines.emplace_back(*l);
+  for (auto& chan : result.per_channel) {
+    chan.decoded.reserve(length);
+    chan.erased.reserve(length);
+  }
+  EngineScratch scratch;
+  std::vector<SourcePulse> aggressors;
+  aggressors.reserve(links_.size() > 0 ? links_.size() - 1 : 0);
+  std::vector<Time> pulse_start(links_.size());
+
   // All channels run symbol-aligned off the slowest common period (the
   // template design is shared, so periods are identical).
   Time window_start = Time::zero();
   for (std::size_t w = 0; w < length; ++w) {
     // Aggressor pulse positions this window.
+    for (std::size_t j = 0; j < links_.size(); ++j) {
+      pulse_start[j] = window_start + links_[j]->ppm().encode(symbols[j][w]);
+    }
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      // Leakage of every aggressor through victim i's demux port: a
+      // SourcePulse per aggressor (mean photons collected at victim i),
+      // merged by the engine's k-way hazard streams -- no photon
+      // materialisation.
+      aggressors.clear();
+      for (std::size_t j = 0; j < links_.size(); ++j) {
+        if (j == i) continue;
+        aggressors.push_back(SourcePulse{
+            &links_[j]->led(),
+            links_[j]->led().photons_per_pulse() * collected_fraction(i, j),
+            pulse_start[j]});
+      }
+
+      auto& chan = result.per_channel[i];
+      const std::uint64_t erasures_before = chan.stats.erasures;
+      chan.decoded.push_back(engines[i].transmit_symbol(symbols[i][w], window_start,
+                                                        aggressors, dead_until[i],
+                                                        chan.stats, rng, scratch));
+      chan.erased.push_back(chan.stats.erasures != erasures_before);
+    }
+    window_start += links_.front()->symbol_period();
+  }
+  return result;
+}
+
+WdmLink::RunResult WdmLink::transmit_reference(
+    const std::vector<std::vector<std::uint64_t>>& symbols, RngStream& rng) const {
+  check_streams(symbols);
+  const std::size_t length = symbols.empty() ? 0 : symbols.front().size();
+
+  RunResult result;
+  result.per_channel.resize(links_.size());
+  std::vector<Time> dead_until(links_.size(), Time::zero());
+  Time window_start = Time::zero();
+  for (std::size_t w = 0; w < length; ++w) {
     std::vector<Time> pulse_start(links_.size());
     for (std::size_t j = 0; j < links_.size(); ++j) {
       pulse_start[j] = window_start + links_[j]->ppm().encode(symbols[j][w]);
     }
     for (std::size_t i = 0; i < links_.size(); ++i) {
-      // Leakage of every aggressor through victim i's demux port.
+      // Materialise every leaked photon and push it through the
+      // per-photon reference pipeline -- the oracle the engine path
+      // above is statistically pinned against.
       std::vector<PhotonArrival> interference;
       for (std::size_t j = 0; j < links_.size(); ++j) {
         if (j == i) continue;
@@ -93,7 +156,7 @@ WdmLink::RunResult WdmLink::transmit(const std::vector<std::vector<std::uint64_t
 
       auto& chan = result.per_channel[i];
       const std::uint64_t erasures_before = chan.stats.erasures;
-      chan.decoded.push_back(links_[i]->transmit_symbol_with_interference(
+      chan.decoded.push_back(links_[i]->transmit_symbol_reference(
           symbols[i][w], window_start, dead_until[i], chan.stats, rng,
           std::move(interference)));
       chan.erased.push_back(chan.stats.erasures != erasures_before);
@@ -103,8 +166,8 @@ WdmLink::RunResult WdmLink::transmit(const std::vector<std::vector<std::uint64_t
   return result;
 }
 
-WdmLink::RunResult WdmLink::measure(std::uint64_t symbols_per_channel,
-                                    RngStream& rng) const {
+std::vector<std::vector<std::uint64_t>> WdmLink::random_streams(
+    std::uint64_t symbols_per_channel, RngStream& rng) const {
   std::vector<std::vector<std::uint64_t>> streams(links_.size());
   for (std::size_t i = 0; i < links_.size(); ++i) {
     const std::uint64_t max_symbol =
@@ -115,7 +178,17 @@ WdmLink::RunResult WdmLink::measure(std::uint64_t symbols_per_channel,
           rng.uniform_int(0, static_cast<std::int64_t>(max_symbol))));
     }
   }
-  return transmit(streams, rng);
+  return streams;
+}
+
+WdmLink::RunResult WdmLink::measure(std::uint64_t symbols_per_channel,
+                                    RngStream& rng) const {
+  return transmit(random_streams(symbols_per_channel, rng), rng);
+}
+
+WdmLink::RunResult WdmLink::measure_reference(std::uint64_t symbols_per_channel,
+                                              RngStream& rng) const {
+  return transmit_reference(random_streams(symbols_per_channel, rng), rng);
 }
 
 }  // namespace oci::link

@@ -15,6 +15,17 @@ namespace oci::modulation {
 /// frames of an on-chip link.
 [[nodiscard]] std::uint8_t crc8(const std::vector<std::uint8_t>& data);
 
+/// Transfer symbols a packet of `payload_bytes` plus `overhead_bytes`
+/// of framing (preamble + header + CRC) occupies at K bits per PPM
+/// symbol. The single source of truth for packet-on-air sizing: both
+/// the slot-level accounting (net::symbols_per_packet) and the
+/// photon-level delivery model (link::SymbolDeliveryModel) delegate
+/// here so they can never drift apart. Throws std::invalid_argument
+/// when bits_per_symbol is zero.
+[[nodiscard]] std::uint64_t symbols_for_payload(std::size_t payload_bytes,
+                                                unsigned bits_per_symbol,
+                                                std::size_t overhead_bytes = 4);
+
 struct FrameConfig {
   /// Number of preamble symbols; the pattern alternates the extreme
   /// slots (0 and 2^K-1), which no payload misdecode can fake for long.

@@ -15,6 +15,15 @@ std::uint8_t crc8(const std::vector<std::uint8_t>& data) {
   return crc;
 }
 
+std::uint64_t symbols_for_payload(std::size_t payload_bytes, unsigned bits_per_symbol,
+                                  std::size_t overhead_bytes) {
+  if (bits_per_symbol == 0) {
+    throw std::invalid_argument("symbols_for_payload: bits_per_symbol must be > 0");
+  }
+  const std::uint64_t bits = (payload_bytes + overhead_bytes) * 8;
+  return (bits + bits_per_symbol - 1) / bits_per_symbol;
+}
+
 FrameCodec::FrameCodec(const PpmCodec& ppm, const FrameConfig& config)
     : ppm_(&ppm), config_(config) {
   if (config_.preamble_symbols == 0) {

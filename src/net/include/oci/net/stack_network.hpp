@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -34,6 +35,17 @@ struct StackNetworkConfig {
   /// Probability a non-colliding transfer is delivered intact
   /// (frame CRC passes at the destination). Collisions always fail.
   double delivery_probability = 1.0;
+  /// Optional physical-layer hook: when set, it decides each
+  /// non-colliding transfer INSTEAD of the Bernoulli
+  /// delivery_probability draw -- e.g. bind
+  /// link::SymbolDeliveryModel::deliver to couple the slot simulation
+  /// to the photon-level LinkEngine. Must be deterministic given the
+  /// packet and the RNG stream (the stream is the slot simulation's
+  /// own, so coupled runs stay reproducible). Any state the callable
+  /// captures belongs to THIS network alone: in a BatchRunner sweep,
+  /// build the model inside each task, never share one across tasks
+  /// (SymbolDeliveryModel mutates its counters per call).
+  std::function<bool(const Packet&, util::RngStream&)> delivery_model;
   /// Max transmissions per packet before it is dropped (>= 1).
   unsigned max_attempts = 4;
   /// Per-die queue capacity; arrivals beyond it are dropped at entry.

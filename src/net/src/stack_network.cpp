@@ -3,15 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "oci/modulation/frame.hpp"
+
 namespace oci::net {
 
 std::uint64_t symbols_per_packet(std::size_t payload_bytes, unsigned bits_per_symbol,
                                  std::size_t overhead_bytes) {
-  if (bits_per_symbol == 0) {
-    throw std::invalid_argument("symbols_per_packet: bits_per_symbol must be > 0");
-  }
-  const std::uint64_t bits = (payload_bytes + overhead_bytes) * 8;
-  return (bits + bits_per_symbol - 1) / bits_per_symbol;
+  // Single source of truth shared with link::SymbolDeliveryModel.
+  return modulation::symbols_for_payload(payload_bytes, bits_per_symbol, overhead_bytes);
 }
 
 std::uint64_t NetworkRunResult::total_offered() const {
@@ -170,7 +169,9 @@ NetworkRunResult StackNetwork::run(std::uint64_t slots, util::RngStream& rng) {
     }
     Packet& head = q.front();
     ++result.per_die[die].transmissions;
-    const bool delivered = rng.bernoulli(config_.delivery_probability);
+    const bool delivered = config_.delivery_model
+                               ? config_.delivery_model(head, rng)
+                               : rng.bernoulli(config_.delivery_probability);
     if (delivered) {
       ++result.per_die[die].delivered;
       latencies.push_back(static_cast<double>(slot - head.enqueued_slot + 1));

@@ -54,7 +54,12 @@ class PhotonStream {
   static void sample_background_into(Frequency rate, Time window_start, Time window,
                                      RngStream& rng, std::vector<PhotonArrival>& out);
 
-  /// Merges (by time) two arrival sequences.
+  /// Merges (by time) two arrival sequences. Steals instead of copying:
+  /// an empty side moves the other out unchanged, and the general case
+  /// grows `a`'s buffer and merges from the back, so the retained
+  /// reference pipeline's signal+background+interference chain reuses
+  /// one buffer instead of allocating a fresh output per merge. Stable
+  /// (ties keep `a` before `b`), like std::merge.
   [[nodiscard]] static std::vector<PhotonArrival> merge(std::vector<PhotonArrival> a,
                                                         std::vector<PhotonArrival> b);
 

@@ -93,11 +93,26 @@ void PhotonStream::sample_background_into(Frequency rate, Time window_start, Tim
 
 std::vector<PhotonArrival> PhotonStream::merge(std::vector<PhotonArrival> a,
                                                std::vector<PhotonArrival> b) {
-  std::vector<PhotonArrival> out;
-  out.resize(a.size() + b.size());
-  std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(),
-             [](const PhotonArrival& x, const PhotonArrival& y) { return x.time < y.time; });
-  return out;
+  // Steal, don't copy: the common reference-pipeline case (no
+  // background, or no interference) is one empty side.
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  // General case: extend a and merge from the back -- in place in a's
+  // buffer, no third vector and no inplace_merge scratch. Placing b's
+  // element on ties keeps a-before-b, matching std::merge stability.
+  const std::size_t na = a.size();
+  a.resize(na + b.size());
+  std::size_t ia = na;
+  std::size_t ib = b.size();
+  std::size_t out = a.size();
+  while (ib > 0) {
+    if (ia > 0 && b[ib - 1].time < a[ia - 1].time) {
+      a[--out] = a[--ia];
+    } else {
+      a[--out] = b[--ib];
+    }
+  }
+  return a;
 }
 
 }  // namespace oci::photonics

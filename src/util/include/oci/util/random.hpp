@@ -54,8 +54,15 @@ class RngStream {
   /// Access the raw engine for std distributions not wrapped here.
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }
 
+  /// Distribution draws served by this stream so far (degenerate draws
+  /// that never touch the engine -- poisson(0), bernoulli(0/1) -- do
+  /// not count). The benches report draws/op as a compiler-independent
+  /// hot-path cost metric in BENCH_*.json.
+  [[nodiscard]] std::uint64_t draws() const { return draws_; }
+
  private:
   std::mt19937_64 engine_;
+  std::uint64_t draws_ = 0;
 };
 
 }  // namespace oci::util

@@ -21,33 +21,40 @@ std::uint64_t derive_seed(std::uint64_t root, std::string_view label) {
 }
 
 double RngStream::uniform() {
+  ++draws_;
   return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
 }
 
 double RngStream::uniform(double lo, double hi) {
+  ++draws_;
   return std::uniform_real_distribution<double>(lo, hi)(engine_);
 }
 
 std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ++draws_;
   return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
 }
 
 double RngStream::normal(double mean, double sigma) {
+  ++draws_;
   return std::normal_distribution<double>(mean, sigma)(engine_);
 }
 
 double RngStream::exponential_mean(double mean) {
+  ++draws_;
   return std::exponential_distribution<double>(1.0 / mean)(engine_);
 }
 
 std::int64_t RngStream::poisson(double mean) {
   if (mean <= 0.0) return 0;
+  ++draws_;
   return std::poisson_distribution<std::int64_t>(mean)(engine_);
 }
 
 bool RngStream::bernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
+  ++draws_;
   return std::bernoulli_distribution(p)(engine_);
 }
 

@@ -2,8 +2,10 @@
 // photon statistics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "oci/photonics/die_stack.hpp"
 #include "oci/photonics/led.hpp"
@@ -328,6 +330,51 @@ TEST(PhotonStream, MergeKeepsOrder) {
   EXPECT_DOUBLE_EQ(merged[1].time.nanoseconds(), 3.0);
   EXPECT_FALSE(merged[1].is_signal);
   EXPECT_DOUBLE_EQ(merged[2].time.nanoseconds(), 5.0);
+}
+
+TEST(PhotonStream, MergeStealsBufferWhenOneSideEmpty) {
+  std::vector<PhotonArrival> a{{Time::nanoseconds(1.0), true}, {Time::nanoseconds(2.0), true}};
+  a.reserve(64);
+  const PhotonArrival* data = a.data();
+  // Non-empty side moves through untouched: same buffer, no copy.
+  auto merged = PhotonStream::merge(std::move(a), {});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.data(), data);
+  const PhotonArrival* data2 = merged.data();
+  auto merged2 = PhotonStream::merge({}, std::move(merged));
+  ASSERT_EQ(merged2.size(), 2u);
+  EXPECT_EQ(merged2.data(), data2);
+}
+
+TEST(PhotonStream, MergeBackwardInPlaceMatchesStdMerge) {
+  // Adversarial interleavings, including ties and one side exhausting
+  // first, must reproduce std::merge exactly (a-before-b on ties).
+  RngStream rng(233);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<PhotonArrival> a, b;
+    const int na = static_cast<int>(rng.uniform_int(0, 12));
+    const int nb = static_cast<int>(rng.uniform_int(0, 12));
+    for (int i = 0; i < na; ++i) {
+      a.push_back({Time::nanoseconds(rng.uniform_int(0, 5) * 1.0), true});
+    }
+    for (int i = 0; i < nb; ++i) {
+      b.push_back({Time::nanoseconds(rng.uniform_int(0, 5) * 1.0), false});
+    }
+    const auto by_time = [](const PhotonArrival& x, const PhotonArrival& y) {
+      return x.time < y.time;
+    };
+    std::sort(a.begin(), a.end(), by_time);
+    std::sort(b.begin(), b.end(), by_time);
+    std::vector<PhotonArrival> expected(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin(), by_time);
+
+    const auto merged = PhotonStream::merge(a, b);
+    ASSERT_EQ(merged.size(), expected.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_DOUBLE_EQ(merged[i].time.seconds(), expected[i].time.seconds());
+      EXPECT_EQ(merged[i].is_signal, expected[i].is_signal);
+    }
+  }
 }
 
 }  // namespace

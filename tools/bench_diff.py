@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Diff two bench-trajectory documents (BENCH_*.json, schema_version 1).
+
+Usage: bench_diff.py PREVIOUS.json CURRENT.json
+
+Prints a per-benchmark table of ns/op and rng_draws/op deltas. Wall
+clock on shared CI runners is noisy, so timing deltas are informational;
+rng_draws/op barely moves between runs (it only averages over the
+timing-chosen iteration count), so a >2% shift is flagged loudly: it
+means the hot path's draw structure itself changed. Always exits 0 --
+the trajectory is a record, not a gate. Missing or unreadable PREVIOUS
+is fine (first run of a new trajectory).
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_diff: cannot read {path}: {err}")
+        return None
+    if doc.get("schema_version") != 1:
+        print(f"bench_diff: {path} has unknown schema_version, skipping diff")
+        return None
+    return doc
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 0
+    prev, cur = load(sys.argv[1]), load(sys.argv[2])
+    if cur is None:
+        return 0
+    if prev is None:
+        print(f"bench_diff: no previous trajectory for {cur.get('binary')}; baseline run")
+        return 0
+
+    prev_by_name = {r["name"]: r for r in prev.get("results", [])}
+    print(f"== {cur.get('binary')} (repro_scale {cur.get('config', {}).get('repro_scale')}) ==")
+    print(f"{'benchmark':44s} {'prev ns/op':>12s} {'cur ns/op':>12s} {'delta':>8s}  draws/op")
+    draw_changes = []
+    for r in cur.get("results", []):
+        name = r["name"]
+        p = prev_by_name.get(name)
+        if p is None:
+            print(f"{name:44s} {'-':>12s} {r['ns_per_op']:12.1f} {'new':>8s}")
+            continue
+        delta = "n/a"
+        if p["ns_per_op"] > 0:
+            delta = f"{100.0 * (r['ns_per_op'] - p['ns_per_op']) / p['ns_per_op']:+.1f}%"
+        draws = ""
+        if "rng_draws_per_op" in r or "rng_draws_per_op" in p:
+            dp, dc = p.get("rng_draws_per_op"), r.get("rng_draws_per_op")
+            fmt = lambda v: "-" if v is None else f"{v:.2f}"  # noqa: E731
+            draws = f"{fmt(dp)} -> {fmt(dc)}"
+            # draws/op is an average over a timing-chosen iteration
+            # count, so the low decimals flutter between runs; only a
+            # material shift means the draw structure itself changed.
+            if (dp is None) != (dc is None) or (
+                dp is not None and dc is not None and abs(dc - dp) > 0.02 * max(dp, dc)
+            ):
+                draw_changes.append((name, fmt(dp), fmt(dc)))
+        print(f"{name:44s} {p['ns_per_op']:12.1f} {r['ns_per_op']:12.1f} {delta:>8s}  {draws}")
+    for name in prev_by_name.keys() - {r["name"] for r in cur.get("results", [])}:
+        print(f"{name:44s} (removed)")
+    if draw_changes:
+        print("\nNOTE: rng_draws/op shifted by >2% (the hot path's draw structure changed):")
+        for name, dp, dc in draw_changes:
+            print(f"  {name}: {dp} -> {dc}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
