@@ -3,6 +3,10 @@
 // CRC corrects the Gray-coded single-bit jitter spills that dominate a
 // guarded link's residual errors. This bench sweeps jitter and compares
 // delivery rate and net goodput of the two stacks at equal payload.
+//
+// Declared as ONE scenario::ScenarioSpec (point-to-point frame traffic)
+// with a 2D sweep: jitter x {crc-only, hamming-under-crc}; the printed
+// comparison table pivots the RunReport rows.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
@@ -10,6 +14,7 @@
 #include "oci/analysis/report.hpp"
 #include "oci/link/fec_link.hpp"
 #include "oci/link/optical_link.hpp"
+#include "oci/scenario/runner.hpp"
 #include "oci/util/table.hpp"
 
 namespace {
@@ -20,7 +25,6 @@ using util::RngStream;
 using util::Time;
 
 constexpr std::uint64_t kSeed = 20080608;
-const int kTransfers = static_cast<int>(analysis::scaled(150, 20));
 
 link::OpticalLinkConfig jittery_config(double jitter_ps) {
   link::OpticalLinkConfig c;
@@ -35,36 +39,41 @@ link::OpticalLinkConfig jittery_config(double jitter_ps) {
   return c;
 }
 
-void print_reproduction() {
+scenario::ScenarioSpec make_spec(std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = "fec_under_crc";
+  spec.description = "frame delivery: CRC-only vs Hamming(8,4)+CRC vs SPAD jitter";
+  spec.seed = seed;
+  spec.topology = scenario::Topology::kPointToPoint;
+  spec.mode = scenario::TrafficMode::kFrames;
+  spec.payload_bytes = 24;
+  spec.device = jittery_config(40.0);
+  spec.sweep = {
+      scenario::SweepAxis::list("jitter_ps", {40.0, 80.0, 120.0, 160.0, 200.0}),
+      scenario::SweepAxis::categories("fec", {"none", "hamming"}),
+  };
+  spec.budget.samples = 150;
+  spec.budget.floor = 20;
+  return spec;
+}
+
+void print_reproduction(std::uint64_t seed) {
   analysis::print_banner(std::cout, "Ablation 9: FEC under the CRC",
                          "frame delivery: CRC-only vs Hamming(8,4)+CRC vs SPAD "
                          "timing jitter",
-                         kSeed);
+                         seed);
 
-  const std::vector<std::uint8_t> payload(24, 0x5A);
+  const scenario::RunReport report = scenario::ScenarioRunner().run(make_spec(seed));
+
   util::Table t({"jitter sigma [ps]", "CRC-only delivery", "FEC delivery",
                  "FEC corrections/transfer", "FEC net goodput factor"});
   for (double jitter : {40.0, 80.0, 120.0, 160.0, 200.0}) {
-    RngStream rng(kSeed, "fec-process");
-    const OpticalLink link(jittery_config(jitter), rng);
-    const link::FecLink fec(link);
-
-    RngStream tx(kSeed + static_cast<std::uint64_t>(jitter), "fec-tx");
-    int crc_ok = 0, fec_ok = 0;
-    std::size_t corrections = 0;
-    for (int i = 0; i < kTransfers; ++i) {
-      modulation::Frame f;
-      f.payload = payload;
-      if (auto r = link.transmit_frame(f, tx); r.frame && r.frame->payload == payload) {
-        ++crc_ok;
-      }
-      if (auto r = fec.transfer(payload, tx); r.payload && *r.payload == payload) {
-        ++fec_ok;
-        corrections += r.corrections;
-      }
-    }
-    const double crc_rate = static_cast<double>(crc_ok) / kTransfers;
-    const double fec_rate = static_cast<double>(fec_ok) / kTransfers;
+    const std::string j = scenario::format_axis_value(jitter);
+    const auto* crc = report.find("jitter_ps=" + j + "/fec=none");
+    const auto* fec = report.find("jitter_ps=" + j + "/fec=hamming");
+    if (crc == nullptr || fec == nullptr) continue;
+    const double crc_rate = report.metric(*crc, "delivery_rate");
+    const double fec_rate = report.metric(*fec, "delivery_rate");
     // Net goodput factor: delivery probability x code rate, relative to
     // the CRC stack (rate 1).
     const double factor =
@@ -74,7 +83,7 @@ void print_reproduction() {
         .add_cell(jitter, 0)
         .add_cell(crc_rate, 3)
         .add_cell(fec_rate, 3)
-        .add_cell(static_cast<double>(corrections) / kTransfers, 2)
+        .add_cell(report.metric(*fec, "corrections_per_transfer"), 2)
         .add_cell(factor, 3);
   }
   t.print(std::cout);
@@ -100,7 +109,8 @@ BENCHMARK(BM_FecTransfer);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  const std::uint64_t seed = oci::scenario::resolve_seed(kSeed, argc, argv);
+  print_reproduction(seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -15,9 +15,11 @@
 //      from the photon-level Monte Carlo link (FEC frame delivery at
 //      measured jitter), and ARQ turns residual loss into latency.
 //
-// Every (load, policy) and (jitter) point is an independent slot/photon
-// simulation, so the sweeps fan out over a sim::BatchRunner pool; the
-// per-point RNG streams derive from (seed, label, point index) and the
+// Each sub-experiment is a scenario::ScenarioSpec (stack-NoC topology)
+// resolved by ScenarioRunner; (c) uses the fec-probe delivery coupling,
+// which measures the device link's FEC frame delivery per point and
+// folds it into the slot simulation. Sweep points fan out over the
+// BatchRunner pool with (seed, scenario, index)-derived RNG, so the
 // printed tables are bit-identical for any OCI_BATCH_THREADS setting.
 #include <benchmark/benchmark.h>
 
@@ -27,9 +29,9 @@
 #include <vector>
 
 #include "oci/analysis/report.hpp"
-#include "oci/link/fec_link.hpp"
 #include "oci/link/optical_link.hpp"
 #include "oci/net/stack_network.hpp"
+#include "oci/scenario/runner.hpp"
 #include "oci/sim/batch_runner.hpp"
 #include "oci/util/table.hpp"
 
@@ -44,15 +46,138 @@ using util::Time;
 constexpr std::uint64_t kSeed = 20080616;
 constexpr std::size_t kDies = 8;
 
-std::uint64_t slots() { return analysis::scaled(60000, 1000); }
-
-sim::BatchRunner make_runner() {
-  sim::BatchConfig cfg;
-  cfg.root_seed = kSeed;
-  return sim::BatchRunner(cfg);
+scenario::ScenarioSpec base_spec(std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.seed = seed;
+  spec.topology = scenario::Topology::kStackNoc;
+  spec.noc.dies = kDies;
+  spec.noc.queue_capacity = 512;
+  spec.budget.samples = 60000;
+  spec.budget.floor = 1000;
+  return spec;
 }
 
-StackNetworkConfig traffic_config(double aggregate_load) {
+void saturation_table(const scenario::ScenarioRunner& runner, scenario::ScenarioSpec spec) {
+  spec.name = "noc_saturation";
+  spec.sweep = {
+      scenario::SweepAxis::list("offered_load", {0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3}),
+      scenario::SweepAxis::categories("mac", {"tdma", "token", "token+pass", "aloha"}),
+  };
+  const scenario::RunReport report = runner.run(spec);
+
+  util::Table t({"offered load", "tdma carried", "tdma p99", "token carried",
+                 "token p99", "token+pass carried", "aloha carried"});
+  for (double load : {0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3}) {
+    const std::string l = scenario::format_axis_value(load);
+    auto point = [&](const std::string& mac) {
+      return report.find("offered_load=" + l + "/mac=" + mac);
+    };
+    const auto* tdma = point("tdma");
+    const auto* token = point("token");
+    const auto* pass = point("token+pass");
+    const auto* aloha = point("aloha");
+    if (!tdma || !token || !pass || !aloha) continue;
+    t.new_row()
+        .add_cell(load, 1)
+        .add_cell(report.metric(*tdma, "carried_load"), 3)
+        .add_cell(report.metric(*tdma, "p99_slots"), 0)
+        .add_cell(report.metric(*token, "carried_load"), 3)
+        .add_cell(report.metric(*token, "p99_slots"), 0)
+        .add_cell(report.metric(*pass, "carried_load"), 3)
+        .add_cell(report.metric(*aloha, "carried_load"), 3);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (a): TDMA and token both carry the offered load up to\n"
+         "~1.0 and saturate there; the token's p99 stays lower below\n"
+         "saturation (no waiting for your slot) but a 1-slot pass cost eats\n"
+         "into its ceiling under scattered traffic; slotted ALOHA tops out\n"
+         "near 1/e ~ 0.37 and sheds everything beyond it.\n\n";
+}
+
+void hotspot_table(const scenario::ScenarioRunner& runner, scenario::ScenarioSpec spec) {
+  spec.name = "noc_hotspot";
+  spec.noc.pattern = scenario::NocPattern::kHotspot;
+  spec.noc.offered_load = 0.08;  // light background everywhere
+  spec.noc.hot_die = 3;
+  spec.noc.hot_load = 0.9;
+  spec.noc.queue_capacity = 4096;
+  spec.sweep = {scenario::SweepAxis::categories("mac", {"tdma", "token"})};
+  const scenario::RunReport report = runner.run(spec);
+
+  util::Table t({"policy", "hot-die delivered/slot", "p99 [slots]",
+                 "bus utilisation"});
+  for (const scenario::RunPoint& p : report.points) {
+    t.new_row()
+        .add_cell(p.coordinate.at(0))
+        .add_cell(report.metric(p, "hot_rate"), 3)
+        .add_cell(report.metric(p, "p99_slots"), 0)
+        .add_cell(report.metric(p, "utilisation"), 3);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (b): static TDMA caps the hot die at its 1/8 share\n"
+         "and strands the idle dies' slots; the work-conserving token hands\n"
+         "those slots to the backlog, roughly octupling the hot die's\n"
+         "delivered rate and deflating the hot queue's p99 by two orders\n"
+         "of magnitude.\n\n";
+}
+
+void layer_coupling_table(const scenario::ScenarioRunner& runner,
+                          scenario::ScenarioSpec spec) {
+  // Per-transfer delivery probability measured on the photon-level
+  // link at each jitter (fec-probe coupling), then fed to the packet
+  // simulation with ARQ. Each jitter point runs its own link
+  // calibration + probe + slot sim inside one pool task.
+  spec.name = "noc_layer_coupling";
+  spec.noc.pattern = scenario::NocPattern::kUniform;
+  spec.noc.offered_load = 0.6;
+  spec.noc.mac = "token";
+  spec.noc.max_attempts = 6;
+  spec.noc.delivery = scenario::NocDelivery::kFecProbe;
+  spec.noc.payload_bytes = 12;
+  spec.noc.probe_transfers = 150;
+  spec.device.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  spec.device.bits_per_symbol = 8;
+  spec.device.channel_transmittance = 0.8;
+  spec.device.led.peak_power = util::Power::microwatts(50.0);
+  spec.device.led.pulse_width = Time::picoseconds(100.0);
+  spec.device.spad.dcr_at_ref = util::Frequency::hertz(350.0);
+  spec.device.calibration_samples = analysis::scaled(100000, 5000);
+  spec.sweep = {scenario::SweepAxis::list("jitter_ps", {60.0, 120.0, 150.0, 180.0})};
+  const scenario::RunReport report = runner.run(spec);
+
+  util::Table t({"jitter [ps]", "frame delivery p", "net goodput [pkt/slot]",
+                 "mean latency [slots]", "p99 [slots]", "retry drops"});
+  for (const scenario::RunPoint& p : report.points) {
+    t.new_row()
+        .add_cell(p.coordinate.at(0))
+        .add_cell(report.metric(p, "transfer_p"), 3)
+        .add_cell(report.metric(p, "carried_load"), 3)
+        .add_cell(report.metric(p, "mean_latency_slots"), 1)
+        .add_cell(report.metric(p, "p99_slots"), 0)
+        .add_cell(report.metric(p, "retry_drops"), 0);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (c): as physical-layer jitter erodes frame delivery,\n"
+         "ARQ first converts loss into latency (mean and p99 inflate while\n"
+         "goodput holds), then the retry budget exhausts and packets drop --\n"
+         "the cross-layer story a link-only analysis cannot show.\n";
+}
+
+void print_reproduction(std::uint64_t seed) {
+  analysis::print_banner(std::cout, "Ablation 13: MAC on the optical stack bus",
+                         "TDMA vs token vs slotted ALOHA at packet granularity, "
+                         "coupled to the photon-level link",
+                         seed);
+  const scenario::ScenarioRunner runner;
+  saturation_table(runner, base_spec(seed));
+  hotspot_table(runner, base_spec(seed));
+  layer_coupling_table(runner, base_spec(seed));
+}
+
+StackNetworkConfig bm_traffic_config(double aggregate_load) {
   StackNetworkConfig c;
   c.dies = kDies;
   c.traffic.resize(kDies);
@@ -64,7 +189,7 @@ StackNetworkConfig traffic_config(double aggregate_load) {
   return c;
 }
 
-std::unique_ptr<net::MacPolicy> make_mac(const std::string& kind) {
+std::unique_ptr<net::MacPolicy> bm_make_mac(const std::string& kind) {
   if (kind == "tdma") {
     return std::make_unique<net::TdmaMac>(bus::TdmaSchedule::equal(kDies));
   }
@@ -73,172 +198,8 @@ std::unique_ptr<net::MacPolicy> make_mac(const std::string& kind) {
   return std::make_unique<net::AlohaMac>(1.0 / static_cast<double>(kDies));
 }
 
-void saturation_table(const sim::BatchRunner& runner) {
-  const std::vector<double> loads{0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3};
-  const std::vector<std::string> kinds{"tdma", "token", "token+pass", "aloha"};
-
-  struct Point {
-    double carried = 0.0;
-    double p99 = 0.0;
-  };
-  // One pool task per (load, policy) pair -- 28 independent slot sims.
-  const auto points = runner.map(
-      loads.size() * kinds.size(), "saturation", [&](std::size_t i, RngStream& rng) {
-        const double load = loads[i / kinds.size()];
-        const std::string& kind = kinds[i % kinds.size()];
-        StackNetwork netw(traffic_config(load), make_mac(kind));
-        const auto r = netw.run(slots(), rng);
-        return Point{r.carried_load(), r.latency.p99_slots};
-      });
-
-  util::Table t({"offered load", "tdma carried", "tdma p99", "token carried",
-                 "token p99", "token+pass carried", "aloha carried"});
-  for (std::size_t li = 0; li < loads.size(); ++li) {
-    const Point* row = &points[li * kinds.size()];
-    t.new_row()
-        .add_cell(loads[li], 1)
-        .add_cell(row[0].carried, 3)
-        .add_cell(row[0].p99, 0)
-        .add_cell(row[1].carried, 3)
-        .add_cell(row[1].p99, 0)
-        .add_cell(row[2].carried, 3)
-        .add_cell(row[3].carried, 3);
-  }
-  t.print(std::cout);
-  std::cout
-      << "\nShape check (a): TDMA and token both carry the offered load up to\n"
-         "~1.0 and saturate there; the token's p99 stays lower below\n"
-         "saturation (no waiting for your slot) but a 1-slot pass cost eats\n"
-         "into its ceiling under scattered traffic; slotted ALOHA tops out\n"
-         "near 1/e ~ 0.37 and sheds everything beyond it.\n\n";
-}
-
-void hotspot_table(const sim::BatchRunner& runner) {
-  const std::vector<std::string> kinds{"tdma", "token"};
-
-  struct Row {
-    double hot_rate = 0.0;
-    double p99 = 0.0;
-    double util = 0.0;
-  };
-  const auto rows =
-      runner.map(kinds.size(), "hotspot", [&](std::size_t i, RngStream& rng) {
-        auto cfg = traffic_config(0.08);  // light background everywhere
-        cfg.traffic[3].packets_per_slot = 0.9;  // hot die
-        cfg.queue_capacity = 4096;
-        StackNetwork netw(cfg, make_mac(kinds[i]));
-        const auto r = netw.run(slots(), rng);
-        return Row{static_cast<double>(r.per_die[3].delivered) /
-                       static_cast<double>(r.slots),
-                   r.latency.p99_slots,
-                   1.0 - static_cast<double>(r.idle_slots) /
-                             static_cast<double>(r.slots)};
-      });
-
-  util::Table t({"policy", "hot-die delivered/slot", "p99 [slots]",
-                 "bus utilisation"});
-  for (std::size_t i = 0; i < kinds.size(); ++i) {
-    t.new_row()
-        .add_cell(std::string(kinds[i]))
-        .add_cell(rows[i].hot_rate, 3)
-        .add_cell(rows[i].p99, 0)
-        .add_cell(rows[i].util, 3);
-  }
-  t.print(std::cout);
-  std::cout
-      << "\nShape check (b): static TDMA caps the hot die at its 1/8 share\n"
-         "and strands the idle dies' slots; the work-conserving token hands\n"
-         "those slots to the backlog, roughly octupling the hot die's\n"
-         "delivered rate and deflating the hot queue's p99 by two orders\n"
-         "of magnitude.\n\n";
-}
-
-void layer_coupling_table(const sim::BatchRunner& runner) {
-  // Per-transfer delivery probability measured on the photon-level
-  // link at each jitter, then fed to the packet simulation with ARQ.
-  // Each jitter point runs its own link calibration + slot sim task.
-  const std::vector<double> jitters{60.0, 120.0, 150.0, 180.0};
-  const std::vector<std::uint8_t> payload(12, 0xA5);
-  const int probes = static_cast<int>(analysis::scaled(150, 20));
-
-  struct Row {
-    double p = 0.0;
-    double carried = 0.0;
-    double mean_latency = 0.0;
-    double p99 = 0.0;
-    double drops = 0.0;
-  };
-  const auto rows = runner.map(
-      jitters.size(), "layer-coupling", [&](std::size_t i, RngStream& rng) {
-        link::OpticalLinkConfig lc;
-        lc.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
-        lc.bits_per_symbol = 8;
-        lc.channel_transmittance = 0.8;
-        lc.led.peak_power = util::Power::microwatts(50.0);
-        lc.led.pulse_width = Time::picoseconds(100.0);
-        lc.spad.dcr_at_ref = util::Frequency::hertz(350.0);
-        lc.calibration_samples = analysis::scaled(100000, 5000);
-        lc.spad.jitter_sigma = Time::picoseconds(jitters[i]);
-
-        RngStream process = rng.fork("link");
-        const link::OpticalLink link(lc, process);
-        const link::FecLink fec(link);
-        RngStream tx = rng.fork("tx");
-        int ok = 0;
-        for (int k = 0; k < probes; ++k) {
-          if (auto r = fec.transfer(payload, tx); r.payload && *r.payload == payload) ++ok;
-        }
-        const double p = static_cast<double>(ok) / probes;
-
-        auto cfg = traffic_config(0.6);
-        cfg.delivery_probability = std::max(p, 0.01);
-        cfg.max_attempts = 6;
-        // Slot wall-clock: framed packet symbols x the link symbol period.
-        const std::uint64_t symbols =
-            net::symbols_per_packet(payload.size(), link.bits_per_symbol());
-        cfg.slot_duration = link.symbol_period() * static_cast<double>(symbols);
-        StackNetwork netw(cfg, make_mac("token"));
-        RngStream run = rng.fork("run");
-        const auto r = netw.run(slots(), run);
-        std::uint64_t drops = 0;
-        for (const auto& d : r.per_die) drops += d.retry_drops;
-        return Row{p, r.carried_load(), r.latency.mean_slots,
-                   r.latency.p99_slots, static_cast<double>(drops)};
-      });
-
-  util::Table t({"jitter [ps]", "frame delivery p", "net goodput [pkt/slot]",
-                 "mean latency [slots]", "p99 [slots]", "retry drops"});
-  for (std::size_t i = 0; i < jitters.size(); ++i) {
-    t.new_row()
-        .add_cell(jitters[i], 0)
-        .add_cell(rows[i].p, 3)
-        .add_cell(rows[i].carried, 3)
-        .add_cell(rows[i].mean_latency, 1)
-        .add_cell(rows[i].p99, 0)
-        .add_cell(rows[i].drops, 0);
-  }
-  t.print(std::cout);
-  std::cout
-      << "\nShape check (c): as physical-layer jitter erodes frame delivery,\n"
-         "ARQ first converts loss into latency (mean and p99 inflate while\n"
-         "goodput holds), then the retry budget exhausts and packets drop --\n"
-         "the cross-layer story a link-only analysis cannot show.\n";
-}
-
-void print_reproduction() {
-  const sim::BatchRunner runner = make_runner();
-  analysis::print_banner(std::cout, "Ablation 13: MAC on the optical stack bus",
-                         "TDMA vs token vs slotted ALOHA at packet granularity, "
-                         "coupled to the photon-level link",
-                         kSeed);
-  std::cout << "sweep threads = " << runner.threads() << "\n";
-  saturation_table(runner);
-  hotspot_table(runner);
-  layer_coupling_table(runner);
-}
-
 void BM_NetworkSlot(benchmark::State& state) {
-  StackNetwork netw(traffic_config(0.8), make_mac("token"));
+  StackNetwork netw(bm_traffic_config(0.8), bm_make_mac("token"));
   RngStream rng(kSeed, "bm-noc");
   for (auto _ : state) {
     benchmark::DoNotOptimize(netw.run(1000, rng).total_delivered());
@@ -247,13 +208,15 @@ void BM_NetworkSlot(benchmark::State& state) {
 BENCHMARK(BM_NetworkSlot);
 
 void BM_SaturationSweep(benchmark::State& state) {
-  const sim::BatchRunner runner = make_runner();
+  sim::BatchConfig cfg;
+  cfg.root_seed = kSeed;
+  const sim::BatchRunner runner(cfg);
   const std::vector<std::string> kinds{"tdma", "token", "token+pass", "aloha"};
   for (auto _ : state) {
     const auto points = runner.map(
         kinds.size() * 4, "bm-saturation", [&](std::size_t i, RngStream& rng) {
           const double load = 0.3 * static_cast<double>(i / kinds.size() + 1);
-          StackNetwork netw(traffic_config(load), make_mac(kinds[i % kinds.size()]));
+          StackNetwork netw(bm_traffic_config(load), bm_make_mac(kinds[i % kinds.size()]));
           return netw.run(2000, rng).total_delivered();
         });
     benchmark::DoNotOptimize(points.data());
@@ -264,7 +227,8 @@ BENCHMARK(BM_SaturationSweep);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  const std::uint64_t seed = oci::scenario::resolve_seed(kSeed, argc, argv);
+  print_reproduction(seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -4,6 +4,12 @@
 // pulse raise raw throughput linearly but shrink the slot width until
 // timing noise dominates, collapsing goodput. The knee locates the
 // usable PPM order for a given jitter budget.
+//
+// Declared as a scenario::ScenarioSpec and executed by ScenarioRunner
+// (point-to-point symbol traffic, one sweep axis over bits_per_symbol);
+// the spec fans out over the BatchRunner pool with per-point
+// deterministic RNG, so the table is bit-identical for any
+// OCI_BATCH_THREADS setting.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
@@ -11,6 +17,7 @@
 #include "oci/analysis/report.hpp"
 #include "oci/link/optical_link.hpp"
 #include "oci/modulation/ook.hpp"
+#include "oci/scenario/runner.hpp"
 #include "oci/util/table.hpp"
 
 namespace {
@@ -22,7 +29,6 @@ using util::RngStream;
 using util::Time;
 
 constexpr std::uint64_t kSeed = 20080608;
-const std::uint64_t kSymbols = analysis::scaled(20000, 500);
 
 OpticalLinkConfig base_config() {
   OpticalLinkConfig c;
@@ -36,10 +42,24 @@ OpticalLinkConfig base_config() {
   return c;
 }
 
-void print_reproduction() {
+scenario::ScenarioSpec make_spec(std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = "ppm_order";
+  spec.description = "bits/symbol sweep on a fixed N=64, C=4 TDC, 40 ns SPAD";
+  spec.seed = seed;
+  spec.topology = scenario::Topology::kPointToPoint;
+  spec.device = base_config();
+  spec.sweep = {scenario::SweepAxis::list(
+      "bits_per_symbol", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10})};
+  spec.budget.samples = 20000;
+  spec.budget.floor = 500;
+  return spec;
+}
+
+void print_reproduction(std::uint64_t seed) {
   analysis::print_banner(std::cout, "Ablation 1: PPM order",
                          "bits/symbol sweep on a fixed N=64, C=4 TDC, 40 ns SPAD",
-                         kSeed);
+                         seed);
 
   const auto cfg0 = base_config();
   std::cout << "\nOOK baseline on the same SPAD: "
@@ -49,21 +69,16 @@ void print_reproduction() {
                                "bps", 2)
             << " (1 bit per detection cycle)\n\n";
 
+  const scenario::RunReport report = scenario::ScenarioRunner().run(make_spec(seed));
   util::Table t({"K [bits/sym]", "slot width", "SER", "BER", "raw TP", "goodput"});
-  for (unsigned k = 1; k <= 10; ++k) {
-    auto cfg = base_config();
-    cfg.bits_per_symbol = k;
-    RngStream rng(kSeed, "ppm-order");
-    const OpticalLink link(cfg, rng);
-    RngStream tx(kSeed + k, "ppm-order-tx");
-    const auto stats = link.measure(kSymbols, tx);
+  for (const scenario::RunPoint& p : report.points) {
     t.new_row()
-        .add_cell(static_cast<std::uint64_t>(k))
-        .add_cell(util::si_format(link.ppm().config().slot_width.seconds(), "s", 2))
-        .add_cell(stats.symbol_error_rate(), 5)
-        .add_cell(stats.bit_error_rate(), 5)
-        .add_cell(util::si_format(stats.raw_throughput().bits_per_second(), "bps", 2))
-        .add_cell(util::si_format(stats.goodput().bits_per_second(), "bps", 2));
+        .add_cell(p.coordinate.at(0))
+        .add_cell(util::si_format(report.metric(p, "slot_ps") * 1e-12, "s", 2))
+        .add_cell(report.metric(p, "ser"), 5)
+        .add_cell(report.metric(p, "ber"), 5)
+        .add_cell(util::si_format(report.metric(p, "raw_tp_bps"), "bps", 2))
+        .add_cell(util::si_format(report.metric(p, "goodput_bps"), "bps", 2));
   }
   t.print(std::cout);
   std::cout << "\nShape check: goodput rises ~linearly with K while slots remain\n"
@@ -87,7 +102,8 @@ BENCHMARK(BM_TransmitSymbolStream)->Arg(4)->Arg(8);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  const std::uint64_t seed = oci::scenario::resolve_seed(kSeed, argc, argv);
+  print_reproduction(seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -16,17 +16,22 @@
 // All three sweeps fan out over a sim::BatchRunner thread pool; the
 // per-node RNG streams derive purely from (seed, label, node index),
 // so the tables are bit-identical for any OCI_BATCH_THREADS setting.
+// The mismatch Monte Carlo (the heavy sweep) is declared as a
+// scenario::ScenarioSpec -- code-density traffic with a categorical
+// tech_node axis -- and executed by ScenarioRunner.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "oci/analysis/report.hpp"
 #include "oci/electrical/pad.hpp"
 #include "oci/electrical/scaling.hpp"
 #include "oci/link/optical_link.hpp"
 #include "oci/link/tradeoff.hpp"
+#include "oci/scenario/runner.hpp"
 #include "oci/sim/batch_runner.hpp"
 #include "oci/tdc/calibration.hpp"
 #include "oci/tdc/tdc.hpp"
@@ -40,10 +45,11 @@ using util::RngStream;
 using util::Time;
 
 constexpr std::uint64_t kSeed = 20080615;
+std::uint64_t g_seed = kSeed;  // resolved in main (--seed= / OCI_SEED)
 
 sim::BatchRunner make_runner() {
   sim::BatchConfig cfg;
-  cfg.root_seed = kSeed;
+  cfg.root_seed = g_seed;
   return sim::BatchRunner(cfg);
 }
 
@@ -129,40 +135,41 @@ void energy_scaling_table() {
          "load, so the optical energy advantage widens down the ladder.\n\n";
 }
 
-void mismatch_table(const sim::BatchRunner& runner) {
+void mismatch_table() {
   // Monte Carlo the delay line at each node's mismatch and report the
   // uncalibrated DNL spread the periodic calibration has to absorb.
-  // This is the heaviest sweep here: one 200k-sample code-density test
-  // per node, one node per pool task.
+  // This is the heaviest sweep here -- one 200k-sample code-density
+  // test per node -- declared as a scenario: the tech_node axis sets
+  // each point's delay element and mismatch sigma from the ladder, and
+  // ScenarioRunner fans the points out over the pool.
   const auto& ladder = electrical::technology_ladder();
-  const auto samples = analysis::scaled(200000, 2000);
+  std::vector<std::string> nodes;
+  for (const TechnologyNode& node : ladder) nodes.emplace_back(node.name);
 
-  const auto rows = runner.map(
-      ladder.size(), "mismatch", [&](std::size_t i, RngStream& rng) {
-        const TechnologyNode& node = ladder[i];
-        tdc::DelayLineParams lp;
-        // 96 code elements plus margin so a slow-corner draw still covers
-        // the clock period (same rule the production link applies).
-        lp.elements = 108;
-        lp.nominal_delay = node.delay_element;
-        lp.mismatch_sigma = node.mismatch_sigma;
-        RngStream process = rng.fork("process");
-        const tdc::DelayLine line(lp, process);
-        tdc::TdcConfig cfg;
-        cfg.coarse_bits = 0;
-        cfg.clock_period = node.delay_element * 96.0;
-        const tdc::Tdc tdc(line, cfg);
-        RngStream hits = rng.fork("hits");
-        return tdc::code_density_test(tdc, samples, hits);
-      });
+  scenario::ScenarioSpec spec;
+  spec.name = "dsm_mismatch";
+  spec.description = "uncalibrated DNL/INL across the technology ladder";
+  spec.seed = g_seed;
+  spec.topology = scenario::Topology::kPointToPoint;
+  spec.mode = scenario::TrafficMode::kCodeDensity;
+  // 96 code elements plus margin so a slow-corner draw still covers
+  // the clock period (same rule the production link applies).
+  spec.device.design.fine_elements = 96;
+  spec.device.design.coarse_bits = 0;
+  spec.device.delay_line.elements = 108;
+  spec.sweep = {scenario::SweepAxis::categories("tech_node", std::move(nodes))};
+  spec.budget.samples = 200000;
+  spec.budget.floor = 2000;
+  const scenario::RunReport report = scenario::ScenarioRunner().run(spec);
 
   util::Table t({"node", "mismatch sigma", "worst |DNL| [LSB]", "max |INL| [LSB]"});
-  for (std::size_t i = 0; i < rows.size(); ++i) {
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    const scenario::RunPoint& p = report.points[i];
     t.new_row()
-        .add_cell(std::string(ladder[i].name))
+        .add_cell(p.coordinate.at(0))
         .add_cell(ladder[i].mismatch_sigma, 3)
-        .add_cell(rows[i].max_abs_dnl, 2)
-        .add_cell(rows[i].max_abs_inl, 2);
+        .add_cell(report.metric(p, "max_abs_dnl_lsb"), 2)
+        .add_cell(report.metric(p, "max_abs_inl_lsb"), 2);
   }
   t.print(std::cout);
   std::cout
@@ -177,11 +184,11 @@ void print_reproduction() {
   analysis::print_banner(std::cout, "Ablation 12: DSM technology scaling",
                          "TDC throughput, energy per bit, and mismatch across "
                          "the 250 nm -> 32 nm ladder",
-                         kSeed);
+                         g_seed);
   std::cout << "sweep threads = " << runner.threads() << "\n";
   tdc_scaling_table(runner);
   energy_scaling_table();
-  mismatch_table(runner);
+  mismatch_table();
 }
 
 void BM_BestDesignAcrossLadder(benchmark::State& state) {
@@ -221,6 +228,7 @@ BENCHMARK(BM_MismatchSweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_seed = oci::scenario::resolve_seed(kSeed, argc, argv);
   print_reproduction();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -12,12 +12,17 @@
 //  (c) grid placement through a die stack -- silicon absorption
 //      punishes short wavelengths, SPAD PDP punishes long ones, so
 //      aggregate goodput has an interior optimum in the grid centre.
+//
+// Each sub-experiment is one scenario::ScenarioSpec (WDM topology, one
+// sweep axis) resolved by ScenarioRunner onto the multi-source
+// LinkEngine fast path, fanned out over the BatchRunner pool.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "oci/analysis/report.hpp"
 #include "oci/link/wdm_link.hpp"
+#include "oci/scenario/runner.hpp"
 #include "oci/util/table.hpp"
 
 namespace {
@@ -28,44 +33,52 @@ using util::Time;
 using util::Wavelength;
 
 constexpr std::uint64_t kSeed = 20080614;
-const std::uint64_t kSymbols = analysis::scaled(400, 40);
 
-link::WdmLinkConfig base_config() {
-  link::WdmLinkConfig c;
-  c.grid.center = Wavelength::nanometres(850.0);
-  c.grid.spacing = Wavelength::nanometres(25.0);
-  c.grid.channels = 4;
-  c.base.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
-  c.base.bits_per_symbol = 6;
+scenario::ScenarioSpec base_spec(std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.seed = seed;
+  spec.topology = scenario::Topology::kWdm;
+  spec.wdm.grid.center = Wavelength::nanometres(850.0);
+  spec.wdm.grid.spacing = Wavelength::nanometres(25.0);
+  spec.wdm.grid.channels = 4;
+  spec.wdm.path_transmittance = 0.3;
+  spec.device.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  spec.device.bits_per_symbol = 6;
   // ~2 uW keeps the detected-signal budget healthy (~10 photons)
   // without megaphoton pulses that no realistic demux could isolate.
-  c.base.led.peak_power = util::Power::microwatts(2.0);
-  c.base.spad.jitter_sigma = Time::picoseconds(40.0);
-  c.base.spad.dcr_at_ref = util::Frequency::hertz(350.0);
-  c.base.calibration_samples = analysis::scaled(30000, 2000);
-  c.path_transmittance = 0.3;
+  spec.device.led.peak_power = util::Power::microwatts(2.0);
+  spec.device.spad.jitter_sigma = Time::picoseconds(40.0);
+  spec.device.spad.dcr_at_ref = util::Frequency::hertz(350.0);
+  spec.device.calibration_samples = analysis::scaled(30000, 2000);
+  spec.budget.samples = 400;
+  spec.budget.floor = 40;
+  return spec;
+}
+
+link::WdmLinkConfig bm_config() {
+  link::WdmLinkConfig c;
+  const scenario::ScenarioSpec spec = base_spec(kSeed);
+  c.grid = spec.wdm.grid;
+  c.base = spec.device;
+  c.path_transmittance = spec.wdm.path_transmittance;
   return c;
 }
 
-void channel_scaling_table() {
+void channel_scaling_table(const scenario::ScenarioRunner& runner,
+                           scenario::ScenarioSpec spec) {
+  spec.name = "wdm_channel_scaling";
+  spec.sweep = {scenario::SweepAxis::list("channels", {1, 2, 4, 8, 12})};
+  const scenario::RunReport report = runner.run(spec);
+
   util::Table t({"channels", "aggregate goodput [Gbps]", "per-channel [Mbps]",
                  "worst SER", "noise captures"});
-  for (std::size_t n : {1u, 2u, 4u, 8u, 12u}) {
-    auto cfg = base_config();
-    cfg.grid.channels = n;
-    RngStream rng(kSeed, "wdm-scale");
-    const link::WdmLink wdm(cfg, rng);
-    RngStream tx(kSeed + n, "wdm-scale-tx");
-    const auto run = wdm.measure(kSymbols, tx);
-    std::uint64_t captures = 0;
-    for (const auto& r : run.per_channel) captures += r.stats.noise_captures;
-    const double agg = run.aggregate_goodput().bits_per_second();
+  for (const scenario::RunPoint& p : report.points) {
     t.new_row()
-        .add_cell(static_cast<double>(n), 0)
-        .add_cell(agg / 1e9, 3)
-        .add_cell(agg / static_cast<double>(n) / 1e6, 1)
-        .add_cell(run.worst_symbol_error_rate(), 4)
-        .add_cell(static_cast<double>(captures), 0);
+        .add_cell(p.coordinate.at(0))
+        .add_cell(report.metric(p, "aggregate_gbps"), 3)
+        .add_cell(report.metric(p, "per_channel_mbps"), 1)
+        .add_cell(report.metric(p, "worst_ser"), 4)
+        .add_cell(report.metric(p, "noise_captures"), 0);
   }
   t.print(std::cout);
   std::cout
@@ -75,25 +88,21 @@ void channel_scaling_table() {
          "sags while noise captures climb.\n\n";
 }
 
-void isolation_table() {
+void isolation_table(const scenario::ScenarioRunner& runner, scenario::ScenarioSpec spec) {
+  spec.name = "wdm_isolation";
+  spec.wdm.grid.channels = 8;
+  spec.sweep = {scenario::SweepAxis::list("isolation_db",
+                                          {45.0, 35.0, 30.0, 25.0, 20.0, 15.0, 10.0})};
+  const scenario::RunReport report = runner.run(spec);
+
   util::Table t({"adjacent isolation [dB]", "aggregate goodput [Gbps]", "worst SER",
                  "noise captures"});
-  for (double db : {45.0, 35.0, 30.0, 25.0, 20.0, 15.0, 10.0}) {
-    auto cfg = base_config();
-    cfg.grid.channels = 8;
-    cfg.filter.adjacent_isolation_db = db;
-    cfg.filter.isolation_floor_db = std::max(db + 20.0, 45.0);
-    RngStream rng(kSeed, "wdm-iso");
-    const link::WdmLink wdm(cfg, rng);
-    RngStream tx(kSeed + static_cast<std::uint64_t>(db), "wdm-iso-tx");
-    const auto run = wdm.measure(kSymbols, tx);
-    std::uint64_t captures = 0;
-    for (const auto& r : run.per_channel) captures += r.stats.noise_captures;
+  for (const scenario::RunPoint& p : report.points) {
     t.new_row()
-        .add_cell(db, 0)
-        .add_cell(run.aggregate_goodput().bits_per_second() / 1e9, 3)
-        .add_cell(run.worst_symbol_error_rate(), 4)
-        .add_cell(static_cast<double>(captures), 0);
+        .add_cell(p.coordinate.at(0))
+        .add_cell(report.metric(p, "aggregate_gbps"), 3)
+        .add_cell(report.metric(p, "worst_ser"), 4)
+        .add_cell(report.metric(p, "noise_captures"), 0);
   }
   t.print(std::cout);
   std::cout
@@ -103,28 +112,26 @@ void isolation_table() {
          "collapses as crosstalk captures outrace the signal.\n\n";
 }
 
-void stack_grid_table() {
-  const auto stack = photonics::DieStack::uniform(4, photonics::DieSpec{});
+void stack_grid_table(const scenario::ScenarioRunner& runner, scenario::ScenarioSpec spec) {
+  spec.name = "wdm_stack_grid";
+  spec.wdm.grid.channels = 4;
+  spec.wdm.stack_dies = 4;
+  spec.wdm.from_die = 0;
+  spec.wdm.to_die = 2;
+  spec.wdm.path_transmittance = 0.9;  // geometry only; absorption via stack
+  spec.sweep = {scenario::SweepAxis::list("grid_center_nm",
+                                          {820.0, 870.0, 920.0, 970.0, 1020.0})};
+  const scenario::RunReport report = runner.run(spec);
+
   util::Table t({"grid centre [nm]", "shortest ch. T", "longest ch. T",
                  "aggregate goodput [Gbps]", "worst SER"});
-  for (double centre : {820.0, 870.0, 920.0, 970.0, 1020.0}) {
-    auto cfg = base_config();
-    cfg.grid.channels = 4;
-    cfg.grid.center = Wavelength::nanometres(centre);
-    cfg.stack = &stack;
-    cfg.from_die = 0;
-    cfg.to_die = 2;
-    cfg.path_transmittance = 0.9;  // geometry only; absorption via stack
-    RngStream rng(kSeed, "wdm-stack");
-    const link::WdmLink wdm(cfg, rng);
-    RngStream tx(kSeed + static_cast<std::uint64_t>(centre), "wdm-stack-tx");
-    const auto run = wdm.measure(kSymbols, tx);
+  for (const scenario::RunPoint& p : report.points) {
     t.new_row()
-        .add_cell(centre, 0)
-        .add_cell(wdm.collected_fraction(0, 0), 5)
-        .add_cell(wdm.collected_fraction(wdm.channels() - 1, wdm.channels() - 1), 5)
-        .add_cell(run.aggregate_goodput().bits_per_second() / 1e9, 3)
-        .add_cell(run.worst_symbol_error_rate(), 4);
+        .add_cell(p.coordinate.at(0))
+        .add_cell(report.metric(p, "collected_short"), 5)
+        .add_cell(report.metric(p, "collected_long"), 5)
+        .add_cell(report.metric(p, "aggregate_gbps"), 3)
+        .add_cell(report.metric(p, "worst_ser"), 4);
   }
   t.print(std::cout);
   std::cout
@@ -134,20 +141,20 @@ void stack_grid_table() {
          "~900-1000 nm window where both losses stay survivable.\n";
 }
 
-void print_reproduction() {
+void print_reproduction(std::uint64_t seed) {
   analysis::print_banner(std::cout, "Ablation 11: WDM over one optical path",
                          "aggregate goodput vs channel count, demux isolation, "
                          "and grid placement through a die stack",
-                         kSeed);
-  channel_scaling_table();
-  isolation_table();
-  stack_grid_table();
+                         seed);
+  const scenario::ScenarioRunner runner;
+  channel_scaling_table(runner, base_spec(seed));
+  isolation_table(runner, base_spec(seed));
+  stack_grid_table(runner, base_spec(seed));
 }
 
 void BM_WdmWindow(benchmark::State& state) {
-  auto cfg = base_config();
   RngStream rng(kSeed, "bm-wdm");
-  const link::WdmLink wdm(cfg, rng);
+  const link::WdmLink wdm(bm_config(), rng);
   RngStream tx(kSeed, "bm-wdm-tx");
   for (auto _ : state) {
     benchmark::DoNotOptimize(wdm.measure(8, tx).per_channel.size());
@@ -158,7 +165,8 @@ BENCHMARK(BM_WdmWindow);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  const std::uint64_t seed = oci::scenario::resolve_seed(kSeed, argc, argv);
+  print_reproduction(seed);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -3,23 +3,26 @@
 // layer's frame-delivery probability comes from the die-stack link
 // budget, and ARQ covers residual loss.
 //
-//   $ ./stack_noc [seed]
+//   $ ./stack_noc [seed]        (also --seed=N / OCI_SEED)
 //
-// Demonstrates the full layering: photonics (stack budget) -> link
-// (per-hop delivery) -> net (MAC + queues + latency percentiles).
+// Demonstrates the full layering through the Scenario API: photonics
+// (stack budget) -> one declarative ScenarioSpec (master-broadcast
+// traffic on the stack-NoC topology) -> ScenarioRunner -> RunReport.
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
-#include <memory>
 
 #include "oci/link/budget.hpp"
-#include "oci/net/stack_network.hpp"
 #include "oci/photonics/die_stack.hpp"
+#include "oci/scenario/runner.hpp"
 #include "oci/util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace oci;
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::uint64_t seed = argc > 1 && argv[1][0] != '-'
+                           ? std::strtoull(argv[1], nullptr, 10)
+                           : 42;
+  seed = scenario::resolve_seed(seed, argc, argv);
 
   // 1. Physical substrate: 16 thinned dies, NIR micro-LEDs bright
   //    enough to reach the far end of the stack.
@@ -41,46 +44,41 @@ int main(int argc, char** argv) {
   std::cout << "Worst-hop pulse detection probability across " << kDies
             << " dies: " << worst_detection << "\n";
 
-  // 3. Network: mixed traffic -- die 0 (the CPU die) broadcasts
-  //    descriptors, the memory dies answer point-to-point.
-  net::StackNetworkConfig cfg;
-  cfg.dies = kDies;
-  cfg.traffic.resize(kDies);
-  cfg.traffic[0].packets_per_slot = 0.25;
-  cfg.traffic[0].destination = net::kBroadcast;
-  for (std::size_t die = 1; die < kDies; ++die) {
-    cfg.traffic[die].packets_per_slot = 0.03;
-    cfg.traffic[die].destination = 0;
-  }
-  // A frame of ~20 PPM symbols survives if every symbol does; fold the
-  // worst-hop budget into one per-transfer number.
-  cfg.delivery_probability = std::pow(worst_detection, 20.0);
-  cfg.max_attempts = 5;
+  // 3. Describe the network as a scenario: mixed traffic -- die 0 (the
+  //    CPU die) broadcasts descriptors, the memory dies answer
+  //    point-to-point. A frame of ~20 PPM symbols survives if every
+  //    symbol does; fold the worst-hop budget into one per-transfer
+  //    number.
+  scenario::ScenarioSpec spec;
+  spec.name = "stack_noc";
+  spec.description = "16-die optical bus, token MAC, budget-derived delivery";
+  spec.seed = seed;
+  spec.topology = scenario::Topology::kStackNoc;
+  spec.noc.dies = kDies;
+  spec.noc.pattern = scenario::NocPattern::kMasterBroadcast;
+  spec.noc.master_load = 0.25;
+  spec.noc.worker_load = 0.03;
+  spec.noc.mac = "token+pass";
+  spec.noc.delivery_probability = std::pow(worst_detection, 20.0);
+  spec.noc.max_attempts = 5;
+  spec.budget.samples = 200000;
+  spec.budget.floor = 2000;
 
-  net::StackNetwork network(cfg, std::make_unique<net::TokenMac>(kDies, /*pass_slots=*/1));
-  util::RngStream rng(seed, "stack-noc");
-  const auto run = network.run(200000, rng);
+  const scenario::RunReport report = scenario::ScenarioRunner().run(spec);
+  const scenario::RunPoint& p = report.points.front();
 
   // 4. Report.
-  util::Table t({"die", "offered", "delivered", "retry drops", "queue drops"});
-  for (std::size_t die = 0; die < kDies; ++die) {
-    const auto& d = run.per_die[die];
-    t.new_row()
-        .add_cell(static_cast<std::uint64_t>(die))
-        .add_cell(d.offered)
-        .add_cell(d.delivered)
-        .add_cell(d.retry_drops)
-        .add_cell(d.queue_drops);
-  }
+  util::Table t({"metric", "value"});
+  t.new_row().add_cell("slots simulated").add_cell(p.samples);
+  t.new_row().add_cell("carried load [pkt/slot]").add_cell(report.metric(p, "carried_load"), 4);
+  t.new_row().add_cell("delivery ratio").add_cell(report.metric(p, "delivery_ratio"), 4);
+  t.new_row().add_cell("per-transfer delivery p").add_cell(report.metric(p, "transfer_p"), 4);
+  t.new_row().add_cell("fairness (Jain)").add_cell(report.metric(p, "fairness"), 4);
+  t.new_row().add_cell("latency mean [slots]").add_cell(report.metric(p, "mean_latency_slots"), 2);
+  t.new_row().add_cell("latency p99 [slots]").add_cell(report.metric(p, "p99_slots"), 0);
+  t.new_row().add_cell("bus utilisation").add_cell(report.metric(p, "utilisation"), 4);
+  t.new_row().add_cell("retry drops").add_cell(report.metric(p, "retry_drops"), 0);
+  t.new_row().add_cell("queue drops").add_cell(report.metric(p, "queue_drops"), 0);
   t.print(std::cout);
-
-  std::cout << "\ncarried load      : " << run.carried_load() << " packets/slot"
-            << "\ndelivery ratio    : " << run.delivery_ratio()
-            << "\nfairness (Jain)   : " << run.fairness_index()
-            << "\nlatency mean/p99  : " << run.latency.mean_slots << " / "
-            << run.latency.p99_slots << " slots"
-            << "\nbus utilisation   : "
-            << 1.0 - static_cast<double>(run.idle_slots) / static_cast<double>(run.slots)
-            << "\n";
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,10 +35,18 @@ void ascii_shademap(std::ostream& os, const std::vector<std::vector<double>>& fi
 [[nodiscard]] std::vector<double> contour_crossings(std::span<const double> row, double level);
 
 /// Workload scale factor for reproduction runs: the OCI_REPRO_SCALE
-/// environment variable parsed as a double clamped to (0, 1], read once
-/// per process; 1.0 when unset or unparseable. CI smoke runs set a tiny
-/// scale so every bench binary executes end-to-end in seconds.
+/// environment variable parsed as a double clamped to (0, 1]; 1.0 when
+/// unset or unparseable. CI smoke runs set a tiny scale so every bench
+/// binary executes end-to-end in seconds. An explicit override via
+/// set_repro_scale_for_test() takes precedence over the environment.
 [[nodiscard]] double repro_scale();
+
+/// Overrides repro_scale() process-wide (clamped to (0, 1]); nullopt
+/// restores the environment-derived value. Lets scenario/bench tests
+/// exercise scaled budgets deterministically without mutating the
+/// process environment. Thread-safe; values <= 0 are treated as
+/// nullopt.
+void set_repro_scale_for_test(std::optional<double> scale);
 
 /// `n` Monte-Carlo samples/slots/probes scaled by repro_scale(), never
 /// below `lo` so the statistics code still has something to chew on.

@@ -1,6 +1,7 @@
 #include "oci/analysis/report.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <iomanip>
@@ -20,12 +21,16 @@ void print_banner(std::ostream& os, const std::string& experiment_id,
 
 void ascii_profile(std::ostream& os, std::span<const double> values, double scale,
                    std::size_t max_rows, std::size_t half_width) {
-  if (values.empty() || scale <= 0.0) return;
+  if (values.empty() || max_rows == 0 || half_width == 0) return;
+  // Degenerate scale (callers often pass max|value|, which is 0 for
+  // all-zero data, or a NaN from an empty reduction): render flat bars
+  // against a unit scale instead of silently printing nothing.
+  if (!(scale > 0.0) || !std::isfinite(scale)) scale = 1.0;
   const std::size_t n = values.size();
   const std::size_t step = n > max_rows ? (n + max_rows - 1) / max_rows : 1;
   for (std::size_t i = 0; i < n; i += step) {
     const double v = values[i];
-    const double clipped = std::clamp(v / scale, -1.0, 1.0);
+    const double clipped = std::isfinite(v) ? std::clamp(v / scale, -1.0, 1.0) : 0.0;
     const auto bar = static_cast<long>(std::lround(clipped * static_cast<double>(half_width)));
     std::string left(half_width, ' ');
     std::string right(half_width, ' ');
@@ -50,9 +55,18 @@ void ascii_shademap(std::ostream& os, const std::vector<std::vector<double>>& fi
   double hi = -std::numeric_limits<double>::infinity();
   for (const auto& row : field) {
     for (double v : row) {
+      if (!std::isfinite(v)) continue;
       lo = std::min(lo, v);
       hi = std::max(hi, v);
     }
+  }
+  // Degenerate fields: no finite value at all (all rows empty, or all
+  // NaN/inf) leaves lo/hi at their sentinels; constant data gives
+  // lo == hi. Both render against a unit span anchored at lo so no
+  // division by zero (or inf - -inf) reaches the ramp index.
+  if (!(hi >= lo)) {
+    lo = 0.0;
+    hi = 0.0;
   }
   const double span = hi > lo ? hi - lo : 1.0;
 
@@ -63,8 +77,9 @@ void ascii_shademap(std::ostream& os, const std::vector<std::vector<double>>& fi
     os << std::setw(static_cast<int>(label_w))
        << (r < row_labels.size() ? row_labels[r] : "") << " |";
     for (double v : field[r]) {
-      const auto idx =
-          static_cast<std::size_t>(std::lround((v - lo) / span * static_cast<double>(kRampLen)));
+      const double t = std::isfinite(v) ? (v - lo) / span : 0.0;
+      const auto idx = static_cast<std::size_t>(
+          std::lround(std::clamp(t, 0.0, 1.0) * static_cast<double>(kRampLen)));
       const char c = kRamp[std::min(idx, kRampLen)];
       os << c << c << c;  // triple width for visibility
     }
@@ -90,7 +105,12 @@ std::vector<double> contour_crossings(std::span<const double> row, double level)
   return out;
 }
 
-double repro_scale() {
+namespace {
+
+/// Test/config override; <= 0 means "no override, use the environment".
+std::atomic<double> g_repro_scale_override{0.0};
+
+double env_repro_scale() {
   static const double scale = [] {
     const char* env = std::getenv("OCI_REPRO_SCALE");
     if (!env) return 1.0;
@@ -100,6 +120,20 @@ double repro_scale() {
     return std::min(v, 1.0);
   }();
   return scale;
+}
+
+}  // namespace
+
+double repro_scale() {
+  const double override = g_repro_scale_override.load(std::memory_order_relaxed);
+  if (override > 0.0) return override;
+  return env_repro_scale();
+}
+
+void set_repro_scale_for_test(std::optional<double> scale) {
+  double v = 0.0;
+  if (scale && *scale > 0.0) v = std::min(*scale, 1.0);
+  g_repro_scale_override.store(v, std::memory_order_relaxed);
 }
 
 std::uint64_t scaled(std::uint64_t n, std::uint64_t lo) {

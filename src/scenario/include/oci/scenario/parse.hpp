@@ -1,0 +1,39 @@
+// Text format for ScenarioSpec: a flat key = value file (JSON-lite --
+// no nesting, no quoting) so new experiments need zero recompilation.
+//
+//   # one comment per line
+//   name        = link_jitter
+//   topology    = point-to-point
+//   seed        = 20260726
+//   jitter_ps   = 120            # any parameter-registry key
+//   samples     = 4000
+//   sweep.jitter_ps = 40, 80, 120, 160        # list axis
+//   sweep.offered_load = linear(0.2, 1.2, 6)  # linear(lo, hi, n)
+//   sweep.channels = log(1, 16, 5)            # log(lo, hi, n)
+//   sweep.mac = tdma, token, aloha            # categorical axis
+//
+// Scalar keys go through scenario::set_param (one registry for files,
+// sweeps, and code); `sweep.<key>` lines append an axis. Axes sweep in
+// file order, first line slowest. Parse errors throw std::runtime_error
+// naming the line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "oci/scenario/spec.hpp"
+
+namespace oci::scenario {
+
+/// Parses a spec from a stream. `source` names the stream in errors.
+[[nodiscard]] ScenarioSpec parse_spec(std::istream& in, const std::string& source = "spec");
+
+/// Parses a spec from text (tests, inline docs).
+[[nodiscard]] ScenarioSpec parse_spec_text(const std::string& text,
+                                           const std::string& source = "spec");
+
+/// Loads and parses a spec file; throws std::runtime_error when the
+/// file cannot be opened.
+[[nodiscard]] ScenarioSpec parse_spec_file(const std::string& path);
+
+}  // namespace oci::scenario

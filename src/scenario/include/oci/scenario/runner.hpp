@@ -1,0 +1,106 @@
+// ScenarioRunner: the one facade that turns a validated ScenarioSpec
+// into numbers. It resolves the spec onto the right engine path
+// (LinkEngine via OpticalLink, WdmLink, bus::VerticalBus,
+// net::StackNetwork -- optionally coupled through
+// link::SymbolDeliveryModel), fans the sweep's Cartesian product out
+// over a sim::BatchRunner pool with per-point deterministic RNG
+// streams, and emits a uniform RunReport: a metric table plus the
+// stable schema_version-1 BENCH_*.json trajectory document the CI diff
+// tooling already understands.
+//
+// Determinism contract: a RunReport's coordinates, metrics, samples and
+// rng_draws are a pure function of (spec, resolved seed, repro scale) --
+// independent of OCI_BATCH_THREADS -- so ported benches keep the CI
+// 1-thread-vs-8-thread bit-identical guarantee. Wall-clock fields are
+// the only nondeterministic part and are confined to the JSON export.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oci/scenario/spec.hpp"
+#include "oci/sim/batch_runner.hpp"
+#include "oci/util/table.hpp"
+
+namespace oci::scenario {
+
+/// One sweep point's outcome.
+struct RunPoint {
+  /// Printable axis values, aligned with RunReport::axis_names.
+  std::vector<std::string> coordinate;
+  /// Metric values, aligned with RunReport::metric_names.
+  std::vector<double> metrics;
+  std::uint64_t samples = 0;    ///< symbols/transfers/slots/hits run
+  std::uint64_t rng_draws = 0;  ///< RNG draws consumed by this point
+  double wall_ns = 0.0;         ///< wall clock of the point's task
+
+  /// "jitter_ps=120/fec=hamming", or "-" for a sweep-less scenario.
+  [[nodiscard]] std::string label(const std::vector<std::string>& axis_names) const;
+};
+
+/// Uniform result document of one scenario run.
+struct RunReport {
+  std::string scenario;
+  std::string description;
+  std::uint64_t seed = 0;
+  double repro_scale = 1.0;
+  std::string topology;
+  std::vector<std::string> axis_names;
+  std::vector<std::string> metric_names;
+  std::vector<RunPoint> points;
+
+  /// Point whose label(axis_names) matches; nullptr when absent.
+  [[nodiscard]] const RunPoint* find(const std::string& label) const;
+  /// Metric by name; throws std::out_of_range for unknown names.
+  [[nodiscard]] double metric(const RunPoint& point, const std::string& name) const;
+
+  /// Axis columns then metric columns, one row per point.
+  [[nodiscard]] util::Table to_table(int precision = 4) const;
+  /// Table plus a one-line run summary (deterministic output only).
+  void print(std::ostream& os) const;
+
+  /// Writes the stable BENCH trajectory document (schema_version 1,
+  /// the bench/support/bench_json.hpp shape tools/bench_diff.py
+  /// consumes): one result row per sweep point with ns_per_op
+  /// (wall/sample, informational), iterations (= samples) and
+  /// rng_draws_per_op (deterministic), plus a "metrics" object the
+  /// diff tool ignores but downstream analysis can read.
+  void write_bench_json(const std::string& path) const;
+};
+
+class ScenarioRunner {
+ public:
+  /// `threads` as in sim::BatchConfig (0 = hardware concurrency,
+  /// OCI_BATCH_THREADS overrides). The spec's resolved seed roots the
+  /// per-point RNG streams, so one runner serves many specs.
+  explicit ScenarioRunner(std::size_t threads = 0) : threads_(threads) {}
+
+  /// Validates and executes the spec. Seed precedence: OCI_SEED (when
+  /// set to an unsigned integer) overrides spec.seed, so one
+  /// environment knob re-seeds every scenario-driven binary uniformly.
+  [[nodiscard]] RunReport run(const ScenarioSpec& spec) const;
+
+ private:
+  std::size_t threads_;
+};
+
+/// -- Seed override helpers -------------------------------------------
+/// OCI_SEED parsed as an unsigned integer; nullopt when unset/garbled.
+[[nodiscard]] std::optional<std::uint64_t> seed_from_env();
+
+/// Scans argv for --seed=N (or --seed N), REMOVES it so the remaining
+/// args can go to benchmark::Initialize, and returns the value. A
+/// consumed CLI seed is also exported as OCI_SEED so the precedence
+/// below holds for every later resolution in the process (call from
+/// main(), before spawning threads).
+[[nodiscard]] std::optional<std::uint64_t> consume_seed_arg(int& argc, char** argv);
+
+/// The seed every scenario-aware binary runs with:
+/// --seed= beats OCI_SEED beats the built-in fallback.
+[[nodiscard]] std::uint64_t resolve_seed(std::uint64_t fallback);
+[[nodiscard]] std::uint64_t resolve_seed(std::uint64_t fallback, int& argc, char** argv);
+
+}  // namespace oci::scenario

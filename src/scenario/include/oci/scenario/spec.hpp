@@ -1,0 +1,199 @@
+// Declarative experiment descriptions: one ScenarioSpec names a full
+// paper-style experiment -- topology, device parameters, traffic shape,
+// sweep axes, sample budget -- and ScenarioRunner (runner.hpp) resolves
+// it onto the right engine path. The spec is plain data: it can be
+// built in code (the ported abl_* benches), parsed from a text file
+// (tools/run_scenario + parse.hpp), validated up front, and swept one
+// axis value at a time through the shared parameter registry, so every
+// experiment in the repo speaks one vocabulary instead of hand-wiring
+// OpticalLinkConfig/BatchRunner/Table per bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oci/link/optical_link.hpp"
+#include "oci/photonics/die_stack.hpp"
+#include "oci/photonics/wdm.hpp"
+
+namespace oci::scenario {
+
+/// Which engine path the scenario resolves to.
+enum class Topology { kPointToPoint, kWdm, kVerticalBus, kStackNoc };
+
+/// What flows over the topology. kAuto picks the topology's natural
+/// mode (symbols for link/WDM/bus, packets for the stack NoC).
+enum class TrafficMode { kAuto, kSymbols, kFrames, kCodeDensity, kPackets };
+
+/// Outer code below the frame CRC (point-to-point frame traffic only).
+enum class FecKind { kNone, kHamming };
+
+/// Spatial traffic shape of a stack-NoC scenario.
+enum class NocPattern { kUniform, kHotspot, kMasterBroadcast };
+
+/// Where a stack-NoC scenario gets its per-transfer delivery decision.
+enum class NocDelivery {
+  kScalar,    ///< fixed delivery_probability
+  kFecProbe,  ///< measure FEC frame delivery on the device link, then scalar
+  kEngine,    ///< photon-level SymbolDeliveryModel per transfer
+};
+
+/// One co-channel aggressor pulse train for point-to-point symbol
+/// scenarios: every victim window also sees a pulse of `mean_photons`
+/// (optical mean at the victim's detector plane) starting `offset_ps`
+/// into the window. The victim link's LED supplies the envelope.
+struct AggressorSpec {
+  double mean_photons = 0.0;
+  double offset_ps = 0.0;
+};
+
+/// Human-readable rendering of a numeric axis value -- the SAME
+/// rendering RunPoint coordinates and labels use, so callers can build
+/// lookup labels ("jitter_ps=" + format_axis_value(40.0)) without
+/// duplicating the formatting rules.
+[[nodiscard]] std::string format_axis_value(double value);
+
+/// A named sweep axis. Numeric axes hold `values`; categorical axes
+/// (MAC policy, FEC stack, technology node) hold `labels`. The sweep is
+/// the Cartesian product of all axes, first axis slowest.
+struct SweepAxis {
+  std::string param;
+  std::vector<double> values;
+  std::vector<std::string> labels;
+
+  [[nodiscard]] bool categorical() const { return !labels.empty(); }
+  [[nodiscard]] std::size_t size() const {
+    return categorical() ? labels.size() : values.size();
+  }
+  /// Printable value of point i ("120" / "token").
+  [[nodiscard]] std::string display(std::size_t i) const;
+
+  [[nodiscard]] static SweepAxis linear(std::string param, double lo, double hi,
+                                        std::size_t n);
+  [[nodiscard]] static SweepAxis logspace(std::string param, double lo, double hi,
+                                          std::size_t n);
+  [[nodiscard]] static SweepAxis list(std::string param, std::vector<double> values);
+  [[nodiscard]] static SweepAxis categories(std::string param,
+                                            std::vector<std::string> labels);
+};
+
+/// Per-point sample budget (symbols, transfers, slots, or calibration
+/// hits depending on the traffic mode), routed through
+/// analysis::repro_scale() so CI smoke runs shrink every scenario
+/// uniformly.
+struct BudgetSpec {
+  std::uint64_t samples = 20000;
+  std::uint64_t floor = 100;      ///< lower clamp after scaling
+  bool repro_scaled = true;
+
+  /// Samples actually run per sweep point.
+  [[nodiscard]] std::uint64_t resolve() const;
+};
+
+/// WDM-specific description (topology == kWdm). The per-channel device
+/// template is ScenarioSpec::device.
+struct WdmSpec {
+  photonics::WdmGrid grid;
+  photonics::WdmFilter filter;
+  double path_transmittance = 0.5;
+  /// > 0: route through a uniform die stack of this many dies and fold
+  /// the wavelength-dependent silicon absorption into each channel.
+  std::size_t stack_dies = 0;
+  std::size_t from_die = 0;
+  std::size_t to_die = 1;
+};
+
+/// Vertical-bus description (topology == kVerticalBus): a photon-level
+/// master broadcast across `dies` thinned dies.
+struct BusSpec {
+  std::size_t dies = 8;
+  std::size_t master = 0;
+  photonics::DieSpec die;
+  double min_detection_probability = 0.95;
+};
+
+/// Stack-NoC description (topology == kStackNoc).
+struct NocSpec {
+  std::size_t dies = 8;
+  NocPattern pattern = NocPattern::kUniform;
+  /// Aggregate offered load [packets/slot] split evenly (kUniform), or
+  /// the background load under a hotspot (kHotspot).
+  double offered_load = 0.5;
+  std::size_t hot_die = 3;
+  double hot_load = 0.9;
+  double master_load = 0.25;  ///< kMasterBroadcast: master's broadcast rate
+  double worker_load = 0.03;  ///< kMasterBroadcast: per-die reply rate
+  std::string mac = "token";  ///< tdma | token | token+pass | aloha
+  std::size_t queue_capacity = 256;
+  unsigned max_attempts = 4;
+  NocDelivery delivery = NocDelivery::kScalar;
+  double delivery_probability = 1.0;
+  std::size_t payload_bytes = 8;
+  /// FEC probe transfers measured per point (kFecProbe), repro-scaled
+  /// with a floor of 20.
+  std::uint64_t probe_transfers = 150;
+};
+
+/// The full declarative experiment description.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::string description;
+  std::uint64_t seed = 42;
+  Topology topology = Topology::kPointToPoint;
+  TrafficMode mode = TrafficMode::kAuto;
+  FecKind fec = FecKind::kNone;
+  /// Frame payload for kFrames traffic.
+  std::size_t payload_bytes = 24;
+  /// Device under test: the per-channel optical link template (TDC
+  /// design, LED, SPAD, guard, calibration). WDM overrides wavelength
+  /// and transmittance per channel; the bus overrides transmittance per
+  /// die; code-density mode reads design + delay_line only.
+  link::OpticalLinkConfig device;
+  std::vector<AggressorSpec> aggressors;
+  WdmSpec wdm;
+  BusSpec bus;
+  NocSpec noc;
+  std::vector<SweepAxis> sweep;
+  BudgetSpec budget;
+
+  /// Traffic mode after kAuto resolution against the topology.
+  [[nodiscard]] TrafficMode resolved_mode() const;
+
+  /// Throws std::invalid_argument listing EVERY inconsistency (one per
+  /// line) -- channel counts, impossible traffic/topology pairs, empty
+  /// or unknown sweep axes, zero budgets.
+  void validate() const;
+
+  /// Total sweep points (product of axis sizes; 1 with no axes).
+  [[nodiscard]] std::size_t sweep_points() const;
+};
+
+/// -- Parameter registry ----------------------------------------------
+/// One key space shared by sweep axes and the text-spec parser, so
+/// `sweep.jitter_ps = 40, 80` and `jitter_ps = 40` touch the same
+/// field. set_param parses `value` (numeric or categorical depending on
+/// the key) and applies it; unknown keys or unparseable values throw
+/// std::invalid_argument naming the key and the supported set.
+void set_param(ScenarioSpec& spec, const std::string& key, const std::string& value);
+
+/// True when the registry knows `key`.
+[[nodiscard]] bool is_known_param(const std::string& key);
+
+/// True when `key` takes categorical (string) values: mac, fec,
+/// tech_node, labeling, topology, pattern, delivery, mode.
+[[nodiscard]] bool is_categorical_param(const std::string& key);
+
+/// Sorted list of every registry key (error messages, docs).
+[[nodiscard]] std::vector<std::string> known_params();
+
+/// Applies point `index` of `axis` to the spec via set_param.
+void apply_axis_value(ScenarioSpec& spec, const SweepAxis& axis, std::size_t index);
+
+/// String names of the enums (reports, parsing).
+[[nodiscard]] const char* to_string(Topology t);
+[[nodiscard]] const char* to_string(TrafficMode m);
+[[nodiscard]] const char* to_string(FecKind f);
+
+}  // namespace oci::scenario

@@ -1,0 +1,596 @@
+#include "oci/scenario/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "oci/analysis/report.hpp"
+#include "oci/bus/vertical_bus.hpp"
+#include "oci/link/fec_link.hpp"
+#include "oci/link/link_engine.hpp"
+#include "oci/link/symbol_delivery.hpp"
+#include "oci/link/wdm_link.hpp"
+#include "oci/modulation/frame.hpp"
+#include "oci/net/stack_network.hpp"
+#include "oci/tdc/calibration.hpp"
+
+namespace oci::scenario {
+
+namespace {
+
+using util::RngStream;
+using util::Time;
+
+/// Default-constructible task payload for BatchRunner::map.
+struct PointResult {
+  std::vector<double> metrics;
+  std::uint64_t rng_draws = 0;
+};
+
+std::vector<std::string> metric_names_for(const ScenarioSpec& spec) {
+  switch (spec.topology) {
+    case Topology::kPointToPoint:
+      switch (spec.resolved_mode()) {
+        case TrafficMode::kFrames:
+          return {"delivery_rate", "corrections_per_transfer", "code_rate"};
+        case TrafficMode::kCodeDensity:
+          return {"max_abs_dnl_lsb", "max_abs_inl_lsb", "lsb_ps", "codes"};
+        default:
+          return {"ser",     "ber",        "erasure_rate", "noise_capture_rate",
+                  "slot_ps", "raw_tp_bps", "goodput_bps",  "energy_per_bit_j"};
+      }
+    case Topology::kWdm:
+      return {"aggregate_gbps", "per_channel_mbps", "worst_ser",
+              "noise_captures", "collected_short",  "collected_long"};
+    case Topology::kVerticalBus:
+      return {"worst_ser", "mean_ser", "serviceable_dies", "aggregate_goodput_gbps"};
+    case Topology::kStackNoc:
+      return {"carried_load", "delivery_ratio",     "transfer_p", "mean_latency_slots",
+              "p99_slots",    "utilisation",        "fairness",   "hot_rate",
+              "retry_drops",  "queue_drops"};
+  }
+  return {};
+}
+
+/// Flat sweep index -> per-axis indices, first axis slowest.
+std::vector<std::size_t> unravel(std::size_t flat, const std::vector<SweepAxis>& axes) {
+  std::vector<std::size_t> idx(axes.size(), 0);
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    idx[a] = flat % axes[a].size();
+    flat /= axes[a].size();
+  }
+  return idx;
+}
+
+PointResult run_p2p_symbols(const ScenarioSpec& s, std::uint64_t samples, RngStream& rng) {
+  RngStream process = rng.fork("process");
+  const link::OpticalLink link(s.device, process);
+  RngStream tx = rng.fork("tx");
+
+  link::LinkRunStats stats;
+  if (s.aggressors.empty()) {
+    stats = link.measure(samples, tx);
+  } else {
+    const link::LinkEngine engine(link);
+    link::EngineScratch scratch;
+    std::vector<link::SourcePulse> pulses(s.aggressors.size());
+    const auto max_symbol =
+        static_cast<std::int64_t>(link.ppm().slot_count()) - 1;
+    Time dead_until = Time::zero();
+    Time start = Time::zero();
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      const auto symbol = static_cast<std::uint64_t>(tx.uniform_int(0, max_symbol));
+      for (std::size_t a = 0; a < s.aggressors.size(); ++a) {
+        pulses[a] = link::SourcePulse{
+            &link.led(), s.aggressors[a].mean_photons,
+            start + Time::picoseconds(s.aggressors[a].offset_ps)};
+      }
+      (void)engine.transmit_symbol(symbol, start, pulses, dead_until, stats, tx, scratch);
+      start = start + link.symbol_period();
+    }
+  }
+
+  const auto sent = std::max<std::uint64_t>(stats.symbols_sent, 1);
+  PointResult r;
+  r.metrics = {stats.symbol_error_rate(),
+               stats.bit_error_rate(),
+               static_cast<double>(stats.erasures) / static_cast<double>(sent),
+               static_cast<double>(stats.noise_captures) / static_cast<double>(sent),
+               link.ppm().config().slot_width.picoseconds(),
+               stats.raw_throughput().bits_per_second(),
+               stats.goodput().bits_per_second(),
+               stats.energy_per_bit().joules()};
+  r.rng_draws = process.draws() + tx.draws();
+  return r;
+}
+
+PointResult run_p2p_frames(const ScenarioSpec& s, std::uint64_t transfers, RngStream& rng) {
+  RngStream process = rng.fork("process");
+  const link::OpticalLink link(s.device, process);
+  RngStream tx = rng.fork("tx");
+
+  const std::vector<std::uint8_t> payload(s.payload_bytes, 0x5A);
+  std::uint64_t ok = 0;
+  std::uint64_t corrections = 0;
+  if (s.fec == FecKind::kHamming) {
+    const link::FecLink fec(link);
+    for (std::uint64_t i = 0; i < transfers; ++i) {
+      if (auto r = fec.transfer(payload, tx); r.payload && *r.payload == payload) {
+        ++ok;
+        corrections += r.corrections;
+      }
+    }
+  } else {
+    for (std::uint64_t i = 0; i < transfers; ++i) {
+      modulation::Frame f;
+      f.payload = payload;
+      if (auto r = link.transmit_frame(f, tx); r.frame && r.frame->payload == payload) ++ok;
+    }
+  }
+
+  const double n = static_cast<double>(std::max<std::uint64_t>(transfers, 1));
+  PointResult r;
+  r.metrics = {static_cast<double>(ok) / n, static_cast<double>(corrections) / n,
+               s.fec == FecKind::kHamming ? link::FecLink::code_rate() : 1.0};
+  r.rng_draws = process.draws() + tx.draws();
+  return r;
+}
+
+PointResult run_p2p_code_density(const ScenarioSpec& s, std::uint64_t samples,
+                                 RngStream& rng) {
+  RngStream process = rng.fork("process");
+  const tdc::DelayLine line(s.device.delay_line, process);
+  tdc::TdcConfig cfg;
+  cfg.coarse_bits = s.device.design.coarse_bits;
+  cfg.decode = s.device.decode;
+  // The system clock covers the design's fine range; the delay line may
+  // carry margin elements beyond it (the production link's slow-corner
+  // rule), exactly like the abl_scaling sweep this mode absorbs.
+  cfg.clock_period =
+      s.device.design.element_delay * static_cast<double>(s.device.design.fine_elements);
+  const tdc::Tdc tdc(line, cfg);
+  RngStream hits = rng.fork("hits");
+  const tdc::NonlinearityReport rep = tdc::code_density_test(tdc, samples, hits);
+
+  PointResult r;
+  r.metrics = {rep.max_abs_dnl, rep.max_abs_inl, rep.lsb_s * 1e12,
+               static_cast<double>(rep.codes)};
+  r.rng_draws = process.draws() + hits.draws();
+  return r;
+}
+
+PointResult run_wdm(const ScenarioSpec& s, std::uint64_t samples, RngStream& rng) {
+  link::WdmLinkConfig wc;
+  wc.grid = s.wdm.grid;
+  wc.filter = s.wdm.filter;
+  wc.base = s.device;
+  wc.path_transmittance = s.wdm.path_transmittance;
+  std::unique_ptr<photonics::DieStack> stack;
+  if (s.wdm.stack_dies > 0) {
+    stack = std::make_unique<photonics::DieStack>(
+        photonics::DieStack::uniform(s.wdm.stack_dies, photonics::DieSpec{}));
+    wc.stack = stack.get();
+    wc.from_die = s.wdm.from_die;
+    wc.to_die = s.wdm.to_die;
+  }
+  RngStream process = rng.fork("process");
+  const link::WdmLink wdm(wc, process);
+  RngStream tx = rng.fork("tx");
+  const auto run = wdm.measure(samples, tx);
+
+  std::uint64_t captures = 0;
+  for (const auto& chan : run.per_channel) captures += chan.stats.noise_captures;
+  const double agg = run.aggregate_goodput().bits_per_second();
+  const std::size_t n = wdm.channels();
+
+  PointResult r;
+  r.metrics = {agg / 1e9,
+               agg / static_cast<double>(n) / 1e6,
+               run.worst_symbol_error_rate(),
+               static_cast<double>(captures),
+               wdm.collected_fraction(0, 0),
+               wdm.collected_fraction(n - 1, n - 1)};
+  r.rng_draws = process.draws() + tx.draws();
+  return r;
+}
+
+PointResult run_bus(const ScenarioSpec& s, std::uint64_t samples, RngStream& rng) {
+  bus::VerticalBusConfig bc;
+  bc.die = s.bus.die;
+  bc.dies = s.bus.dies;
+  bc.master = s.bus.master;
+  bc.design = s.device.design;
+  bc.led = s.device.led;
+  bc.spad = s.device.spad;
+  bc.min_detection_probability = s.bus.min_detection_probability;
+  bc.bits_per_symbol = s.device.bits_per_symbol;
+  bc.mc_calibrate = s.device.calibrate;
+  bc.mc_calibration_samples = s.device.calibration_samples;
+  const bus::VerticalBus vbus(bc);
+
+  RngStream mc = rng.fork("mc");
+  const auto run = vbus.monte_carlo_broadcast(samples, mc);
+
+  std::uint64_t sent = 0;
+  std::uint64_t errors = 0;
+  for (const auto& d : run.per_die) {
+    sent += d.symbols_sent;
+    errors += d.symbol_errors;
+  }
+  PointResult r;
+  r.metrics = {run.worst_symbol_error_rate(),
+               sent > 0 ? static_cast<double>(errors) / static_cast<double>(sent) : 0.0,
+               static_cast<double>(vbus.serviceable_dies()),
+               vbus.aggregate_broadcast_goodput().bits_per_second() / 1e9};
+  r.rng_draws = mc.draws();
+  return r;
+}
+
+std::unique_ptr<net::MacPolicy> make_mac(const std::string& kind, std::size_t dies) {
+  if (kind == "tdma") return std::make_unique<net::TdmaMac>(bus::TdmaSchedule::equal(dies));
+  if (kind == "token") return std::make_unique<net::TokenMac>(dies, 0);
+  if (kind == "token+pass") return std::make_unique<net::TokenMac>(dies, 1);
+  if (kind == "aloha") {
+    return std::make_unique<net::AlohaMac>(1.0 / static_cast<double>(dies));
+  }
+  throw std::invalid_argument("scenario: unknown MAC policy '" + kind + "'");
+}
+
+net::StackNetworkConfig noc_config(const NocSpec& n) {
+  net::StackNetworkConfig cfg;
+  cfg.dies = n.dies;
+  cfg.traffic.resize(n.dies);
+  const auto dies = static_cast<double>(n.dies);
+  switch (n.pattern) {
+    case NocPattern::kUniform:
+      for (auto& t : cfg.traffic) {
+        t.packets_per_slot = n.offered_load / dies;
+        t.uniform_destinations = true;
+      }
+      break;
+    case NocPattern::kHotspot:
+      for (auto& t : cfg.traffic) {
+        t.packets_per_slot = n.offered_load / dies;
+        t.uniform_destinations = true;
+      }
+      cfg.traffic[n.hot_die].packets_per_slot = n.hot_load;
+      break;
+    case NocPattern::kMasterBroadcast:
+      cfg.traffic[0].packets_per_slot = n.master_load;
+      cfg.traffic[0].destination = net::kBroadcast;
+      for (std::size_t die = 1; die < n.dies; ++die) {
+        cfg.traffic[die].packets_per_slot = n.worker_load;
+        cfg.traffic[die].destination = 0;
+      }
+      break;
+  }
+  for (auto& t : cfg.traffic) t.payload_bytes = n.payload_bytes;
+  cfg.queue_capacity = n.queue_capacity;
+  cfg.max_attempts = n.max_attempts;
+  cfg.delivery_probability = n.delivery_probability;
+  return cfg;
+}
+
+PointResult run_noc(const ScenarioSpec& s, std::uint64_t slots, RngStream& rng) {
+  net::StackNetworkConfig cfg = noc_config(s.noc);
+
+  // The physical substrate, when the spec couples one in. Objects must
+  // outlive network.run(), so they are hoisted out of the switch.
+  std::unique_ptr<link::OpticalLink> phy_link;
+  std::unique_ptr<link::SymbolDeliveryModel> phy_model;
+  RngStream process = rng.fork("link");
+  std::uint64_t probe_draws = 0;
+  if (s.noc.delivery != NocDelivery::kScalar) {
+    phy_link = std::make_unique<link::OpticalLink>(s.device, process);
+    const std::uint64_t symbols = net::symbols_per_packet(
+        s.noc.payload_bytes, phy_link->bits_per_symbol());
+    cfg.slot_duration = phy_link->symbol_period() * static_cast<double>(symbols);
+    if (s.noc.delivery == NocDelivery::kFecProbe) {
+      // Fold the photon-level link into one per-transfer probability:
+      // measured FEC frame delivery at the device's operating point.
+      const link::FecLink fec(*phy_link);
+      RngStream probe = rng.fork("probe");
+      const std::vector<std::uint8_t> payload(s.noc.payload_bytes, 0xA5);
+      const std::uint64_t probes =
+          analysis::scaled(s.noc.probe_transfers, std::min<std::uint64_t>(
+                                                      s.noc.probe_transfers, 20));
+      std::uint64_t ok = 0;
+      for (std::uint64_t i = 0; i < probes; ++i) {
+        if (auto r = fec.transfer(payload, probe); r.payload && *r.payload == payload) ++ok;
+      }
+      cfg.delivery_probability = std::max(
+          static_cast<double>(ok) / static_cast<double>(std::max<std::uint64_t>(probes, 1)),
+          0.01);
+      probe_draws = probe.draws();
+    } else {
+      phy_model = std::make_unique<link::SymbolDeliveryModel>(*phy_link);
+      cfg.delivery_model = [model = phy_model.get()](const net::Packet& p,
+                                                     RngStream& r) {
+        return model->deliver(p.payload_bytes, r);
+      };
+    }
+  }
+
+  net::StackNetwork network(cfg, make_mac(s.noc.mac, s.noc.dies));
+  RngStream run_rng = rng.fork("run");
+  const auto run = network.run(slots, run_rng);
+
+  std::uint64_t transmissions = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t retry_drops = 0;
+  std::uint64_t queue_drops = 0;
+  for (const auto& d : run.per_die) {
+    transmissions += d.transmissions;
+    collisions += d.collisions;
+    retry_drops += d.retry_drops;
+    queue_drops += d.queue_drops;
+  }
+  const std::uint64_t clean_attempts = transmissions - collisions;
+  const double transfer_p =
+      clean_attempts > 0 ? static_cast<double>(run.total_delivered()) /
+                               static_cast<double>(clean_attempts)
+                         : 0.0;
+  const double hot_rate =
+      s.noc.hot_die < run.per_die.size()
+          ? static_cast<double>(run.per_die[s.noc.hot_die].delivered) /
+                static_cast<double>(std::max<std::uint64_t>(run.slots, 1))
+          : 0.0;
+
+  PointResult r;
+  r.metrics = {run.carried_load(),
+               run.delivery_ratio(),
+               transfer_p,
+               run.latency.mean_slots,
+               run.latency.p99_slots,
+               1.0 - static_cast<double>(run.idle_slots) /
+                         static_cast<double>(std::max<std::uint64_t>(run.slots, 1)),
+               run.fairness_index(),
+               hot_rate,
+               static_cast<double>(retry_drops),
+               static_cast<double>(queue_drops)};
+  r.rng_draws = process.draws() + probe_draws + run_rng.draws();
+  return r;
+}
+
+PointResult dispatch(const ScenarioSpec& s, std::uint64_t samples, RngStream& rng) {
+  switch (s.topology) {
+    case Topology::kPointToPoint:
+      switch (s.resolved_mode()) {
+        case TrafficMode::kFrames:
+          return run_p2p_frames(s, samples, rng);
+        case TrafficMode::kCodeDensity:
+          return run_p2p_code_density(s, samples, rng);
+        default:
+          return run_p2p_symbols(s, samples, rng);
+      }
+    case Topology::kWdm:
+      return run_wdm(s, samples, rng);
+    case Topology::kVerticalBus:
+      return run_bus(s, samples, rng);
+    case Topology::kStackNoc:
+      return run_noc(s, samples, rng);
+  }
+  throw std::logic_error("scenario: unhandled topology");
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RunPoint::label(const std::vector<std::string>& axis_names) const {
+  if (coordinate.empty()) return "-";
+  std::string out;
+  for (std::size_t a = 0; a < coordinate.size(); ++a) {
+    if (a > 0) out += "/";
+    out += (a < axis_names.size() ? axis_names[a] : "axis") + "=" + coordinate[a];
+  }
+  return out;
+}
+
+const RunPoint* RunReport::find(const std::string& label) const {
+  for (const RunPoint& p : points) {
+    if (p.label(axis_names) == label) return &p;
+  }
+  return nullptr;
+}
+
+double RunReport::metric(const RunPoint& point, const std::string& name) const {
+  for (std::size_t m = 0; m < metric_names.size(); ++m) {
+    if (metric_names[m] == name) return point.metrics.at(m);
+  }
+  throw std::out_of_range("scenario report '" + scenario + "' has no metric '" + name + "'");
+}
+
+util::Table RunReport::to_table(int precision) const {
+  std::vector<std::string> headers = axis_names;
+  headers.insert(headers.end(), metric_names.begin(), metric_names.end());
+  util::Table t(headers);
+  for (const RunPoint& p : points) {
+    t.new_row();
+    for (const std::string& c : p.coordinate) t.add_cell(c);
+    for (const double v : p.metrics) {
+      // Scientific notation for values spanning many decades (bit
+      // rates, tiny error rates) keeps columns readable AND keeps the
+      // rendering a pure function of the value (CI diffs row text).
+      const double mag = std::fabs(v);
+      if (v != 0.0 && (mag >= 1e5 || mag < 1e-3)) {
+        t.add_sci(v, precision);
+      } else {
+        t.add_cell(v, precision);
+      }
+    }
+  }
+  return t;
+}
+
+void RunReport::print(std::ostream& os) const {
+  os << "scenario " << scenario << ": topology=" << topology << ", seed=" << seed
+     << ", points=" << points.size();
+  std::uint64_t total_samples = 0;
+  for (const RunPoint& p : points) total_samples += p.samples;
+  os << ", samples=" << total_samples << "\n";
+  to_table().print(os);
+}
+
+void RunReport::write_bench_json(const std::string& path) const {
+  std::ofstream os(path);
+  os << std::setprecision(12);
+  os << "{\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"binary\": \"scenario_" << json_escape(scenario) << "\",\n";
+  os << "  \"config\": { \"repro_scale\": " << repro_scale << ", \"seed\": " << seed
+     << ", \"topology\": \"" << json_escape(topology) << "\" },\n";
+  os << "  \"results\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const RunPoint& p = points[i];
+    const double per_op = static_cast<double>(std::max<std::uint64_t>(p.samples, 1));
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    { \"name\": \"" << json_escape(scenario + "/" + p.label(axis_names))
+       << "\", \"ns_per_op\": " << p.wall_ns / per_op
+       << ", \"iterations\": " << p.samples
+       << ", \"rng_draws_per_op\": " << static_cast<double>(p.rng_draws) / per_op
+       << ", \"metrics\": {";
+    for (std::size_t m = 0; m < metric_names.size(); ++m) {
+      os << (m == 0 ? " " : ", ");
+      const double v = p.metrics[m];
+      os << "\"" << json_escape(metric_names[m]) << "\": ";
+      if (std::isfinite(v)) {
+        os << v;
+      } else {
+        os << "null";
+      }
+    }
+    os << " } }";
+  }
+  os << "\n  ]\n}\n";
+}
+
+RunReport ScenarioRunner::run(const ScenarioSpec& spec) const {
+  spec.validate();
+  ScenarioSpec base = spec;
+  base.seed = resolve_seed(spec.seed);
+
+  RunReport report;
+  report.scenario = base.name;
+  report.description = base.description;
+  report.seed = base.seed;
+  report.repro_scale = analysis::repro_scale();
+  report.topology = to_string(base.topology);
+  for (const SweepAxis& a : base.sweep) report.axis_names.push_back(a.param);
+  report.metric_names = metric_names_for(base);
+
+  sim::BatchConfig bc;
+  bc.threads = threads_;
+  bc.root_seed = base.seed;
+  const sim::BatchRunner runner(bc);
+
+  struct TaskResult {
+    PointResult point;
+    std::uint64_t samples = 0;
+    double wall_ns = 0.0;
+  };
+  const std::size_t n = base.sweep_points();
+  const auto results = runner.map(
+      n, "scenario:" + base.name, [&](std::size_t i, RngStream& rng) {
+        ScenarioSpec point = base;
+        const std::vector<std::size_t> idx = unravel(i, base.sweep);
+        for (std::size_t a = 0; a < base.sweep.size(); ++a) {
+          apply_axis_value(point, base.sweep[a], idx[a]);
+        }
+        // Re-validate after axis application: a sweep can push the spec
+        // into an invalid corner (e.g. channels = 0 in a density scan).
+        point.validate();
+        TaskResult out;
+        out.samples = point.budget.resolve();
+        const auto t0 = std::chrono::steady_clock::now();
+        out.point = dispatch(point, out.samples, rng);
+        out.wall_ns = std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        return out;
+      });
+
+  report.points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RunPoint p;
+    const std::vector<std::size_t> idx = unravel(i, base.sweep);
+    for (std::size_t a = 0; a < base.sweep.size(); ++a) {
+      p.coordinate.push_back(base.sweep[a].display(idx[a]));
+    }
+    p.metrics = results[i].point.metrics;
+    p.rng_draws = results[i].point.rng_draws;
+    p.samples = results[i].samples;
+    p.wall_ns = results[i].wall_ns;
+    report.points.push_back(std::move(p));
+  }
+  return report;
+}
+
+std::optional<std::uint64_t> seed_from_env() {
+  const char* env = std::getenv("OCI_SEED");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<std::uint64_t> consume_seed_arg(int& argc, char** argv) {
+  std::optional<std::uint64_t> out;
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      value = arg + 7;
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      value = argv[++i];
+    }
+    if (value != nullptr) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(value, &end, 10);
+      if (end != value && *end == '\0') out = static_cast<std::uint64_t>(v);
+      continue;  // consumed either way; a garbled value falls back
+    }
+    argv[write++] = argv[i];
+  }
+  if (write < argc) {
+    argc = write;
+    argv[argc] = nullptr;
+  }
+  // Export the CLI seed as OCI_SEED so the documented precedence
+  // (--seed beats OCI_SEED beats the spec) holds for EVERY later
+  // resolution in this process -- including ScenarioRunner::run()'s
+  // own env check, which would otherwise re-apply a stale OCI_SEED
+  // over the CLI value. Called from main() before any threads exist.
+  if (out) setenv("OCI_SEED", std::to_string(*out).c_str(), 1);
+  return out;
+}
+
+std::uint64_t resolve_seed(std::uint64_t fallback) {
+  return seed_from_env().value_or(fallback);
+}
+
+std::uint64_t resolve_seed(std::uint64_t fallback, int& argc, char** argv) {
+  const std::optional<std::uint64_t> cli = consume_seed_arg(argc, argv);
+  if (cli) return *cli;
+  return resolve_seed(fallback);
+}
+
+}  // namespace oci::scenario

@@ -1,0 +1,496 @@
+#include "oci/scenario/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "oci/analysis/report.hpp"
+#include "oci/electrical/scaling.hpp"
+
+namespace oci::scenario {
+
+namespace {
+
+using util::Frequency;
+using util::Power;
+using util::Time;
+using util::Wavelength;
+
+double parse_double(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("scenario: parameter '" + key +
+                                "' expects a number, got '" + value + "'");
+  }
+  // Allow trailing whitespace only.
+  for (std::size_t i = consumed; i < value.size(); ++i) {
+    if (!std::isspace(static_cast<unsigned char>(value[i]))) {
+      throw std::invalid_argument("scenario: parameter '" + key +
+                                  "' expects a number, got '" + value + "'");
+    }
+  }
+  return v;
+}
+
+std::uint64_t parse_count(const std::string& key, const std::string& value) {
+  const double v = parse_double(key, value);
+  if (v < 0.0 || v != std::floor(v)) {
+    throw std::invalid_argument("scenario: parameter '" + key +
+                                "' expects a non-negative integer, got '" + value + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+[[noreturn]] void bad_choice(const std::string& key, const std::string& value,
+                             const std::string& choices) {
+  throw std::invalid_argument("scenario: parameter '" + key + "' must be one of {" +
+                              choices + "}, got '" + value + "'");
+}
+
+/// Registry entry: applies a raw string value to the spec.
+struct Param {
+  bool categorical = false;
+  std::function<void(ScenarioSpec&, const std::string&)> apply;
+};
+
+const std::map<std::string, Param>& registry() {
+  using S = ScenarioSpec;
+  static const std::map<std::string, Param> params = [] {
+    std::map<std::string, Param> r;
+    auto num = [&r](const std::string& key, std::function<void(S&, double)> fn) {
+      r[key] = Param{false, [key, fn](S& s, const std::string& v) {
+                       fn(s, parse_double(key, v));
+                     }};
+    };
+    auto cnt = [&r](const std::string& key, std::function<void(S&, std::uint64_t)> fn) {
+      r[key] = Param{false, [key, fn](S& s, const std::string& v) {
+                       fn(s, parse_count(key, v));
+                     }};
+    };
+    auto cat = [&r](const std::string& key,
+                    std::function<void(S&, const std::string&)> fn) {
+      r[key] = Param{true, std::move(fn)};
+    };
+
+    // -- general ------------------------------------------------------
+    cat("name", [](S& s, const std::string& v) { s.name = v; });
+    cat("description", [](S& s, const std::string& v) { s.description = v; });
+    // Seeds use the full uint64 range; routing through double would
+    // round above 2^53 and overflow casting near 2^64.
+    r["seed"] = Param{false, [](S& s, const std::string& v) {
+                        char* end = nullptr;
+                        errno = 0;
+                        const unsigned long long parsed =
+                            std::strtoull(v.c_str(), &end, 10);
+                        if (end == v.c_str() || *end != '\0' || errno == ERANGE ||
+                            v.find('-') != std::string::npos) {
+                          throw std::invalid_argument(
+                              "scenario: parameter 'seed' expects an unsigned "
+                              "integer, got '" + v + "'");
+                        }
+                        s.seed = static_cast<std::uint64_t>(parsed);
+                      }};
+    cat("topology", [](S& s, const std::string& v) {
+      if (v == "point-to-point" || v == "p2p") s.topology = Topology::kPointToPoint;
+      else if (v == "wdm") s.topology = Topology::kWdm;
+      else if (v == "vertical-bus" || v == "bus") s.topology = Topology::kVerticalBus;
+      else if (v == "stack-noc" || v == "noc") s.topology = Topology::kStackNoc;
+      else bad_choice("topology", v, "point-to-point, wdm, vertical-bus, stack-noc");
+    });
+    cat("mode", [](S& s, const std::string& v) {
+      if (v == "auto") s.mode = TrafficMode::kAuto;
+      else if (v == "symbols") s.mode = TrafficMode::kSymbols;
+      else if (v == "frames") s.mode = TrafficMode::kFrames;
+      else if (v == "code-density") s.mode = TrafficMode::kCodeDensity;
+      else if (v == "packets") s.mode = TrafficMode::kPackets;
+      else bad_choice("mode", v, "auto, symbols, frames, code-density, packets");
+    });
+    cat("fec", [](S& s, const std::string& v) {
+      if (v == "none") s.fec = FecKind::kNone;
+      else if (v == "hamming") s.fec = FecKind::kHamming;
+      else bad_choice("fec", v, "none, hamming");
+    });
+    cnt("payload_bytes", [](S& s, std::uint64_t v) {
+      s.payload_bytes = static_cast<std::size_t>(v);
+      s.noc.payload_bytes = static_cast<std::size_t>(v);
+    });
+
+    // -- budget -------------------------------------------------------
+    cnt("samples", [](S& s, std::uint64_t v) { s.budget.samples = v; });
+    cnt("sample_floor", [](S& s, std::uint64_t v) { s.budget.floor = v; });
+    cnt("repro_scaled", [](S& s, std::uint64_t v) { s.budget.repro_scaled = v != 0; });
+
+    // -- device: TDC design ------------------------------------------
+    cnt("fine_elements", [](S& s, std::uint64_t v) { s.device.design.fine_elements = v; });
+    cnt("coarse_bits", [](S& s, std::uint64_t v) {
+      s.device.design.coarse_bits = static_cast<unsigned>(v);
+    });
+    num("delay_element_ps", [](S& s, double v) {
+      s.device.design.element_delay = Time::picoseconds(v);
+      s.device.delay_line.nominal_delay = Time::picoseconds(v);
+    });
+    cnt("delay_line_elements", [](S& s, std::uint64_t v) {
+      s.device.delay_line.elements = static_cast<std::size_t>(v);
+    });
+    num("mismatch_sigma", [](S& s, double v) { s.device.delay_line.mismatch_sigma = v; });
+    cat("tech_node", [](S& s, const std::string& v) {
+      const auto& node = electrical::node_by_name(v);  // throws on unknown name
+      s.device.design.element_delay = node.delay_element;
+      s.device.delay_line.nominal_delay = node.delay_element;
+      s.device.delay_line.mismatch_sigma = node.mismatch_sigma;
+      s.device.led.driver_load = node.led_driver_load;
+      s.device.led.supply = node.supply;
+    });
+
+    // -- device: modulation / traffic --------------------------------
+    cnt("bits_per_symbol", [](S& s, std::uint64_t v) {
+      s.device.bits_per_symbol = static_cast<unsigned>(v);
+    });
+    cat("labeling", [](S& s, const std::string& v) {
+      if (v == "gray") s.device.labeling = modulation::SlotLabeling::kGray;
+      else if (v == "binary") s.device.labeling = modulation::SlotLabeling::kBinary;
+      else bad_choice("labeling", v, "gray, binary");
+    });
+
+    // -- device: LED / channel / SPAD --------------------------------
+    num("peak_power_uw", [](S& s, double v) { s.device.led.peak_power = Power::microwatts(v); });
+    num("pulse_width_ps", [](S& s, double v) { s.device.led.pulse_width = Time::picoseconds(v); });
+    num("wavelength_nm", [](S& s, double v) {
+      s.device.led.wavelength = Wavelength::nanometres(v);
+    });
+    num("channel_transmittance", [](S& s, double v) { s.device.channel_transmittance = v; });
+    num("background_mhz", [](S& s, double v) {
+      s.device.background_rate = Frequency::megahertz(v);
+    });
+    num("jitter_ps", [](S& s, double v) { s.device.spad.jitter_sigma = Time::picoseconds(v); });
+    num("dcr_hz", [](S& s, double v) { s.device.spad.dcr_at_ref = Frequency::hertz(v); });
+    num("dead_time_ns", [](S& s, double v) { s.device.spad.dead_time = Time::nanoseconds(v); });
+    num("afterpulse_probability", [](S& s, double v) {
+      s.device.spad.afterpulse_probability = v;
+    });
+    num("pdp_peak", [](S& s, double v) { s.device.spad.pdp_peak = v; });
+    cnt("calibrate", [](S& s, std::uint64_t v) { s.device.calibrate = v != 0; });
+    cnt("calibration_samples", [](S& s, std::uint64_t v) { s.device.calibration_samples = v; });
+    num("guard_ns", [](S& s, double v) { s.device.inter_symbol_guard = Time::nanoseconds(v); });
+
+    // -- WDM ----------------------------------------------------------
+    cnt("channels", [](S& s, std::uint64_t v) {
+      s.wdm.grid.channels = static_cast<std::size_t>(v);
+    });
+    num("grid_center_nm", [](S& s, double v) { s.wdm.grid.center = Wavelength::nanometres(v); });
+    num("grid_spacing_nm", [](S& s, double v) { s.wdm.grid.spacing = Wavelength::nanometres(v); });
+    num("isolation_db", [](S& s, double v) {
+      // The demux spec knob the abl_wdm sweep turns: the floor tracks
+      // the adjacent isolation (scattering bounds it ~20 dB deeper,
+      // never better than 45 dB).
+      s.wdm.filter.adjacent_isolation_db = v;
+      s.wdm.filter.isolation_floor_db = std::max(v + 20.0, 45.0);
+    });
+    num("isolation_floor_db", [](S& s, double v) { s.wdm.filter.isolation_floor_db = v; });
+    num("passband_transmittance", [](S& s, double v) {
+      s.wdm.filter.passband_transmittance = v;
+    });
+    num("path_transmittance", [](S& s, double v) { s.wdm.path_transmittance = v; });
+    cnt("stack_dies", [](S& s, std::uint64_t v) {
+      s.wdm.stack_dies = static_cast<std::size_t>(v);
+    });
+    cnt("from_die", [](S& s, std::uint64_t v) { s.wdm.from_die = static_cast<std::size_t>(v); });
+    cnt("to_die", [](S& s, std::uint64_t v) { s.wdm.to_die = static_cast<std::size_t>(v); });
+
+    // -- bus / NoC ----------------------------------------------------
+    cnt("dies", [](S& s, std::uint64_t v) {
+      s.bus.dies = static_cast<std::size_t>(v);
+      s.noc.dies = static_cast<std::size_t>(v);
+    });
+    cnt("master", [](S& s, std::uint64_t v) { s.bus.master = static_cast<std::size_t>(v); });
+    cat("mac", [](S& s, const std::string& v) {
+      if (v != "tdma" && v != "token" && v != "token+pass" && v != "aloha") {
+        bad_choice("mac", v, "tdma, token, token+pass, aloha");
+      }
+      s.noc.mac = v;
+    });
+    cat("pattern", [](S& s, const std::string& v) {
+      if (v == "uniform") s.noc.pattern = NocPattern::kUniform;
+      else if (v == "hotspot") s.noc.pattern = NocPattern::kHotspot;
+      else if (v == "master-broadcast") s.noc.pattern = NocPattern::kMasterBroadcast;
+      else bad_choice("pattern", v, "uniform, hotspot, master-broadcast");
+    });
+    num("offered_load", [](S& s, double v) { s.noc.offered_load = v; });
+    cnt("hot_die", [](S& s, std::uint64_t v) { s.noc.hot_die = static_cast<std::size_t>(v); });
+    num("hot_load", [](S& s, double v) { s.noc.hot_load = v; });
+    num("master_load", [](S& s, double v) { s.noc.master_load = v; });
+    num("worker_load", [](S& s, double v) { s.noc.worker_load = v; });
+    cnt("queue_capacity", [](S& s, std::uint64_t v) {
+      s.noc.queue_capacity = static_cast<std::size_t>(v);
+    });
+    cnt("max_attempts", [](S& s, std::uint64_t v) {
+      s.noc.max_attempts = static_cast<unsigned>(v);
+    });
+    cat("delivery", [](S& s, const std::string& v) {
+      if (v == "scalar") s.noc.delivery = NocDelivery::kScalar;
+      else if (v == "fec-probe") s.noc.delivery = NocDelivery::kFecProbe;
+      else if (v == "engine") s.noc.delivery = NocDelivery::kEngine;
+      else bad_choice("delivery", v, "scalar, fec-probe, engine");
+    });
+    num("delivery_probability", [](S& s, double v) { s.noc.delivery_probability = v; });
+    cnt("probe_transfers", [](S& s, std::uint64_t v) { s.noc.probe_transfers = v; });
+
+    return r;
+  }();
+  return params;
+}
+
+}  // namespace
+
+std::string format_axis_value(double value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+std::string SweepAxis::display(std::size_t i) const {
+  if (categorical()) return labels.at(i);
+  return format_axis_value(values.at(i));
+}
+
+SweepAxis SweepAxis::linear(std::string param, double lo, double hi, std::size_t n) {
+  SweepAxis a;
+  a.param = std::move(param);
+  if (n == 1) {
+    a.values.push_back(lo);
+    return a;
+  }
+  a.values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.values.push_back(lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1));
+  }
+  return a;
+}
+
+SweepAxis SweepAxis::logspace(std::string param, double lo, double hi, std::size_t n) {
+  if (!(lo > 0.0) || !(hi > 0.0)) {
+    throw std::invalid_argument("scenario: log sweep axis '" + param +
+                                "' needs positive endpoints");
+  }
+  SweepAxis a = linear(std::move(param), std::log(lo), std::log(hi), n);
+  for (double& v : a.values) v = std::exp(v);
+  return a;
+}
+
+SweepAxis SweepAxis::list(std::string param, std::vector<double> values) {
+  SweepAxis a;
+  a.param = std::move(param);
+  a.values = std::move(values);
+  return a;
+}
+
+SweepAxis SweepAxis::categories(std::string param, std::vector<std::string> labels) {
+  SweepAxis a;
+  a.param = std::move(param);
+  a.labels = std::move(labels);
+  return a;
+}
+
+std::uint64_t BudgetSpec::resolve() const {
+  if (!repro_scaled) return std::max<std::uint64_t>(samples, 1);
+  return analysis::scaled(samples, std::max<std::uint64_t>(floor, 1));
+}
+
+TrafficMode ScenarioSpec::resolved_mode() const {
+  if (mode != TrafficMode::kAuto) return mode;
+  return topology == Topology::kStackNoc ? TrafficMode::kPackets : TrafficMode::kSymbols;
+}
+
+std::size_t ScenarioSpec::sweep_points() const {
+  std::size_t n = 1;
+  for (const SweepAxis& a : sweep) n *= a.size();
+  return n;
+}
+
+void ScenarioSpec::validate() const {
+  std::vector<std::string> errors;
+  auto err = [&errors](std::string msg) { errors.push_back(std::move(msg)); };
+
+  const TrafficMode m = resolved_mode();
+
+  // Traffic/topology pairing.
+  if (m == TrafficMode::kPackets && topology != Topology::kStackNoc) {
+    err("packet traffic requires the stack-noc topology");
+  }
+  if (topology == Topology::kStackNoc && m != TrafficMode::kPackets) {
+    err("the stack-noc topology carries packets; set mode = packets (or auto)");
+  }
+  if (m == TrafficMode::kFrames && topology != Topology::kPointToPoint) {
+    err("frame traffic requires the point-to-point topology");
+  }
+  if (m == TrafficMode::kCodeDensity && topology != Topology::kPointToPoint) {
+    err("code-density traffic requires the point-to-point topology");
+  }
+  if (fec != FecKind::kNone && m != TrafficMode::kFrames) {
+    err("fec = hamming requires frame traffic over the point-to-point topology; "
+        "raw symbol/packet scenarios have no frame to protect");
+  }
+  if (m == TrafficMode::kFrames && payload_bytes == 0) {
+    err("frame traffic needs payload_bytes >= 1");
+  }
+
+  // Budget.
+  if (budget.samples == 0) err("budget samples must be >= 1");
+
+  // Device.
+  if (device.design.fine_elements < 2) err("device needs fine_elements >= 2");
+  if (device.channel_transmittance <= 0.0 || device.channel_transmittance > 1.0) {
+    err("channel_transmittance must be in (0, 1]");
+  }
+  for (const AggressorSpec& a : aggressors) {
+    if (a.mean_photons < 0.0) err("aggressor mean_photons must be >= 0");
+  }
+  if (!aggressors.empty() && m != TrafficMode::kSymbols) {
+    err("aggressor pulses apply to point-to-point symbol traffic only");
+  }
+
+  // Topology blocks.
+  if (topology == Topology::kWdm) {
+    if (wdm.grid.channels == 0) err("wdm needs channels >= 1");
+    if (!(wdm.grid.spacing.nanometres() > 0.0)) err("wdm grid spacing must be positive");
+    if (wdm.path_transmittance <= 0.0 || wdm.path_transmittance > 1.0) {
+      err("wdm path_transmittance must be in (0, 1]");
+    }
+    if (wdm.stack_dies > 0) {
+      if (wdm.from_die >= wdm.stack_dies || wdm.to_die >= wdm.stack_dies) {
+        err("wdm from_die/to_die must lie inside the die stack");
+      }
+    }
+  }
+  if (topology == Topology::kVerticalBus) {
+    if (bus.dies < 2) err("vertical-bus needs dies >= 2");
+    if (bus.master >= bus.dies) err("bus master must be one of the dies");
+  }
+  if (topology == Topology::kStackNoc) {
+    if (noc.dies < 2) err("stack-noc needs dies >= 2");
+    if (noc.queue_capacity == 0) err("stack-noc queue_capacity must be >= 1");
+    if (noc.max_attempts == 0) err("stack-noc max_attempts must be >= 1");
+    if (noc.delivery == NocDelivery::kScalar &&
+        (noc.delivery_probability <= 0.0 || noc.delivery_probability > 1.0)) {
+      err("stack-noc delivery_probability must be in (0, 1]");
+    }
+    if (noc.pattern == NocPattern::kHotspot && noc.hot_die >= noc.dies) {
+      err("stack-noc hot_die must be one of the dies");
+    }
+    if (noc.payload_bytes == 0) err("stack-noc payload_bytes must be >= 1");
+  }
+
+  // Sweep axes. Structural keys are settable but not sweepable: they
+  // would change the metric set (topology, mode) or the run identity
+  // (name, seed) mid-sweep, misaligning every point's metric vector
+  // with the report's metric_names.
+  static constexpr const char* kNotSweepable[] = {"topology", "mode", "name",
+                                                  "description", "seed"};
+  for (const SweepAxis& a : sweep) {
+    if (a.param.empty()) {
+      err("sweep axis with empty parameter name");
+      continue;
+    }
+    if (!is_known_param(a.param)) {
+      err("sweep axis over unknown parameter '" + a.param + "'");
+      continue;
+    }
+    bool structural = false;
+    for (const char* k : kNotSweepable) structural = structural || a.param == k;
+    if (structural) {
+      err("parameter '" + a.param + "' is structural and cannot be swept");
+      continue;
+    }
+    if (a.size() == 0) err("sweep axis '" + a.param + "' has no points");
+    if (!a.values.empty() && !a.labels.empty()) {
+      err("sweep axis '" + a.param + "' mixes numeric values and labels");
+    }
+    if (a.categorical() != is_categorical_param(a.param)) {
+      err(is_categorical_param(a.param)
+              ? "sweep axis '" + a.param + "' needs categorical labels, not numbers"
+              : "sweep axis '" + a.param + "' needs numeric values, not labels");
+    }
+  }
+
+  if (!errors.empty()) {
+    std::string msg = "invalid scenario '" + name + "':";
+    for (const std::string& e : errors) msg += "\n  - " + e;
+    throw std::invalid_argument(msg);
+  }
+}
+
+void set_param(ScenarioSpec& spec, const std::string& key, const std::string& value) {
+  const auto it = registry().find(key);
+  if (it == registry().end()) {
+    std::string msg = "scenario: unknown parameter '" + key + "'; known parameters:";
+    for (const std::string& k : known_params()) msg += " " + k;
+    throw std::invalid_argument(msg);
+  }
+  it->second.apply(spec, value);
+}
+
+bool is_known_param(const std::string& key) { return registry().count(key) != 0; }
+
+bool is_categorical_param(const std::string& key) {
+  const auto it = registry().find(key);
+  return it != registry().end() && it->second.categorical;
+}
+
+std::vector<std::string> known_params() {
+  std::vector<std::string> keys;
+  keys.reserve(registry().size());
+  for (const auto& [k, v] : registry()) keys.push_back(k);
+  return keys;
+}
+
+void apply_axis_value(ScenarioSpec& spec, const SweepAxis& axis, std::size_t index) {
+  if (axis.categorical()) {
+    set_param(spec, axis.param, axis.labels.at(index));
+    return;
+  }
+  // Full precision on the wire -- display() rounds for humans only.
+  std::ostringstream os;
+  os.precision(17);
+  os << axis.values.at(index);
+  set_param(spec, axis.param, os.str());
+}
+
+const char* to_string(Topology t) {
+  switch (t) {
+    case Topology::kPointToPoint: return "point-to-point";
+    case Topology::kWdm: return "wdm";
+    case Topology::kVerticalBus: return "vertical-bus";
+    case Topology::kStackNoc: return "stack-noc";
+  }
+  return "?";
+}
+
+const char* to_string(TrafficMode m) {
+  switch (m) {
+    case TrafficMode::kAuto: return "auto";
+    case TrafficMode::kSymbols: return "symbols";
+    case TrafficMode::kFrames: return "frames";
+    case TrafficMode::kCodeDensity: return "code-density";
+    case TrafficMode::kPackets: return "packets";
+  }
+  return "?";
+}
+
+const char* to_string(FecKind f) {
+  switch (f) {
+    case FecKind::kNone: return "none";
+    case FecKind::kHamming: return "hamming";
+  }
+  return "?";
+}
+
+}  // namespace oci::scenario

@@ -1,6 +1,7 @@
 // Unit tests for the reporting/analysis helpers.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -43,13 +44,37 @@ TEST(AsciiProfile, DecimatesLongProfiles) {
   EXPECT_LE(lines, 51u);
 }
 
-TEST(AsciiProfile, EmptyAndBadScaleAreNoops) {
+TEST(AsciiProfile, EmptyInputIsANoop) {
   std::ostringstream os;
   ascii_profile(os, {}, 1.0);
   EXPECT_TRUE(os.str().empty());
-  const std::vector<double> v{1.0};
-  ascii_profile(os, v, 0.0);
-  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(AsciiProfile, DegenerateScaleRendersFlatBars) {
+  // Callers often pass max|value| as the scale; for constant-zero data
+  // that is 0. The profile must still render (flat), not vanish or
+  // divide by zero.
+  std::ostringstream os;
+  const std::vector<double> v{0.0, 0.0, 0.0};
+  ascii_profile(os, v, 0.0, 48, 10);
+  std::size_t lines = 0;
+  for (char c : os.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_EQ(os.str().find('#'), std::string::npos);  // all bars empty
+}
+
+TEST(AsciiProfile, NonFiniteValuesRenderAsEmptyBars) {
+  std::ostringstream os;
+  const std::vector<double> v{std::numeric_limits<double>::quiet_NaN(),
+                              std::numeric_limits<double>::infinity(), 0.5};
+  ascii_profile(os, v, 1.0, 48, 10);
+  std::size_t lines = 0;
+  for (char c : os.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
 }
 
 TEST(AsciiShademap, RendersGrid) {
@@ -68,6 +93,45 @@ TEST(AsciiShademap, EmptyFieldIsNoop) {
   EXPECT_TRUE(os.str().empty());
 }
 
+TEST(AsciiShademap, ConstantFieldRendersWithoutDividingByZero) {
+  // min == max: every cell maps to the ramp's bottom character and the
+  // footer prints the (degenerate) range instead of inf/nan.
+  std::ostringstream os;
+  const std::vector<std::vector<double>> field{{1.5, 1.5}, {1.5, 1.5}};
+  ascii_shademap(os, field, {"r0", "r1"}, {"c0", "c1"});
+  const std::string s = os.str();
+  EXPECT_NE(s.find("r0"), std::string::npos);
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+  EXPECT_EQ(s.find("inf"), std::string::npos);
+  // Nothing maps to the top shade: '@' only appears in the ramp legend,
+  // never in a grid row (rows are the lines containing '|').
+  std::istringstream rows(s);
+  std::string row;
+  while (std::getline(rows, row)) {
+    if (row.find('|') != std::string::npos) {
+      EXPECT_EQ(row.find('@'), std::string::npos) << row;
+    }
+  }
+}
+
+TEST(AsciiShademap, AllEmptyRowsRenderWithoutInfiniteRange) {
+  std::ostringstream os;
+  const std::vector<std::vector<double>> field{{}, {}};
+  ascii_shademap(os, field, {"r0", "r1"}, {});
+  const std::string s = os.str();
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.find("inf"), std::string::npos);
+}
+
+TEST(AsciiShademap, NonFiniteCellsClampToRampEnds) {
+  std::ostringstream os;
+  const std::vector<std::vector<double>> field{
+      {0.0, std::numeric_limits<double>::quiet_NaN()},
+      {1.0, std::numeric_limits<double>::infinity()}};
+  ascii_shademap(os, field, {"r0", "r1"}, {"c0", "c1"});
+  EXPECT_FALSE(os.str().empty());  // must not crash or emit nan indices
+}
+
 TEST(ContourCrossings, FindsInterpolatedCrossing) {
   const std::vector<double> row{0.0, 1.0, 2.0, 3.0};
   const auto xs = contour_crossings(row, 1.5);
@@ -84,6 +148,24 @@ TEST(ContourCrossings, MultipleCrossings) {
 TEST(ContourCrossings, NoCrossing) {
   const std::vector<double> row{5.0, 6.0, 7.0};
   EXPECT_TRUE(contour_crossings(row, 1.0).empty());
+}
+
+TEST(ReproScale, InjectableOverrideBeatsEnvironmentAndRestores) {
+  const double env_value = repro_scale();  // whatever the process environment says
+  set_repro_scale_for_test(0.25);
+  EXPECT_DOUBLE_EQ(repro_scale(), 0.25);
+  EXPECT_EQ(scaled(1000, 10), 250u);
+  set_repro_scale_for_test(0.0001);
+  EXPECT_EQ(scaled(1000, 10), 10u);  // floor still applies
+  // Overrides clamp to (0, 1] like the env path.
+  set_repro_scale_for_test(7.0);
+  EXPECT_DOUBLE_EQ(repro_scale(), 1.0);
+  // Non-positive and nullopt restore the environment-derived value.
+  set_repro_scale_for_test(-3.0);
+  EXPECT_DOUBLE_EQ(repro_scale(), env_value);
+  set_repro_scale_for_test(0.5);
+  set_repro_scale_for_test(std::nullopt);
+  EXPECT_DOUBLE_EQ(repro_scale(), env_value);
 }
 
 }  // namespace

@@ -1,0 +1,120 @@
+// Tests for the scenario text-spec parser: the key=value format,
+// sweep axis expressions (lists, linear/log ranges, categorical
+// detection), error reporting with line numbers, and a parsed-spec ->
+// run round trip.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "oci/scenario/parse.hpp"
+#include "oci/scenario/runner.hpp"
+
+namespace {
+
+using namespace oci;
+using scenario::parse_spec_file;
+using scenario::parse_spec_text;
+using scenario::ScenarioSpec;
+
+TEST(ScenarioParse, FullSpecRoundTrip) {
+  const std::string text = R"(
+# a link experiment
+name        = parse_demo
+description = jitter scan          # trailing comment
+topology    = point-to-point
+seed        = 1234
+bits_per_symbol = 6
+calibrate   = 0
+jitter_ps   = 55
+samples     = 300
+repro_scaled = 0
+sweep.jitter_ps = 40, 80, 120
+)";
+  const ScenarioSpec spec = parse_spec_text(text);
+  EXPECT_EQ(spec.name, "parse_demo");
+  EXPECT_EQ(spec.description, "jitter scan");
+  EXPECT_EQ(spec.topology, scenario::Topology::kPointToPoint);
+  EXPECT_EQ(spec.seed, 1234u);
+  EXPECT_EQ(spec.device.bits_per_symbol, 6u);
+  EXPECT_FALSE(spec.device.calibrate);
+  EXPECT_DOUBLE_EQ(spec.device.spad.jitter_sigma.picoseconds(), 55.0);
+  EXPECT_EQ(spec.budget.samples, 300u);
+  ASSERT_EQ(spec.sweep.size(), 1u);
+  EXPECT_EQ(spec.sweep[0].param, "jitter_ps");
+  EXPECT_EQ(spec.sweep[0].values, (std::vector<double>{40.0, 80.0, 120.0}));
+  EXPECT_NO_THROW(spec.validate());
+
+  const scenario::RunReport report = scenario::ScenarioRunner().run(spec);
+  EXPECT_EQ(report.points.size(), 3u);
+  EXPECT_EQ(report.seed, 1234u);
+}
+
+TEST(ScenarioParse, RangeExpressions) {
+  const ScenarioSpec spec = parse_spec_text(
+      "sweep.offered_load = linear(0.2, 1.0, 5)\n"
+      "sweep.samples = log(10, 1000, 3)\n");
+  ASSERT_EQ(spec.sweep.size(), 2u);
+  ASSERT_EQ(spec.sweep[0].size(), 5u);
+  EXPECT_DOUBLE_EQ(spec.sweep[0].values.front(), 0.2);
+  EXPECT_DOUBLE_EQ(spec.sweep[0].values.back(), 1.0);
+  ASSERT_EQ(spec.sweep[1].size(), 3u);
+  EXPECT_NEAR(spec.sweep[1].values[1], 100.0, 1e-9);
+}
+
+TEST(ScenarioParse, CategoricalAxisDetection) {
+  const ScenarioSpec spec = parse_spec_text(
+      "topology = stack-noc\n"
+      "sweep.mac = tdma, token, aloha\n");
+  ASSERT_EQ(spec.sweep.size(), 1u);
+  EXPECT_TRUE(spec.sweep[0].categorical());
+  EXPECT_EQ(spec.sweep[0].labels,
+            (std::vector<std::string>{"tdma", "token", "aloha"}));
+}
+
+TEST(ScenarioParse, CategoricalParamWithNumericLookingValues) {
+  // tech_node names can be digit-led ("65nm"); the axis must stay
+  // categorical because the registry says the key is categorical.
+  const ScenarioSpec spec = parse_spec_text("sweep.tech_node = 65nm, 45nm\n");
+  ASSERT_EQ(spec.sweep.size(), 1u);
+  EXPECT_TRUE(spec.sweep[0].categorical());
+}
+
+TEST(ScenarioParse, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_spec_text("name = ok\nthis line has no equals\n", "demo.spec");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("demo.spec:2"), std::string::npos);
+  }
+
+  EXPECT_THROW((void)parse_spec_text("sweep.nope = 1, 2\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_spec_text("jitter_ps = \n"), std::runtime_error);
+  EXPECT_THROW((void)parse_spec_text("sweep.jitter_ps = linear(1, 2)\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_spec_text("sweep.samples = log(0, 10, 3)\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_spec_text("topology = mesh\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_spec_file("/nonexistent/x.spec"), std::runtime_error);
+}
+
+TEST(ScenarioParse, CheckedInSpecFilesParseAndValidate) {
+  // The CI job runs these through tools/run_scenario; parsing must not
+  // rot. The test binary runs from build/tests, so walk up to the repo
+  // root where ctest executes (WORKING_DIRECTORY is the binary dir) --
+  // use the source-relative path baked in by CMake instead.
+#ifdef OCI_SOURCE_DIR
+  const std::string root = OCI_SOURCE_DIR;
+  for (const std::string name : {"link_jitter", "noc_saturation"}) {
+    const ScenarioSpec spec = parse_spec_file(root + "/scenarios/" + name + ".spec");
+    EXPECT_EQ(spec.name, name);
+    EXPECT_NO_THROW(spec.validate());
+    EXPECT_GE(spec.sweep.size(), 1u);
+  }
+#else
+  GTEST_SKIP() << "OCI_SOURCE_DIR not defined";
+#endif
+}
+
+}  // namespace

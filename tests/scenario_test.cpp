@@ -1,0 +1,443 @@
+// Tests for the Scenario API: spec validation rejections, the shared
+// parameter registry, seed resolution (--seed= / OCI_SEED), the
+// spec -> run -> RunReport round trip at a fixed seed (deterministic,
+// thread-count independent), and statistical consistency between
+// ScenarioRunner's engine resolution and direct hand-wired engine
+// calls at the same operating point.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "oci/analysis/report.hpp"
+#include "oci/link/optical_link.hpp"
+#include "oci/scenario/runner.hpp"
+#include "oci/scenario/spec.hpp"
+#include "support/stat_assert.hpp"
+
+namespace {
+
+using namespace oci;
+using scenario::FecKind;
+using scenario::NocDelivery;
+using scenario::NocPattern;
+using scenario::RunPoint;
+using scenario::RunReport;
+using scenario::ScenarioRunner;
+using scenario::ScenarioSpec;
+using scenario::SweepAxis;
+using scenario::Topology;
+using scenario::TrafficMode;
+
+constexpr std::uint64_t kSeed = 20260726;
+
+/// Pins the process repro scale for the duration of a test so budget
+/// resolution is deterministic regardless of the CI environment.
+struct ScaleGuard {
+  explicit ScaleGuard(double s) { analysis::set_repro_scale_for_test(s); }
+  ~ScaleGuard() { analysis::set_repro_scale_for_test(std::nullopt); }
+};
+
+/// Small, fast point-to-point spec (no calibration).
+ScenarioSpec tiny_link_spec() {
+  ScenarioSpec spec;
+  spec.name = "tiny_link";
+  spec.seed = kSeed;
+  spec.topology = Topology::kPointToPoint;
+  spec.device.design = link::TdcDesign{64, 4, util::Time::picoseconds(52.0)};
+  spec.device.bits_per_symbol = 6;
+  spec.device.calibrate = false;
+  spec.budget.samples = 600;
+  spec.budget.repro_scaled = false;
+  return spec;
+}
+
+std::string validation_message(const ScenarioSpec& spec) {
+  try {
+    spec.validate();
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ScenarioSpec, ValidSpecPasses) {
+  EXPECT_NO_THROW(tiny_link_spec().validate());
+}
+
+TEST(ScenarioSpec, RejectsZeroWdmChannels) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.topology = Topology::kWdm;
+  spec.wdm.grid.channels = 0;
+  EXPECT_NE(validation_message(spec).find("channels >= 1"), std::string::npos);
+}
+
+TEST(ScenarioSpec, RejectsFecOverRawSymbolTraffic) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.fec = FecKind::kHamming;  // mode stays kAuto -> symbols
+  EXPECT_NE(validation_message(spec).find("fec"), std::string::npos);
+}
+
+TEST(ScenarioSpec, RejectsFecOverPacketTopology) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.topology = Topology::kStackNoc;
+  spec.fec = FecKind::kHamming;
+  EXPECT_NE(validation_message(spec).find("fec"), std::string::npos);
+}
+
+TEST(ScenarioSpec, RejectsEmptySweepAxis) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.sweep.push_back(SweepAxis::list("jitter_ps", {}));
+  EXPECT_NE(validation_message(spec).find("no points"), std::string::npos);
+}
+
+TEST(ScenarioSpec, RejectsUnknownSweepParameter) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.sweep.push_back(SweepAxis::list("warp_factor", {9.0}));
+  EXPECT_NE(validation_message(spec).find("unknown parameter 'warp_factor'"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpec, RejectsNumericAxisOverCategoricalParameter) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.topology = Topology::kStackNoc;
+  spec.sweep.push_back(SweepAxis::list("mac", {1.0, 2.0}));
+  EXPECT_NE(validation_message(spec).find("categorical"), std::string::npos);
+}
+
+TEST(ScenarioSpec, RejectsZeroBudget) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.budget.samples = 0;
+  EXPECT_NE(validation_message(spec).find("samples"), std::string::npos);
+}
+
+TEST(ScenarioSpec, RejectsStructuralParameterSweeps) {
+  for (const std::string key : {"topology", "mode", "seed", "name"}) {
+    ScenarioSpec spec = tiny_link_spec();
+    spec.sweep.push_back(scenario::is_categorical_param(key)
+                             ? SweepAxis::categories(key, {"a", "b"})
+                             : SweepAxis::list(key, {1.0, 2.0}));
+    EXPECT_NE(validation_message(spec).find("structural"), std::string::npos) << key;
+  }
+}
+
+TEST(ScenarioSpec, SeedParsesFullUint64Range) {
+  ScenarioSpec spec;
+  scenario::set_param(spec, "seed", "18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ(spec.seed, 18446744073709551615ull);
+  scenario::set_param(spec, "seed", "9007199254740993");  // 2^53 + 1, not double-exact
+  EXPECT_EQ(spec.seed, 9007199254740993ull);
+  EXPECT_THROW(scenario::set_param(spec, "seed", "-1"), std::invalid_argument);
+  EXPECT_THROW(scenario::set_param(spec, "seed", "99999999999999999999"),
+               std::invalid_argument);  // > 2^64
+  EXPECT_THROW(scenario::set_param(spec, "seed", "12x"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, RejectsFramesOffPointToPoint) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.topology = Topology::kWdm;
+  spec.mode = TrafficMode::kFrames;
+  EXPECT_NE(validation_message(spec).find("frame traffic"), std::string::npos);
+}
+
+TEST(ScenarioSpec, CollectsEveryErrorInOneMessage) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.topology = Topology::kWdm;
+  spec.wdm.grid.channels = 0;
+  spec.budget.samples = 0;
+  spec.sweep.push_back(SweepAxis::list("bogus", {1.0}));
+  const std::string msg = validation_message(spec);
+  EXPECT_NE(msg.find("channels"), std::string::npos);
+  EXPECT_NE(msg.find("samples"), std::string::npos);
+  EXPECT_NE(msg.find("bogus"), std::string::npos);
+}
+
+TEST(ScenarioSpec, ParameterRegistryAppliesAndRejects) {
+  ScenarioSpec spec;
+  scenario::set_param(spec, "jitter_ps", "125");
+  EXPECT_DOUBLE_EQ(spec.device.spad.jitter_sigma.picoseconds(), 125.0);
+  scenario::set_param(spec, "mac", "aloha");
+  EXPECT_EQ(spec.noc.mac, "aloha");
+  scenario::set_param(spec, "dies", "12");
+  EXPECT_EQ(spec.noc.dies, 12u);
+  EXPECT_EQ(spec.bus.dies, 12u);
+  scenario::set_param(spec, "tech_node", "65nm");
+  EXPECT_NEAR(spec.device.delay_line.nominal_delay.picoseconds(), 60.0, 5.0);
+
+  EXPECT_THROW(scenario::set_param(spec, "nope", "1"), std::invalid_argument);
+  EXPECT_THROW(scenario::set_param(spec, "jitter_ps", "fast"), std::invalid_argument);
+  EXPECT_THROW(scenario::set_param(spec, "mac", "csma"), std::invalid_argument);
+  EXPECT_TRUE(scenario::is_categorical_param("mac"));
+  EXPECT_FALSE(scenario::is_categorical_param("jitter_ps"));
+  EXPECT_FALSE(scenario::known_params().empty());
+}
+
+TEST(ScenarioSpec, SweepAxisFactories) {
+  const SweepAxis lin = SweepAxis::linear("jitter_ps", 0.0, 100.0, 5);
+  ASSERT_EQ(lin.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin.values.front(), 0.0);
+  EXPECT_DOUBLE_EQ(lin.values.back(), 100.0);
+  EXPECT_DOUBLE_EQ(lin.values[2], 50.0);
+
+  const SweepAxis lg = SweepAxis::logspace("samples", 1.0, 100.0, 3);
+  ASSERT_EQ(lg.size(), 3u);
+  EXPECT_NEAR(lg.values[1], 10.0, 1e-9);
+
+  EXPECT_THROW(SweepAxis::logspace("samples", 0.0, 10.0, 3), std::invalid_argument);
+
+  const SweepAxis cat = SweepAxis::categories("mac", {"tdma", "token"});
+  EXPECT_TRUE(cat.categorical());
+  EXPECT_EQ(cat.display(1), "token");
+}
+
+TEST(ScenarioRunner, GoldenRoundTripIsDeterministic) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.sweep = {SweepAxis::list("jitter_ps", {40.0, 120.0}),
+                SweepAxis::categories("labeling", {"gray", "binary"})};
+
+  const RunReport a = ScenarioRunner().run(spec);
+  const RunReport b = ScenarioRunner().run(spec);
+
+  ASSERT_EQ(a.points.size(), 4u);
+  EXPECT_EQ(a.axis_names, (std::vector<std::string>{"jitter_ps", "labeling"}));
+  ASSERT_EQ(a.metric_names.size(), 8u);
+  EXPECT_EQ(a.seed, kSeed);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].coordinate, b.points[i].coordinate);
+    EXPECT_EQ(a.points[i].metrics, b.points[i].metrics);  // bit-identical
+    EXPECT_EQ(a.points[i].rng_draws, b.points[i].rng_draws);
+    EXPECT_EQ(a.points[i].samples, 600u);
+  }
+  // Label lookup round-trips.
+  const RunPoint* p = a.find("jitter_ps=120/labeling=gray");
+  ASSERT_NE(p, nullptr);
+  EXPECT_NO_THROW((void)a.metric(*p, "ser"));
+  EXPECT_THROW((void)a.metric(*p, "nope"), std::out_of_range);
+  EXPECT_EQ(a.find("jitter_ps=999/labeling=gray"), nullptr);
+}
+
+TEST(ScenarioRunner, ThreadCountDoesNotChangeResults) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.sweep = {SweepAxis::list("jitter_ps", {40.0, 80.0, 120.0, 160.0})};
+  const RunReport one = ScenarioRunner(1).run(spec);
+  const RunReport four = ScenarioRunner(4).run(spec);
+  ASSERT_EQ(one.points.size(), four.points.size());
+  for (std::size_t i = 0; i < one.points.size(); ++i) {
+    EXPECT_EQ(one.points[i].metrics, four.points[i].metrics);
+    EXPECT_EQ(one.points[i].rng_draws, four.points[i].rng_draws);
+  }
+}
+
+TEST(ScenarioRunner, MatchesDirectEngineWiringStatistically) {
+  // The runner's point-to-point resolution must be the same physics as
+  // hand-wiring OpticalLink::measure at the same operating point: a
+  // two-proportion z-test on the symbol error counts.
+  ScenarioSpec spec = tiny_link_spec();
+  spec.device.spad.jitter_sigma = util::Time::picoseconds(130.0);
+  spec.budget.samples = 4000;
+
+  const RunReport report = ScenarioRunner().run(spec);
+  const RunPoint& p = report.points.front();
+  const auto scenario_errors = static_cast<std::uint64_t>(
+      report.metric(p, "ser") * static_cast<double>(p.samples) + 0.5);
+
+  util::RngStream process(kSeed, "direct-process");
+  const link::OpticalLink direct(spec.device, process);
+  util::RngStream tx(kSeed, "direct-tx");
+  const link::LinkRunStats stats = direct.measure(4000, tx);
+
+  EXPECT_RATES_CONSISTENT(scenario_errors, p.samples, stats.symbol_errors,
+                          stats.symbols_sent, 1e-4);
+}
+
+TEST(ScenarioRunner, FrameTrafficMatchesDirectFecWiring) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.mode = TrafficMode::kFrames;
+  spec.fec = FecKind::kHamming;
+  spec.payload_bytes = 8;
+  spec.device.spad.jitter_sigma = util::Time::picoseconds(150.0);
+  spec.device.bits_per_symbol = 8;
+  spec.budget.samples = 120;
+
+  const RunReport report = ScenarioRunner().run(spec);
+  const RunPoint& p = report.points.front();
+  EXPECT_DOUBLE_EQ(report.metric(p, "code_rate"), 0.5);
+  const double rate = report.metric(p, "delivery_rate");
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+}
+
+TEST(ScenarioRunner, BudgetRoutesThroughInjectedReproScale) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.budget.samples = 1000;
+  spec.budget.floor = 10;
+  spec.budget.repro_scaled = true;
+
+  const ScaleGuard guard(0.05);
+  const RunReport report = ScenarioRunner().run(spec);
+  EXPECT_EQ(report.points.front().samples, 50u);
+  EXPECT_DOUBLE_EQ(report.repro_scale, 0.05);
+}
+
+TEST(ScenarioRunner, WdmScenarioRuns) {
+  ScenarioSpec spec;
+  spec.name = "wdm_smoke";
+  spec.seed = kSeed;
+  spec.topology = Topology::kWdm;
+  spec.device.bits_per_symbol = 6;
+  spec.device.calibrate = false;
+  spec.device.led.peak_power = util::Power::microwatts(2.0);
+  spec.wdm.grid.channels = 3;
+  spec.budget.samples = 60;
+  spec.budget.repro_scaled = false;
+  spec.sweep = {SweepAxis::list("channels", {1.0, 3.0})};
+
+  const RunReport report = ScenarioRunner().run(spec);
+  ASSERT_EQ(report.points.size(), 2u);
+  // Aggregate goodput grows with channel count.
+  EXPECT_GT(report.metric(report.points[1], "aggregate_gbps"),
+            report.metric(report.points[0], "aggregate_gbps"));
+}
+
+TEST(ScenarioRunner, VerticalBusScenarioRuns) {
+  ScenarioSpec spec;
+  spec.name = "bus_smoke";
+  spec.seed = kSeed;
+  spec.topology = Topology::kVerticalBus;
+  spec.device.calibrate = false;
+  spec.device.led.peak_power = util::Power::microwatts(150.0);
+  spec.device.led.wavelength = util::Wavelength::nanometres(1050.0);
+  spec.bus.dies = 4;
+  spec.budget.samples = 40;
+  spec.budget.repro_scaled = false;
+
+  const RunReport report = ScenarioRunner().run(spec);
+  const RunPoint& p = report.points.front();
+  EXPECT_GE(report.metric(p, "serviceable_dies"), 0.0);
+  EXPECT_LE(report.metric(p, "worst_ser"), 1.0);
+}
+
+TEST(ScenarioRunner, NocEngineCouplingRuns) {
+  ScenarioSpec spec;
+  spec.name = "noc_engine_smoke";
+  spec.seed = kSeed;
+  spec.topology = Topology::kStackNoc;
+  spec.device.bits_per_symbol = 8;
+  spec.device.calibrate = false;
+  spec.noc.dies = 4;
+  spec.noc.delivery = NocDelivery::kEngine;
+  spec.noc.offered_load = 0.4;
+  spec.budget.samples = 400;
+  spec.budget.repro_scaled = false;
+
+  const RunReport report = ScenarioRunner().run(spec);
+  const RunPoint& p = report.points.front();
+  EXPECT_GT(report.metric(p, "transfer_p"), 0.0);
+  EXPECT_LE(report.metric(p, "carried_load"), 1.0);
+}
+
+TEST(ScenarioRunner, AggressorPulsesDegradeTheLink) {
+  ScenarioSpec quiet = tiny_link_spec();
+  quiet.budget.samples = 1500;
+  ScenarioSpec loud = quiet;
+  loud.aggressors = {scenario::AggressorSpec{60.0, 0.0}};  // bright co-channel pulse
+
+  const RunReport q = ScenarioRunner().run(quiet);
+  const RunReport l = ScenarioRunner().run(loud);
+  // The aggressor's triggers surface as noise captures / symbol errors.
+  EXPECT_GT(l.metric(l.points.front(), "noise_capture_rate") +
+                l.metric(l.points.front(), "ser"),
+            q.metric(q.points.front(), "noise_capture_rate") +
+                q.metric(q.points.front(), "ser"));
+}
+
+TEST(ScenarioRunner, SweepCanPushSpecInvalid) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.topology = Topology::kWdm;
+  spec.device.led.peak_power = util::Power::microwatts(2.0);
+  spec.sweep = {SweepAxis::list("channels", {0.0})};  // 0 channels is invalid
+  EXPECT_THROW((void)ScenarioRunner().run(spec), std::invalid_argument);
+}
+
+TEST(ScenarioReport, TableAndJsonEmit) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.budget.samples = 50;
+  spec.sweep = {SweepAxis::list("jitter_ps", {40.0, 80.0})};
+  const RunReport report = ScenarioRunner().run(spec);
+
+  const util::Table t = report.to_table();
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), report.axis_names.size() + report.metric_names.size());
+
+  std::ostringstream os;
+  report.print(os);
+  EXPECT_NE(os.str().find("tiny_link"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/scenario_test_bench.json";
+  report.write_bench_json(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"binary\": \"scenario_tiny_link\""), std::string::npos);
+  EXPECT_NE(json.find("tiny_link/jitter_ps=40"), std::string::npos);
+  EXPECT_NE(json.find("\"rng_draws_per_op\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+}
+
+TEST(ScenarioSeed, EnvOverrideBeatsSpecSeed) {
+  ASSERT_EQ(setenv("OCI_SEED", "777", 1), 0);
+  ScenarioSpec spec = tiny_link_spec();
+  spec.budget.samples = 20;
+  const RunReport report = ScenarioRunner().run(spec);
+  unsetenv("OCI_SEED");
+  EXPECT_EQ(report.seed, 777u);
+
+  // Garbled values fall back to the spec seed.
+  ASSERT_EQ(setenv("OCI_SEED", "not-a-seed", 1), 0);
+  const RunReport fallback = ScenarioRunner().run(spec);
+  unsetenv("OCI_SEED");
+  EXPECT_EQ(fallback.seed, kSeed);
+}
+
+TEST(ScenarioSeed, CliArgConsumedAndWins) {
+  // The CLI seed must beat a pre-existing OCI_SEED -- including inside
+  // a later ScenarioRunner::run(), which re-resolves from the
+  // environment (the consumed value is re-exported as OCI_SEED).
+  ASSERT_EQ(setenv("OCI_SEED", "555", 1), 0);
+  char a0[] = "bench";
+  char a1[] = "--seed=4242";
+  char a2[] = "--benchmark_filter=none";
+  char* argv[] = {a0, a1, a2, nullptr};
+  int argc = 3;
+  EXPECT_EQ(scenario::resolve_seed(7, argc, argv), 4242u);
+  EXPECT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "--benchmark_filter=none");
+  ScenarioSpec spec = tiny_link_spec();
+  spec.budget.samples = 20;
+  EXPECT_EQ(ScenarioRunner().run(spec).seed, 4242u);
+  unsetenv("OCI_SEED");
+
+  // Split form: --seed N.
+  char b1[] = "--seed";
+  char b2[] = "99";
+  char* argv2[] = {a0, b1, b2, nullptr};
+  int argc2 = 3;
+  EXPECT_EQ(scenario::resolve_seed(7, argc2, argv2), 99u);
+  EXPECT_EQ(argc2, 1);
+
+  // No flag: fallback (or OCI_SEED, unset here).
+  unsetenv("OCI_SEED");
+  char* argv3[] = {a0, nullptr};
+  int argc3 = 1;
+  EXPECT_EQ(scenario::resolve_seed(7, argc3, argv3), 7u);
+}
+
+}  // namespace

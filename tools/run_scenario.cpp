@@ -1,0 +1,105 @@
+// run_scenario: execute a declarative experiment description with no
+// recompilation.
+//
+//   $ run_scenario SPEC_FILE [--seed=N] [--out=PATH] [--dump-spec]
+//
+// Loads the spec (see oci/scenario/parse.hpp for the format), resolves
+// the seed (--seed= beats OCI_SEED beats the file), runs it through
+// ScenarioRunner, prints the metric table, and writes the stable
+// BENCH_scenario_<name>.json trajectory document (override the path
+// with --out=). Exit codes: 0 success, 1 bad usage, 2 spec/run error.
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "oci/analysis/report.hpp"
+#include "oci/scenario/parse.hpp"
+#include "oci/scenario/runner.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: run_scenario SPEC_FILE [--seed=N] [--out=PATH] [--dump-spec]\n"
+        "  SPEC_FILE    key = value scenario description (# comments,\n"
+        "               sweep.<param> = v1, v2 | linear(lo,hi,n) | log(lo,hi,n))\n"
+        "  --seed=N     override the spec's seed (OCI_SEED works too)\n"
+        "  --out=PATH   BENCH json path (default BENCH_scenario_<name>.json)\n"
+        "  --dump-spec  list the known parameter-registry keys and exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oci;
+
+  std::string spec_path;
+  std::string out_path;
+  bool dump = false;
+  // --seed= is consumed (and applied) by resolve_seed below.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (arg == "--dump-spec") {
+      dump = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      // handled later by resolve_seed
+    } else if (arg == "--seed") {
+      ++i;  // split form (--seed N); both handled later by resolve_seed
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "run_scenario: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 1;
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      std::cerr << "run_scenario: more than one spec file given\n";
+      usage(std::cerr);
+      return 1;
+    }
+  }
+
+  if (dump) {
+    std::cout << "known scenario parameters:\n";
+    for (const std::string& key : scenario::known_params()) {
+      std::cout << "  " << key << (scenario::is_categorical_param(key) ? "  (categorical)" : "")
+                << "\n";
+    }
+    return 0;
+  }
+  if (spec_path.empty()) {
+    usage(std::cerr);
+    return 1;
+  }
+
+  try {
+    scenario::ScenarioSpec spec = scenario::parse_spec_file(spec_path);
+    spec.seed = scenario::resolve_seed(spec.seed, argc, argv);
+    spec.validate();
+
+    analysis::print_banner(std::cout, "scenario: " + spec.name,
+                           spec.description.empty()
+                               ? std::string(scenario::to_string(spec.topology)) +
+                                     " experiment from " + spec_path
+                               : spec.description,
+                           spec.seed);
+
+    const scenario::ScenarioRunner runner;
+    const scenario::RunReport report = runner.run(spec);
+    report.print(std::cout);
+
+    const std::string out =
+        out_path.empty() ? "BENCH_scenario_" + report.scenario + ".json" : out_path;
+    report.write_bench_json(out);
+    std::cout << "\nwrote " << out << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "run_scenario: " << e.what() << "\n";
+    return 2;
+  }
+}
