@@ -54,6 +54,15 @@ scenario::ScenarioSpec make_spec(std::uint64_t seed) {
   };
   spec.budget.samples = 150;
   spec.budget.floor = 20;
+  // Adaptive precision: spend transfers only where the delivery-rate
+  // interval is still wide. The saturated corners (deliver-everything
+  // at low jitter, deliver-nothing past the knee) stop after one
+  // chunk; the knee itself runs up to 4x the fixed budget.
+  spec.precision.metric = "delivery_rate";
+  spec.precision.target_half_width = 0.06;
+  spec.precision.chunk = 50;
+  spec.precision.max_samples = 600;
+  spec.precision.enabled = true;
   return spec;
 }
 

@@ -53,6 +53,15 @@ scenario::ScenarioSpec make_spec(std::uint64_t seed) {
       "bits_per_symbol", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10})};
   spec.budget.samples = 20000;
   spec.budget.floor = 500;
+  // Adaptive precision on the SER column: low orders sit on the error
+  // floor and stop after a chunk or two (their Wilson upper bound is
+  // already tiny); only the orders near the jitter knee burn the full
+  // budget chasing the half-width target.
+  spec.precision.metric = "ser";
+  spec.precision.target_half_width = 0.01;
+  spec.precision.chunk = 2500;
+  spec.precision.max_samples = 40000;
+  spec.precision.enabled = true;
   return spec;
 }
 

@@ -1,0 +1,97 @@
+#include "oci/analysis/sequential.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oci::analysis {
+
+Estimate wilson_estimate(double successes, std::uint64_t trials, double z) {
+  Estimate e;
+  e.n_samples = trials;
+  if (trials == 0) return e;
+  const double n = static_cast<double>(trials);
+  const double p = std::clamp(successes / n, 0.0, 1.0);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  e.value = p;
+  e.ci_low = std::max(0.0, (centre - margin) / denom);
+  e.ci_high = std::min(1.0, (centre + margin) / denom);
+  return e;
+}
+
+Estimate wald_estimate(double successes, std::uint64_t trials, double z) {
+  Estimate e;
+  e.n_samples = trials;
+  if (trials == 0) return e;
+  const double n = static_cast<double>(trials);
+  const double p = std::clamp(successes / n, 0.0, 1.0);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n);
+  e.value = p;
+  e.ci_low = std::max(0.0, p - margin);
+  e.ci_high = std::min(1.0, p + margin);
+  return e;
+}
+
+void RateAccumulator::add(double rate, std::uint64_t trials) {
+  successes_ += rate * static_cast<double>(trials);
+  trials_ += trials;
+}
+
+double RateAccumulator::rate() const {
+  if (trials_ == 0) return 0.0;
+  return successes_ / static_cast<double>(trials_);
+}
+
+Estimate RateAccumulator::wilson(double z) const {
+  return wilson_estimate(successes_, trials_, z);
+}
+
+Estimate RateAccumulator::wald(double z) const {
+  return wald_estimate(successes_, trials_, z);
+}
+
+void MeanAccumulator::add(double chunk_mean, std::uint64_t chunk_samples) {
+  batch_.add(chunk_mean);
+  samples_ += chunk_samples;
+}
+
+Estimate MeanAccumulator::interval(double z) const {
+  Estimate e;
+  e.n_samples = samples_;
+  e.value = batch_.mean();
+  e.ci_low = e.value;
+  e.ci_high = e.value;
+  if (batch_.count() >= 2) {
+    const double margin =
+        z * batch_.stddev() / std::sqrt(static_cast<double>(batch_.count()));
+    e.ci_low = e.value - margin;
+    e.ci_high = e.value + margin;
+  }
+  return e;
+}
+
+bool StoppingRule::has_target() const {
+  return target_half_width > 0.0 || target_relative > 0.0 || stop_below > 0.0;
+}
+
+bool StoppingRule::precision_met(const Estimate& e) const {
+  const double h = e.half_width();
+  if (target_half_width > 0.0 && h <= target_half_width) return true;
+  if (target_relative > 0.0 && e.value != 0.0 &&
+      h <= target_relative * std::fabs(e.value)) {
+    return true;
+  }
+  if (stop_below > 0.0 && e.ci_high < stop_below) return true;
+  return false;
+}
+
+bool StoppingRule::should_stop(const Estimate& e) const {
+  if (e.n_samples < min_samples) return false;
+  if (max_samples > 0 && e.n_samples >= max_samples) return true;
+  if (!has_target()) return max_samples == 0;  // nothing left to wait for
+  return precision_met(e);
+}
+
+}  // namespace oci::analysis

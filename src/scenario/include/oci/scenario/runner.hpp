@@ -21,11 +21,31 @@
 #include <string>
 #include <vector>
 
+#include "oci/analysis/sequential.hpp"
 #include "oci/scenario/spec.hpp"
 #include "oci/sim/batch_runner.hpp"
 #include "oci/util/table.hpp"
 
 namespace oci::scenario {
+
+/// Statistical kind of a report metric -- how adaptive chunks merge it
+/// and which interval it gets.
+enum class MetricKind {
+  kRate,      ///< binomial-ish proportion: pooled counts, Wilson interval
+  kMean,      ///< batch means over chunks, Wald interval over the spread
+  kCount,     ///< extensive total: summed across chunks, no interval
+  kConstant,  ///< deterministic at a fixed operating point; no interval
+};
+
+struct MetricDef {
+  std::string name;
+  MetricKind kind = MetricKind::kMean;
+};
+
+/// The metric schema (names + kinds) the spec's topology and traffic
+/// mode resolve to -- the contract between dispatch, the adaptive
+/// accumulators, and the report columns.
+[[nodiscard]] std::vector<MetricDef> metrics_for(const ScenarioSpec& spec);
 
 /// One sweep point's outcome.
 struct RunPoint {
@@ -33,7 +53,12 @@ struct RunPoint {
   std::vector<std::string> coordinate;
   /// Metric values, aligned with RunReport::metric_names.
   std::vector<double> metrics;
+  /// Interval estimates aligned with metrics: {value, ci_low, ci_high,
+  /// n_samples} for every metric. value always equals metrics[m];
+  /// constant-kind metrics carry a zero-width interval.
+  std::vector<analysis::Estimate> estimates;
   std::uint64_t samples = 0;    ///< symbols/transfers/slots/hits run
+  std::uint64_t chunks = 1;     ///< adaptive chunks spent (1 = fixed budget)
   std::uint64_t rng_draws = 0;  ///< RNG draws consumed by this point
   double wall_ns = 0.0;         ///< wall clock of the point's task
 
@@ -48,6 +73,10 @@ struct RunReport {
   std::uint64_t seed = 0;
   double repro_scale = 1.0;
   std::string topology;
+  bool adaptive = false;  ///< ran under a PrecisionSpec stopping rule
+  /// Worker threads the run actually used. Metadata only (exported in
+  /// the BENCH json "meta" object); results never depend on it.
+  std::size_t threads = 0;
   std::vector<std::string> axis_names;
   std::vector<std::string> metric_names;
   std::vector<RunPoint> points;
@@ -56,18 +85,24 @@ struct RunReport {
   [[nodiscard]] const RunPoint* find(const std::string& label) const;
   /// Metric by name; throws std::out_of_range for unknown names.
   [[nodiscard]] double metric(const RunPoint& point, const std::string& name) const;
+  /// Full interval estimate by name; throws std::out_of_range.
+  [[nodiscard]] const analysis::Estimate& estimate(const RunPoint& point,
+                                                   const std::string& name) const;
 
   /// Axis columns then metric columns, one row per point.
   [[nodiscard]] util::Table to_table(int precision = 4) const;
   /// Table plus a one-line run summary (deterministic output only).
   void print(std::ostream& os) const;
 
-  /// Writes the stable BENCH trajectory document (schema_version 1,
-  /// the bench/support/bench_json.hpp shape tools/bench_diff.py
-  /// consumes): one result row per sweep point with ns_per_op
-  /// (wall/sample, informational), iterations (= samples) and
-  /// rng_draws_per_op (deterministic), plus a "metrics" object the
-  /// diff tool ignores but downstream analysis can read.
+  /// Writes the stable BENCH trajectory document (schema_version 2,
+  /// the shape tools/bench_diff.py consumes and gates on): one result
+  /// row per sweep point with ns_per_op (wall/sample, informational),
+  /// iterations (= samples) and rng_draws_per_op (deterministic), plus
+  /// a "metrics" object mapping every metric name to {value, ci_low,
+  /// ci_high, n_samples} so CI can flag drift as statistically
+  /// significant instead of eyeballing deltas. A "meta" object records
+  /// the run environment (git sha, thread count, compiler) --
+  /// informational, never diffed.
   void write_bench_json(const std::string& path) const;
 };
 
@@ -102,5 +137,30 @@ class ScenarioRunner {
 /// --seed= beats OCI_SEED beats the built-in fallback.
 [[nodiscard]] std::uint64_t resolve_seed(std::uint64_t fallback);
 [[nodiscard]] std::uint64_t resolve_seed(std::uint64_t fallback, int& argc, char** argv);
+
+/// -- Precision override helpers --------------------------------------
+/// Same precedence story as seeds: CLI beats environment beats spec.
+/// OCI_PRECISION (positive double) forces an absolute CI half-width
+/// target -- arming adaptive mode even for specs without a
+/// PrecisionSpec -- and OCI_MAX_SAMPLES (positive integer) caps the
+/// per-point adaptive budget. Both parsed strictly; garbled values
+/// read as unset.
+[[nodiscard]] std::optional<double> precision_from_env();
+[[nodiscard]] std::optional<std::uint64_t> max_samples_from_env();
+
+/// Scans argv for --precision=H and --max-samples=N (= or split form),
+/// REMOVES them, and exports consumed values as OCI_PRECISION /
+/// OCI_MAX_SAMPLES so every later ScenarioRunner::run in the process
+/// sees them (call from main() before spawning threads). Unlike the
+/// forgiving seed parser, a garbled value throws std::invalid_argument
+/// -- an explicit precision override must never be silently ignored.
+void consume_precision_args(int& argc, char** argv);
+
+/// Applies the environment overrides to spec.precision in place:
+/// OCI_PRECISION sets target_half_width and enables adaptive mode
+/// (except for code-density traffic, which cannot chunk);
+/// OCI_MAX_SAMPLES caps max_samples. ScenarioRunner::run calls this --
+/// exposed for tools that want to inspect the resolved spec.
+void apply_precision_overrides(ScenarioSpec& spec);
 
 }  // namespace oci::scenario

@@ -92,6 +92,40 @@ struct BudgetSpec {
   [[nodiscard]] std::uint64_t resolve() const;
 };
 
+/// Adaptive-precision description: instead of burning the fixed
+/// BudgetSpec at every sweep point, ScenarioRunner grows each point in
+/// deterministic chunks until the target metric's confidence interval
+/// is tight enough (or a budget bound fires). Opt-in: enabled == false
+/// keeps the fixed-budget semantics (exactly BudgetSpec::resolve()
+/// samples per point, run as one chunk).
+/// Counts route through analysis::repro_scale() when the budget does,
+/// so CI smoke runs shrink adaptive scenarios the same way.
+struct PrecisionSpec {
+  bool enabled = false;
+  /// Metric driving the stopping rule; "" = the topology's first
+  /// rate-kind metric (ser, delivery_rate, carried_load, ...).
+  std::string metric;
+  /// Stop when the CI half-width is <= this absolute value (0 = off).
+  double target_half_width = 0.0;
+  /// Stop when the half-width is <= this fraction of the value (0 = off).
+  double target_relative = 0.0;
+  /// Rare-event early stop: upper bound already below this (0 = off).
+  double stop_below = 0.0;
+  /// z-score of the interval (1.96 = 95%, 2.576 = 99%).
+  double confidence_z = 1.96;
+  /// Samples per chunk; 0 = auto (a quarter of the fixed budget).
+  std::uint64_t chunk = 0;
+  /// Never stop before this many samples; 0 = one chunk.
+  std::uint64_t min_samples = 0;
+  /// Hard cap; 0 = auto (8x the fixed budget).
+  std::uint64_t max_samples = 0;
+
+  /// Resolved (repro-scaled, clamped) counts for one sweep point.
+  [[nodiscard]] std::uint64_t resolve_chunk(const BudgetSpec& budget) const;
+  [[nodiscard]] std::uint64_t resolve_min(const BudgetSpec& budget) const;
+  [[nodiscard]] std::uint64_t resolve_max(const BudgetSpec& budget) const;
+};
+
 /// WDM-specific description (topology == kWdm). The per-channel device
 /// template is ScenarioSpec::device.
 struct WdmSpec {
@@ -157,6 +191,7 @@ struct ScenarioSpec {
   NocSpec noc;
   std::vector<SweepAxis> sweep;
   BudgetSpec budget;
+  PrecisionSpec precision;
 
   /// Traffic mode after kAuto resolution against the topology.
   [[nodiscard]] TrafficMode resolved_mode() const;

@@ -35,29 +35,22 @@ struct PointResult {
   std::uint64_t rng_draws = 0;
 };
 
-std::vector<std::string> metric_names_for(const ScenarioSpec& spec) {
-  switch (spec.topology) {
-    case Topology::kPointToPoint:
-      switch (spec.resolved_mode()) {
-        case TrafficMode::kFrames:
-          return {"delivery_rate", "corrections_per_transfer", "code_rate"};
-        case TrafficMode::kCodeDensity:
-          return {"max_abs_dnl_lsb", "max_abs_inl_lsb", "lsb_ps", "codes"};
-        default:
-          return {"ser",     "ber",        "erasure_rate", "noise_capture_rate",
-                  "slot_ps", "raw_tp_bps", "goodput_bps",  "energy_per_bit_j"};
-      }
-    case Topology::kWdm:
-      return {"aggregate_gbps", "per_channel_mbps", "worst_ser",
-              "noise_captures", "collected_short",  "collected_long"};
-    case Topology::kVerticalBus:
-      return {"worst_ser", "mean_ser", "serviceable_dies", "aggregate_goodput_gbps"};
-    case Topology::kStackNoc:
-      return {"carried_load", "delivery_ratio",     "transfer_p", "mean_latency_slots",
-              "p99_slots",    "utilisation",        "fairness",   "hot_rate",
-              "retry_drops",  "queue_drops"};
+/// Index of the metric the stopping rule watches: the named metric, or
+/// the first rate-kind metric, or the first non-constant one.
+std::size_t stop_metric_index(const std::vector<MetricDef>& defs,
+                              const std::string& name) {
+  if (!name.empty()) {
+    for (std::size_t m = 0; m < defs.size(); ++m) {
+      if (defs[m].name == name) return m;
+    }
   }
-  return {};
+  for (std::size_t m = 0; m < defs.size(); ++m) {
+    if (defs[m].kind == MetricKind::kRate) return m;
+  }
+  for (std::size_t m = 0; m < defs.size(); ++m) {
+    if (defs[m].kind == MetricKind::kMean) return m;
+  }
+  return 0;
 }
 
 /// Flat sweep index -> per-axis indices, first axis slowest.
@@ -393,6 +386,61 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+std::vector<MetricDef> metrics_for(const ScenarioSpec& spec) {
+  using K = MetricKind;
+  switch (spec.topology) {
+    case Topology::kPointToPoint:
+      switch (spec.resolved_mode()) {
+        case TrafficMode::kFrames:
+          return {{"delivery_rate", K::kRate},
+                  {"corrections_per_transfer", K::kMean},
+                  {"code_rate", K::kConstant}};
+        case TrafficMode::kCodeDensity:
+          // Whole-run order statistics: never chunk-merged (validate()
+          // rejects adaptive precision for this mode).
+          return {{"max_abs_dnl_lsb", K::kConstant},
+                  {"max_abs_inl_lsb", K::kConstant},
+                  {"lsb_ps", K::kConstant},
+                  {"codes", K::kConstant}};
+        default:
+          return {{"ser", K::kRate},
+                  {"ber", K::kRate},
+                  {"erasure_rate", K::kRate},
+                  {"noise_capture_rate", K::kRate},
+                  {"slot_ps", K::kConstant},
+                  {"raw_tp_bps", K::kMean},
+                  {"goodput_bps", K::kMean},
+                  {"energy_per_bit_j", K::kMean}};
+      }
+    case Topology::kWdm:
+      // worst_ser is a per-window order statistic: adaptive chunks
+      // treat each chunk's worst as one batch-means observation.
+      return {{"aggregate_gbps", K::kMean},
+              {"per_channel_mbps", K::kMean},
+              {"worst_ser", K::kMean},
+              {"noise_captures", K::kCount},
+              {"collected_short", K::kConstant},
+              {"collected_long", K::kConstant}};
+    case Topology::kVerticalBus:
+      return {{"worst_ser", K::kMean},
+              {"mean_ser", K::kRate},
+              {"serviceable_dies", K::kConstant},
+              {"aggregate_goodput_gbps", K::kConstant}};
+    case Topology::kStackNoc:
+      return {{"carried_load", K::kRate},
+              {"delivery_ratio", K::kRate},
+              {"transfer_p", K::kRate},
+              {"mean_latency_slots", K::kMean},
+              {"p99_slots", K::kMean},
+              {"utilisation", K::kRate},
+              {"fairness", K::kMean},
+              {"hot_rate", K::kRate},
+              {"retry_drops", K::kCount},
+              {"queue_drops", K::kCount}};
+  }
+  return {};
+}
+
 std::string RunPoint::label(const std::vector<std::string>& axis_names) const {
   if (coordinate.empty()) return "-";
   std::string out;
@@ -413,6 +461,14 @@ const RunPoint* RunReport::find(const std::string& label) const {
 double RunReport::metric(const RunPoint& point, const std::string& name) const {
   for (std::size_t m = 0; m < metric_names.size(); ++m) {
     if (metric_names[m] == name) return point.metrics.at(m);
+  }
+  throw std::out_of_range("scenario report '" + scenario + "' has no metric '" + name + "'");
+}
+
+const analysis::Estimate& RunReport::estimate(const RunPoint& point,
+                                              const std::string& name) const {
+  for (std::size_t m = 0; m < metric_names.size(); ++m) {
+    if (metric_names[m] == name) return point.estimates.at(m);
   }
   throw std::out_of_range("scenario report '" + scenario + "' has no metric '" + name + "'");
 }
@@ -448,14 +504,50 @@ void RunReport::print(std::ostream& os) const {
   to_table().print(os);
 }
 
+namespace {
+
+/// Best-effort commit id for the trajectory metadata: OCI_GIT_SHA
+/// (explicit override) beats GITHUB_SHA (set by Actions); "unknown"
+/// outside CI. Metadata only -- bench_diff never gates on it.
+std::string git_sha_for_meta() {
+  for (const char* var : {"OCI_GIT_SHA", "GITHUB_SHA"}) {
+    if (const char* v = std::getenv(var); v != nullptr && *v != '\0') return v;
+  }
+  return "unknown";
+}
+
+const char* compiler_for_meta() {
+#if defined(__clang__)
+  return "clang " __VERSION__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+void write_json_number(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
 void RunReport::write_bench_json(const std::string& path) const {
   std::ofstream os(path);
   os << std::setprecision(12);
   os << "{\n";
-  os << "  \"schema_version\": 1,\n";
+  os << "  \"schema_version\": 2,\n";
   os << "  \"binary\": \"scenario_" << json_escape(scenario) << "\",\n";
   os << "  \"config\": { \"repro_scale\": " << repro_scale << ", \"seed\": " << seed
-     << ", \"topology\": \"" << json_escape(topology) << "\" },\n";
+     << ", \"topology\": \"" << json_escape(topology) << "\", \"adaptive\": "
+     << (adaptive ? "true" : "false") << " },\n";
+  os << "  \"meta\": { \"git_sha\": \"" << json_escape(git_sha_for_meta())
+     << "\", \"threads\": " << threads << ", \"compiler\": \""
+     << json_escape(compiler_for_meta()) << "\" },\n";
   os << "  \"results\": [";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const RunPoint& p = points[i];
@@ -463,18 +555,25 @@ void RunReport::write_bench_json(const std::string& path) const {
     os << (i == 0 ? "\n" : ",\n");
     os << "    { \"name\": \"" << json_escape(scenario + "/" + p.label(axis_names))
        << "\", \"ns_per_op\": " << p.wall_ns / per_op
-       << ", \"iterations\": " << p.samples
+       << ", \"iterations\": " << p.samples << ", \"chunks\": " << p.chunks
        << ", \"rng_draws_per_op\": " << static_cast<double>(p.rng_draws) / per_op
        << ", \"metrics\": {";
     for (std::size_t m = 0; m < metric_names.size(); ++m) {
       os << (m == 0 ? " " : ", ");
-      const double v = p.metrics[m];
-      os << "\"" << json_escape(metric_names[m]) << "\": ";
-      if (std::isfinite(v)) {
-        os << v;
-      } else {
-        os << "null";
-      }
+      // Every metric is the full interval quartet; points that ran
+      // without estimates (hand-built reports) fall back to a
+      // zero-width interval around the value.
+      const analysis::Estimate e =
+          m < p.estimates.size()
+              ? p.estimates[m]
+              : analysis::Estimate{p.metrics[m], p.metrics[m], p.metrics[m], p.samples};
+      os << "\"" << json_escape(metric_names[m]) << "\": { \"value\": ";
+      write_json_number(os, e.value);
+      os << ", \"ci_low\": ";
+      write_json_number(os, e.ci_low);
+      os << ", \"ci_high\": ";
+      write_json_number(os, e.ci_high);
+      os << ", \"n_samples\": " << e.n_samples << " }";
     }
     os << " } }";
   }
@@ -485,6 +584,8 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec) const {
   spec.validate();
   ScenarioSpec base = spec;
   base.seed = resolve_seed(spec.seed);
+  apply_precision_overrides(base);
+  base.validate();  // overrides must not smuggle in an invalid precision block
 
   RunReport report;
   report.scenario = base.name;
@@ -492,51 +593,142 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec) const {
   report.seed = base.seed;
   report.repro_scale = analysis::repro_scale();
   report.topology = to_string(base.topology);
+  report.adaptive = base.precision.enabled;
   for (const SweepAxis& a : base.sweep) report.axis_names.push_back(a.param);
-  report.metric_names = metric_names_for(base);
+  const std::vector<MetricDef> defs = metrics_for(base);
+  for (const MetricDef& d : defs) report.metric_names.push_back(d.name);
 
   sim::BatchConfig bc;
   bc.threads = threads_;
   bc.root_seed = base.seed;
   const sim::BatchRunner runner(bc);
+  report.threads = runner.threads();
 
-  struct TaskResult {
-    PointResult point;
+  // One accumulator per sweep point; the fixed-budget path is the
+  // adaptive path degenerated to a single mandatory chunk, so both
+  // produce the same estimate structure.
+  struct PointState {
+    bool init = false;
+    ScenarioSpec point;
+    analysis::StoppingRule rule;
+    double z = 1.96;
+    std::uint64_t chunk_size = 0;
+    std::size_t target = 0;
+    std::vector<analysis::RateAccumulator> rates;
+    std::vector<analysis::MeanAccumulator> means;
+    std::vector<double> sums;
+    std::vector<double> last;
     std::uint64_t samples = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t rng_draws = 0;
     double wall_ns = 0.0;
   };
+  const auto estimate_of = [&defs](const PointState& st, std::size_t m) {
+    switch (defs[m].kind) {
+      case MetricKind::kRate:
+        return st.rates[m].wilson(st.z);
+      case MetricKind::kMean:
+        return st.means[m].interval(st.z);
+      case MetricKind::kCount:
+        // Extensive total over every chunk run so far -- the same
+        // "whole run" semantics the fixed path reports.
+        return analysis::Estimate{st.sums[m], st.sums[m], st.sums[m], st.samples};
+      case MetricKind::kConstant:
+        break;
+    }
+    return analysis::Estimate{st.last[m], st.last[m], st.last[m], st.samples};
+  };
+
+  const bool adaptive = base.precision.enabled;
   const std::size_t n = base.sweep_points();
-  const auto results = runner.map(
-      n, "scenario:" + base.name, [&](std::size_t i, RngStream& rng) {
-        ScenarioSpec point = base;
-        const std::vector<std::size_t> idx = unravel(i, base.sweep);
-        for (std::size_t a = 0; a < base.sweep.size(); ++a) {
-          apply_axis_value(point, base.sweep[a], idx[a]);
+  const auto results = runner.map_until<PointState>(
+      n, "scenario:" + base.name,
+      [&](std::size_t i, std::size_t /*chunk*/, RngStream& rng, PointState& st) {
+        if (!st.init) {
+          st.point = base;
+          const std::vector<std::size_t> idx = unravel(i, base.sweep);
+          for (std::size_t a = 0; a < base.sweep.size(); ++a) {
+            apply_axis_value(st.point, base.sweep[a], idx[a]);
+          }
+          // Re-validate after axis application: a sweep can push the
+          // spec into an invalid corner (e.g. channels = 0).
+          st.point.validate();
+          const PrecisionSpec& prec = st.point.precision;
+          if (adaptive) {
+            st.z = prec.confidence_z;
+            st.chunk_size = prec.resolve_chunk(st.point.budget);
+            st.rule.target_half_width = prec.target_half_width;
+            st.rule.target_relative = prec.target_relative;
+            st.rule.stop_below = prec.stop_below;
+            st.rule.min_samples = prec.resolve_min(st.point.budget);
+            st.rule.max_samples = prec.resolve_max(st.point.budget);
+            st.target = stop_metric_index(defs, prec.metric);
+          } else {
+            // Fixed budget: one chunk of exactly the resolved samples.
+            st.chunk_size = st.point.budget.resolve();
+            st.rule.max_samples = st.chunk_size;
+          }
+          st.rates.resize(defs.size());
+          st.means.resize(defs.size());
+          st.sums.resize(defs.size(), 0.0);
+          st.last.resize(defs.size(), 0.0);
+          st.init = true;
         }
-        // Re-validate after axis application: a sweep can push the spec
-        // into an invalid corner (e.g. channels = 0 in a density scan).
-        point.validate();
-        TaskResult out;
-        out.samples = point.budget.resolve();
+        // max_samples is a HARD cap: the final chunk shrinks to land on
+        // it exactly instead of overshooting by up to chunk-1 samples.
+        // (A single short tail chunk is a negligible deviation from the
+        // batch-means equal-size assumption.)
+        std::uint64_t run_samples = st.chunk_size;
+        if (st.rule.max_samples > st.samples) {
+          run_samples = std::min(run_samples, st.rule.max_samples - st.samples);
+        }
         const auto t0 = std::chrono::steady_clock::now();
-        out.point = dispatch(point, out.samples, rng);
-        out.wall_ns = std::chrono::duration<double, std::nano>(
+        const PointResult r = dispatch(st.point, run_samples, rng);
+        st.wall_ns += std::chrono::duration<double, std::nano>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
-        return out;
+        for (std::size_t m = 0; m < defs.size(); ++m) {
+          switch (defs[m].kind) {
+            case MetricKind::kRate:
+              st.rates[m].add(r.metrics[m], run_samples);
+              break;
+            case MetricKind::kMean:
+              st.means[m].add(r.metrics[m], run_samples);
+              break;
+            case MetricKind::kCount:
+              st.sums[m] += r.metrics[m];
+              break;
+            case MetricKind::kConstant:
+              break;
+          }
+          st.last[m] = r.metrics[m];
+        }
+        st.samples += run_samples;
+        ++st.chunks;
+        st.rng_draws += r.rng_draws;
+      },
+      [&](std::size_t /*i*/, const PointState& st) {
+        return st.rule.should_stop(estimate_of(st, st.target));
       });
 
   report.points.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
+    const PointState& st = results[i];
     RunPoint p;
     const std::vector<std::size_t> idx = unravel(i, base.sweep);
     for (std::size_t a = 0; a < base.sweep.size(); ++a) {
       p.coordinate.push_back(base.sweep[a].display(idx[a]));
     }
-    p.metrics = results[i].point.metrics;
-    p.rng_draws = results[i].point.rng_draws;
-    p.samples = results[i].samples;
-    p.wall_ns = results[i].wall_ns;
+    p.estimates.reserve(defs.size());
+    p.metrics.reserve(defs.size());
+    for (std::size_t m = 0; m < defs.size(); ++m) {
+      p.estimates.push_back(estimate_of(st, m));
+      p.metrics.push_back(p.estimates.back().value);
+    }
+    p.rng_draws = st.rng_draws;
+    p.samples = st.samples;
+    p.chunks = st.chunks;
+    p.wall_ns = st.wall_ns;
     report.points.push_back(std::move(p));
   }
   return report;
@@ -581,6 +773,92 @@ std::optional<std::uint64_t> consume_seed_arg(int& argc, char** argv) {
   // over the CLI value. Called from main() before any threads exist.
   if (out) setenv("OCI_SEED", std::to_string(*out).c_str(), 1);
   return out;
+}
+
+std::optional<double> precision_from_env() {
+  const char* env = std::getenv("OCI_PRECISION");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(v > 0.0)) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> max_samples_from_env() {
+  const char* env = std::getenv("OCI_MAX_SAMPLES");
+  if (env == nullptr || *env == '\0' || env[0] == '-') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+void consume_precision_args(int& argc, char** argv) {
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* var = nullptr;
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--precision=", 12) == 0) {
+      var = "OCI_PRECISION";
+      value = arg + 12;
+    } else if (std::strcmp(arg, "--precision") == 0 && i + 1 < argc) {
+      var = "OCI_PRECISION";
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--max-samples=", 14) == 0) {
+      var = "OCI_MAX_SAMPLES";
+      value = arg + 14;
+    } else if (std::strcmp(arg, "--max-samples") == 0 && i + 1 < argc) {
+      var = "OCI_MAX_SAMPLES";
+      value = argv[++i];
+    }
+    if (var != nullptr) {
+      // An explicit CLI override must never be silently dropped:
+      // validate with the same strict parsers the environment uses.
+      const std::string saved = value;
+      setenv(var, value, 1);
+      const bool ok = std::strcmp(var, "OCI_PRECISION") == 0
+                          ? precision_from_env().has_value()
+                          : max_samples_from_env().has_value();
+      if (!ok) {
+        unsetenv(var);
+        throw std::invalid_argument(
+            std::string("scenario: ") +
+            (std::strcmp(var, "OCI_PRECISION") == 0 ? "--precision"
+                                                    : "--max-samples") +
+            " needs a positive " +
+            (std::strcmp(var, "OCI_PRECISION") == 0 ? "number" : "integer") +
+            ", got '" + saved + "'");
+      }
+      // Exported (like the consumed seed) so EVERY later resolution in
+      // the process honours the CLI-beats-env-beats-spec precedence.
+      continue;
+    }
+    argv[write++] = argv[i];
+  }
+  if (write < argc) {
+    argc = write;
+    argv[argc] = nullptr;
+  }
+}
+
+void apply_precision_overrides(ScenarioSpec& spec) {
+  if (const auto half_width = precision_from_env()) {
+    // Code-density traffic cannot chunk (whole-run order statistics);
+    // the env knob skips those scenarios instead of invalidating them.
+    if (spec.resolved_mode() != TrafficMode::kCodeDensity) {
+      spec.precision.target_half_width = *half_width;
+      // FORCE the absolute target: a spec's own looser relative /
+      // rare-event rules would otherwise still fire first (targets
+      // compose with OR) and silently undo the override.
+      spec.precision.target_relative = 0.0;
+      spec.precision.stop_below = 0.0;
+      spec.precision.enabled = true;
+    }
+  }
+  if (const auto cap = max_samples_from_env()) {
+    spec.precision.max_samples = *cap;
+  }
 }
 
 std::uint64_t resolve_seed(std::uint64_t fallback) {

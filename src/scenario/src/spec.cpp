@@ -12,6 +12,7 @@
 
 #include "oci/analysis/report.hpp"
 #include "oci/electrical/scaling.hpp"
+#include "oci/scenario/runner.hpp"  // metrics_for: precision.metric validation
 
 namespace oci::scenario {
 
@@ -128,6 +129,28 @@ const std::map<std::string, Param>& registry() {
     cnt("samples", [](S& s, std::uint64_t v) { s.budget.samples = v; });
     cnt("sample_floor", [](S& s, std::uint64_t v) { s.budget.floor = v; });
     cnt("repro_scaled", [](S& s, std::uint64_t v) { s.budget.repro_scaled = v != 0; });
+
+    // -- adaptive precision ------------------------------------------
+    // Setting any precision target arms adaptive mode; precision.enabled
+    // can switch it back off (order matters -- put it last in a file).
+    num("precision.half_width", [](S& s, double v) {
+      s.precision.target_half_width = v;
+      s.precision.enabled = true;
+    });
+    num("precision.relative", [](S& s, double v) {
+      s.precision.target_relative = v;
+      s.precision.enabled = true;
+    });
+    num("precision.stop_below", [](S& s, double v) {
+      s.precision.stop_below = v;
+      s.precision.enabled = true;
+    });
+    cat("precision.metric", [](S& s, const std::string& v) { s.precision.metric = v; });
+    num("precision.confidence_z", [](S& s, double v) { s.precision.confidence_z = v; });
+    cnt("precision.chunk", [](S& s, std::uint64_t v) { s.precision.chunk = v; });
+    cnt("precision.min_samples", [](S& s, std::uint64_t v) { s.precision.min_samples = v; });
+    cnt("precision.max_samples", [](S& s, std::uint64_t v) { s.precision.max_samples = v; });
+    cnt("precision.enabled", [](S& s, std::uint64_t v) { s.precision.enabled = v != 0; });
 
     // -- device: TDC design ------------------------------------------
     cnt("fine_elements", [](S& s, std::uint64_t v) { s.device.design.fine_elements = v; });
@@ -305,6 +328,31 @@ std::uint64_t BudgetSpec::resolve() const {
   return analysis::scaled(samples, std::max<std::uint64_t>(floor, 1));
 }
 
+std::uint64_t PrecisionSpec::resolve_chunk(const BudgetSpec& budget) const {
+  if (chunk == 0) return std::max<std::uint64_t>(budget.resolve() / 4, 1);
+  if (!budget.repro_scaled) return std::max<std::uint64_t>(chunk, 1);
+  return analysis::scaled(chunk, 1);
+}
+
+std::uint64_t PrecisionSpec::resolve_min(const BudgetSpec& budget) const {
+  if (min_samples == 0) return 0;  // the first chunk decides
+  if (!budget.repro_scaled) return min_samples;
+  return analysis::scaled(min_samples, 1);
+}
+
+std::uint64_t PrecisionSpec::resolve_max(const BudgetSpec& budget) const {
+  std::uint64_t cap;
+  if (max_samples == 0) {
+    cap = 8 * budget.resolve();  // adaptive may spend past the fixed budget
+  } else if (!budget.repro_scaled) {
+    cap = max_samples;
+  } else {
+    cap = analysis::scaled(max_samples, std::max<std::uint64_t>(budget.floor, 1));
+  }
+  // The cap must admit at least one chunk, or no point could ever run.
+  return std::max(cap, resolve_chunk(budget));
+}
+
 TrafficMode ScenarioSpec::resolved_mode() const {
   if (mode != TrafficMode::kAuto) return mode;
   return topology == Topology::kStackNoc ? TrafficMode::kPackets : TrafficMode::kSymbols;
@@ -345,6 +393,53 @@ void ScenarioSpec::validate() const {
 
   // Budget.
   if (budget.samples == 0) err("budget samples must be >= 1");
+
+  // Adaptive precision.
+  if (precision.enabled) {
+    if (m == TrafficMode::kCodeDensity) {
+      err("adaptive precision cannot chunk code-density traffic: DNL/INL are "
+          "whole-run order statistics, not mergeable rates");
+    }
+    if (precision.target_half_width < 0.0) err("precision.half_width must be >= 0");
+    if (precision.target_relative < 0.0) err("precision.relative must be >= 0");
+    if (precision.stop_below < 0.0) err("precision.stop_below must be >= 0");
+    if (!(precision.confidence_z > 0.0)) err("precision.confidence_z must be > 0");
+    if (precision.target_half_width == 0.0 && precision.target_relative == 0.0 &&
+        precision.stop_below == 0.0 && precision.max_samples == 0) {
+      err("adaptive precision needs a stopping target (precision.half_width, "
+          "precision.relative, precision.stop_below) or precision.max_samples");
+    }
+    if (precision.min_samples > 0 && precision.max_samples > 0 &&
+        precision.min_samples > precision.max_samples) {
+      err("precision.min_samples exceeds precision.max_samples");
+    }
+    // The RESOLVED bracket must hold too: an auto-derived max (8x the
+    // fixed budget) that lands below min_samples would let min keep
+    // the point sampling past the documented hard cap.
+    if (precision.resolve_min(budget) > precision.resolve_max(budget)) {
+      err("precision.min_samples exceeds the resolved adaptive budget cap (" +
+          std::to_string(precision.resolve_max(budget)) +
+          " samples); raise precision.max_samples or lower min_samples");
+    }
+    if (!precision.metric.empty()) {
+      bool known = false;
+      for (const MetricDef& d : metrics_for(*this)) {
+        if (d.name == precision.metric) {
+          known = true;
+          if (d.kind == MetricKind::kConstant || d.kind == MetricKind::kCount) {
+            err("precision.metric '" + precision.metric +
+                "' carries no confidence interval; target a rate or mean metric");
+          }
+        }
+      }
+      if (!known) {
+        std::string msg = "precision.metric '" + precision.metric +
+                          "' is not a metric of this topology; choose one of:";
+        for (const MetricDef& d : metrics_for(*this)) msg += " " + d.name;
+        err(msg);
+      }
+    }
+  }
 
   // Device.
   if (device.design.fine_elements < 2) err("device needs fine_elements >= 2");

@@ -13,6 +13,7 @@
 #include <functional>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "oci/util/random.hpp"
@@ -42,6 +43,16 @@ class BatchRunner {
   [[nodiscard]] util::RngStream task_stream(std::string_view label,
                                             std::size_t index) const;
 
+  /// Deterministic per-chunk stream for adaptive (map_until) tasks: a
+  /// pure function of (root_seed, label, index, chunk). Chunk k's
+  /// stream never depends on how many chunks end up running, so
+  /// results are bit-identical across thread counts AND across
+  /// stopping decisions: the first k chunks of a long run equal a run
+  /// that stopped at k.
+  [[nodiscard]] util::RngStream task_stream(std::string_view label,
+                                            std::size_t index,
+                                            std::size_t chunk) const;
+
   /// Executes fn(i) once for every i in [0, tasks), spread across the
   /// pool; blocks until all tasks finish. The first exception thrown by
   /// a task is rethrown here after remaining workers stop picking up
@@ -64,6 +75,31 @@ class BatchRunner {
     for_each_index(tasks, [&](std::size_t i) {
       util::RngStream rng = task_stream(label, i);
       out[i] = fn(i, rng);
+    });
+    return out;
+  }
+
+  /// Chunked adaptive map: the incremental-reduce primitive behind
+  /// confidence-targeted Monte Carlo. Each task grows a
+  /// default-constructed accumulator Acc chunk by chunk --
+  /// step(index, chunk, rng, acc) folds one chunk in from its own
+  /// per-(label, index, chunk) stream -- until done(index, acc)
+  /// returns true, checked after every chunk. Results land in index
+  /// order. step/done run concurrently across tasks: they must be
+  /// pure functions of their arguments (no shared mutable state).
+  /// done() MUST eventually return true for every task (bound it with
+  /// a max-budget rule); the runner adds no iteration cap of its own.
+  template <typename Acc, typename Step, typename Done>
+  [[nodiscard]] std::vector<Acc> map_until(std::size_t tasks,
+                                           std::string_view label, Step&& step,
+                                           Done&& done) const {
+    std::vector<Acc> out(tasks);
+    for_each_index(tasks, [&](std::size_t i) {
+      for (std::size_t chunk = 0;; ++chunk) {
+        util::RngStream rng = task_stream(label, i, chunk);
+        step(i, chunk, rng, out[i]);
+        if (done(i, std::as_const(out[i]))) break;
+      }
     });
     return out;
   }

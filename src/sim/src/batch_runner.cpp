@@ -40,6 +40,20 @@ util::RngStream BatchRunner::task_stream(std::string_view label,
   return util::RngStream(util::splitmix64(state));
 }
 
+util::RngStream BatchRunner::task_stream(std::string_view label, std::size_t index,
+                                         std::size_t chunk) const {
+  // Same derivation as the per-task stream, then the chunk index folded
+  // in with a second odd multiplier and one more splitmix64 round.
+  // Chunk streams are decorrelated from each other AND from the 2-arg
+  // task stream (chunk 0 is not the plain task stream on purpose: a
+  // fixed-budget run and an adaptive run are different experiments).
+  std::uint64_t state = util::derive_seed(cfg_.root_seed, label) ^
+                        (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(index) + 1));
+  std::uint64_t chunked = util::splitmix64(state) ^
+                          (0xD1B54A32D192ED03ull * (static_cast<std::uint64_t>(chunk) + 1));
+  return util::RngStream(util::splitmix64(chunked));
+}
+
 void BatchRunner::for_each_index(
     std::size_t tasks, const std::function<void(std::size_t)>& fn) const {
   if (tasks == 0) return;

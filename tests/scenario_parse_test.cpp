@@ -89,6 +89,18 @@ TEST(ScenarioParse, ErrorsCarryLineNumbers) {
     EXPECT_NE(std::string(e.what()).find("demo.spec:2"), std::string::npos);
   }
 
+  // Unknown scalar keys are hard errors with a file:line prefix -- a
+  // typo must never silently run the wrong experiment (run_scenario
+  // turns this into a non-zero exit).
+  try {
+    (void)parse_spec_text("name = ok\njiter_ps = 40\n", "demo.spec");
+    FAIL() << "expected parse error for unknown key";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("demo.spec:2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unknown parameter 'jiter_ps'"), std::string::npos) << msg;
+  }
+
   EXPECT_THROW((void)parse_spec_text("sweep.nope = 1, 2\n"), std::runtime_error);
   EXPECT_THROW((void)parse_spec_text("jitter_ps = \n"), std::runtime_error);
   EXPECT_THROW((void)parse_spec_text("sweep.jitter_ps = linear(1, 2)\n"),
@@ -97,6 +109,30 @@ TEST(ScenarioParse, ErrorsCarryLineNumbers) {
                std::runtime_error);
   EXPECT_THROW((void)parse_spec_text("topology = mesh\n"), std::runtime_error);
   EXPECT_THROW((void)parse_spec_file("/nonexistent/x.spec"), std::runtime_error);
+}
+
+TEST(ScenarioParse, PrecisionKeysParse) {
+  const ScenarioSpec spec = parse_spec_text(
+      "name = adaptive\n"
+      "precision.metric = ser\n"
+      "precision.half_width = 0.01\n"
+      "precision.relative = 0.1\n"
+      "precision.chunk = 500\n"
+      "precision.min_samples = 500\n"
+      "precision.max_samples = 32000\n"
+      "precision.confidence_z = 2.576\n");
+  EXPECT_TRUE(spec.precision.enabled);
+  EXPECT_EQ(spec.precision.metric, "ser");
+  EXPECT_DOUBLE_EQ(spec.precision.target_half_width, 0.01);
+  EXPECT_DOUBLE_EQ(spec.precision.target_relative, 0.1);
+  EXPECT_EQ(spec.precision.chunk, 500u);
+  EXPECT_EQ(spec.precision.min_samples, 500u);
+  EXPECT_EQ(spec.precision.max_samples, 32000u);
+  EXPECT_DOUBLE_EQ(spec.precision.confidence_z, 2.576);
+
+  const ScenarioSpec off =
+      parse_spec_text("precision.half_width = 0.01\nprecision.enabled = 0\n");
+  EXPECT_FALSE(off.precision.enabled);
 }
 
 TEST(ScenarioParse, CheckedInSpecFilesParseAndValidate) {

@@ -1,13 +1,19 @@
 // run_scenario: execute a declarative experiment description with no
 // recompilation.
 //
-//   $ run_scenario SPEC_FILE [--seed=N] [--out=PATH] [--dump-spec]
+//   $ run_scenario SPEC_FILE [--seed=N] [--precision=H] [--max-samples=N]
+//                  [--out=PATH] [--dump-spec]
 //
 // Loads the spec (see oci/scenario/parse.hpp for the format), resolves
-// the seed (--seed= beats OCI_SEED beats the file), runs it through
-// ScenarioRunner, prints the metric table, and writes the stable
-// BENCH_scenario_<name>.json trajectory document (override the path
-// with --out=). Exit codes: 0 success, 1 bad usage, 2 spec/run error.
+// the seed and precision overrides (CLI beats OCI_SEED / OCI_PRECISION
+// / OCI_MAX_SAMPLES beats the file), runs it through ScenarioRunner,
+// prints the metric table (point values; the per-metric confidence
+// intervals live in the JSON document), and writes the stable
+// schema-2 BENCH_scenario_<name>.json trajectory document
+// (override the path with --out=). Unknown or garbled spec keys exit
+// non-zero with a file:line message -- a typo never silently runs the
+// wrong experiment. Exit codes: 0 success, 1 bad usage, 2 spec/run
+// error.
 #include <cstring>
 #include <exception>
 #include <iostream>
@@ -20,12 +26,16 @@
 namespace {
 
 void usage(std::ostream& os) {
-  os << "usage: run_scenario SPEC_FILE [--seed=N] [--out=PATH] [--dump-spec]\n"
-        "  SPEC_FILE    key = value scenario description (# comments,\n"
-        "               sweep.<param> = v1, v2 | linear(lo,hi,n) | log(lo,hi,n))\n"
-        "  --seed=N     override the spec's seed (OCI_SEED works too)\n"
-        "  --out=PATH   BENCH json path (default BENCH_scenario_<name>.json)\n"
-        "  --dump-spec  list the known parameter-registry keys and exit\n";
+  os << "usage: run_scenario SPEC_FILE [--seed=N] [--precision=H] [--max-samples=N]\n"
+        "                    [--out=PATH] [--dump-spec]\n"
+        "  SPEC_FILE        key = value scenario description (# comments,\n"
+        "                   sweep.<param> = v1, v2 | linear(lo,hi,n) | log(lo,hi,n))\n"
+        "  --seed=N         override the spec's seed (OCI_SEED works too)\n"
+        "  --precision=H    adaptive mode: target CI half-width on the stop\n"
+        "                   metric (OCI_PRECISION works too; CLI wins)\n"
+        "  --max-samples=N  cap the adaptive per-point budget (OCI_MAX_SAMPLES)\n"
+        "  --out=PATH       BENCH json path (default BENCH_scenario_<name>.json)\n"
+        "  --dump-spec      list the known parameter-registry keys and exit\n";
 }
 
 }  // namespace
@@ -36,6 +46,16 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string out_path;
   bool dump = false;
+  // Consumed first (and exported as OCI_PRECISION / OCI_MAX_SAMPLES)
+  // so the precision precedence matches the seed's: CLI beats env
+  // beats spec, applied inside ScenarioRunner::run.
+  try {
+    scenario::consume_precision_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "run_scenario: " << e.what() << "\n";
+    usage(std::cerr);
+    return 1;
+  }
   // --seed= is consumed (and applied) by resolve_seed below.
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
