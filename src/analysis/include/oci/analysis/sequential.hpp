@@ -51,6 +51,16 @@ class RateAccumulator {
   /// Folds one chunk in: `rate` over `trials` samples.
   void add(double rate, std::uint64_t trials);
 
+  /// Rebuilds an accumulator from serialized pooled counts (the scenario
+  /// result store / report merge path). Exact: the state IS the counts.
+  [[nodiscard]] static RateAccumulator from_counts(double successes,
+                                                   std::uint64_t trials);
+
+  /// Pools another accumulator's counts in. Only meaningful when the two
+  /// accumulators observed independent samples (e.g. shards of a sweep
+  /// run under different seeds).
+  void merge(const RateAccumulator& other);
+
   [[nodiscard]] std::uint64_t trials() const { return trials_; }
   [[nodiscard]] double successes() const { return successes_; }
   [[nodiscard]] double rate() const;
@@ -73,9 +83,24 @@ class MeanAccumulator {
   /// Folds one chunk in: the chunk's mean over `chunk_samples` samples.
   void add(double chunk_mean, std::uint64_t chunk_samples);
 
+  /// Rebuilds an accumulator from serialized batch-mean moments
+  /// (chunk count, mean of chunk means, M2 over chunk means) plus the
+  /// underlying per-sample count.
+  [[nodiscard]] static MeanAccumulator from_state(std::size_t chunks,
+                                                  double batch_mean,
+                                                  double batch_m2,
+                                                  std::uint64_t samples);
+
+  /// Pools another accumulator's batch means in. Valid when both sides
+  /// used the same chunk size and observed independent streams.
+  void merge(const MeanAccumulator& other);
+
   [[nodiscard]] std::size_t chunks() const { return batch_.count(); }
   [[nodiscard]] std::uint64_t samples() const { return samples_; }
   [[nodiscard]] double mean() const { return batch_.mean(); }
+  /// M2 over the chunk means -- the serializable half of the batch
+  /// state, see util::RunningStats::m2().
+  [[nodiscard]] double batch_m2() const { return batch_.m2(); }
   /// Wald interval over the chunk means; with fewer than two chunks the
   /// bounds collapse to the mean (no spread information yet).
   [[nodiscard]] Estimate interval(double z = 1.96) const;

@@ -39,6 +39,19 @@ void RateAccumulator::add(double rate, std::uint64_t trials) {
   trials_ += trials;
 }
 
+RateAccumulator RateAccumulator::from_counts(double successes,
+                                             std::uint64_t trials) {
+  RateAccumulator acc;
+  acc.successes_ = successes;
+  acc.trials_ = trials;
+  return acc;
+}
+
+void RateAccumulator::merge(const RateAccumulator& other) {
+  successes_ += other.successes_;
+  trials_ += other.trials_;
+}
+
 double RateAccumulator::rate() const {
   if (trials_ == 0) return 0.0;
   return successes_ / static_cast<double>(trials_);
@@ -55,6 +68,20 @@ Estimate RateAccumulator::wald(double z) const {
 void MeanAccumulator::add(double chunk_mean, std::uint64_t chunk_samples) {
   batch_.add(chunk_mean);
   samples_ += chunk_samples;
+}
+
+MeanAccumulator MeanAccumulator::from_state(std::size_t chunks,
+                                            double batch_mean, double batch_m2,
+                                            std::uint64_t samples) {
+  MeanAccumulator acc;
+  acc.batch_ = util::RunningStats::from_moments(chunks, batch_mean, batch_m2);
+  acc.samples_ = samples;
+  return acc;
+}
+
+void MeanAccumulator::merge(const MeanAccumulator& other) {
+  batch_.merge(other.batch_);
+  samples_ += other.samples_;
 }
 
 Estimate MeanAccumulator::interval(double z) const {

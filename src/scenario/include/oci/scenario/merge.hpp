@@ -1,0 +1,39 @@
+// Report merging: folds partial (shard) RunReports -- and repeat runs
+// under different seeds -- back into one document with the exact
+// statistics an equivalent single run would have produced.
+//
+// Two distinct folds, chosen per point:
+//  - Disjoint points (the shard case) pass through VERBATIM: the
+//    shards computed them from global-index RNG streams, so the union
+//    is bit-identical to the unsharded sweep.
+//  - Coincident points from DIFFERENT seeds pool their accumulator
+//    state (RateAccumulator counts, MeanAccumulator batch moments,
+//    count sums) and recompute the interval estimates from the pooled
+//    state with the stored confidence z. Estimates are never averaged.
+// Coincident points from the SAME seed are an error -- they are the
+// same random samples twice, and pooling them would fake precision.
+#pragma once
+
+#include <vector>
+
+#include "oci/scenario/runner.hpp"
+
+namespace oci::scenario {
+
+struct MergeOptions {
+  /// Accept a merged report that does not cover every point of the
+  /// sweep (points_total). Default off: an incomplete union usually
+  /// means a shard went missing, which should fail loudly.
+  bool allow_partial = false;
+};
+
+/// Merges the given reports into one. All inputs must describe the same
+/// experiment: same scenario name, spec_hash, topology, axis names,
+/// metric names/kinds, repro scale, adaptive flag, confidence z and
+/// points_total. Throws std::invalid_argument on any mismatch, on a
+/// duplicate (point_index, seed) pair, on kConstant metrics that
+/// disagree, and -- unless `allow_partial` -- on missing points.
+[[nodiscard]] RunReport merge_reports(const std::vector<RunReport>& parts,
+                                      const MergeOptions& options = {});
+
+}  // namespace oci::scenario

@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "oci/analysis/sequential.hpp"
+#include "oci/scenario/cli.hpp"
 #include "oci/scenario/spec.hpp"
+#include "oci/scenario/store.hpp"
 #include "oci/sim/batch_runner.hpp"
 #include "oci/util/table.hpp"
 
@@ -42,6 +44,11 @@ struct MetricDef {
   MetricKind kind = MetricKind::kMean;
 };
 
+/// "rate" / "mean" / "count" / "constant" (BENCH json, merge checks).
+[[nodiscard]] const char* to_string(MetricKind k);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] MetricKind metric_kind_from_string(const std::string& name);
+
 /// The metric schema (names + kinds) the spec's topology and traffic
 /// mode resolve to -- the contract between dispatch, the adaptive
 /// accumulators, and the report columns.
@@ -49,6 +56,10 @@ struct MetricDef {
 
 /// One sweep point's outcome.
 struct RunPoint {
+  /// GLOBAL index in the sweep's Cartesian product. Stable across
+  /// shards -- shard i of N reports points {i, i+N, ...} -- so merge
+  /// can interleave partial reports back into the full sweep order.
+  std::size_t point_index = 0;
   /// Printable axis values, aligned with RunReport::axis_names.
   std::vector<std::string> coordinate;
   /// Metric values, aligned with RunReport::metric_names.
@@ -57,6 +68,15 @@ struct RunPoint {
   /// n_samples} for every metric. value always equals metrics[m];
   /// constant-kind metrics carry a zero-width interval.
   std::vector<analysis::Estimate> estimates;
+  /// Per-metric accumulator state, aligned with metrics. Only the slot
+  /// matching the metric's kind is meaningful (rates[m] for kRate,
+  /// means[m] for kMean, sums[m] for kCount, last[m] for kConstant).
+  /// This is what merge pools -- estimates are recomputed from merged
+  /// accumulators, never averaged.
+  std::vector<analysis::RateAccumulator> rates;
+  std::vector<analysis::MeanAccumulator> means;
+  std::vector<double> sums;
+  std::vector<double> last;
   std::uint64_t samples = 0;    ///< symbols/transfers/slots/hits run
   std::uint64_t chunks = 1;     ///< adaptive chunks spent (1 = fixed budget)
   std::uint64_t rng_draws = 0;  ///< RNG draws consumed by this point
@@ -66,7 +86,8 @@ struct RunPoint {
   [[nodiscard]] std::string label(const std::vector<std::string>& axis_names) const;
 };
 
-/// Uniform result document of one scenario run.
+/// Uniform result document of one scenario run (or of one shard of a
+/// run; see shard/points_total).
 struct RunReport {
   std::string scenario;
   std::string description;
@@ -74,11 +95,29 @@ struct RunReport {
   double repro_scale = 1.0;
   std::string topology;
   bool adaptive = false;  ///< ran under a PrecisionSpec stopping rule
+  /// serialize.hpp's content hash of the resolved spec. Merge refuses
+  /// to fold reports whose hashes differ -- they are different
+  /// experiments even if their names match.
+  std::string spec_hash;
+  /// z-score of every interval estimate (merge recomputes pooled
+  /// intervals with it).
+  double confidence_z = 1.96;
+  /// Shard this report covers; {0, 1} = the full sweep.
+  ShardSpec shard;
+  /// Size of the FULL sweep's Cartesian product (== points.size() for
+  /// an unsharded run; larger for a shard's partial report).
+  std::size_t points_total = 0;
+  /// Result-store traffic of this run: chunks served from the cache vs
+  /// simulated. Informational (never part of deterministic output).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   /// Worker threads the run actually used. Metadata only (exported in
   /// the BENCH json "meta" object); results never depend on it.
   std::size_t threads = 0;
   std::vector<std::string> axis_names;
   std::vector<std::string> metric_names;
+  /// Statistical kind per metric, aligned with metric_names.
+  std::vector<MetricKind> metric_kinds;
   std::vector<RunPoint> points;
 
   /// Point whose label(axis_names) matches; nullptr when absent.
@@ -95,15 +134,20 @@ struct RunReport {
   void print(std::ostream& os) const;
 
   /// Writes the stable BENCH trajectory document (schema_version 2,
-  /// the shape tools/bench_diff.py consumes and gates on): one result
-  /// row per sweep point with ns_per_op (wall/sample, informational),
-  /// iterations (= samples) and rng_draws_per_op (deterministic), plus
-  /// a "metrics" object mapping every metric name to {value, ci_low,
-  /// ci_high, n_samples} so CI can flag drift as statistically
-  /// significant instead of eyeballing deltas. A "meta" object records
-  /// the run environment (git sha, thread count, compiler) --
-  /// informational, never diffed.
+  /// the shape tools/bench_diff.py consumes and gates on). Delegates to
+  /// report_io::save (report_io.hpp), kept as a method for the ported
+  /// benches and tests.
   void write_bench_json(const std::string& path) const;
+};
+
+/// Execution options of one ScenarioRunner::run call.
+struct RunOptions {
+  /// Result store consulted before simulating each chunk and fed every
+  /// finished one; nullptr = no cache (NullResultStore semantics).
+  /// Borrowed -- must outlive the run() call.
+  const ResultStore* store = nullptr;
+  /// Sweep partition to execute; {0, 1} = the full sweep.
+  ShardSpec shard;
 };
 
 class ScenarioRunner {
@@ -118,49 +162,18 @@ class ScenarioRunner {
   /// environment knob re-seeds every scenario-driven binary uniformly.
   [[nodiscard]] RunReport run(const ScenarioSpec& spec) const;
 
+  /// Same, with a result store and/or shard. Per-point RNG streams are
+  /// derived from GLOBAL sweep indices, so a shard's points (and its
+  /// cached chunks) are bit-identical to the same points of a full run.
+  [[nodiscard]] RunReport run(const ScenarioSpec& spec, const RunOptions& options) const;
+
  private:
   std::size_t threads_;
 };
 
-/// -- Seed override helpers -------------------------------------------
-/// OCI_SEED parsed as an unsigned integer; nullopt when unset/garbled.
-[[nodiscard]] std::optional<std::uint64_t> seed_from_env();
-
-/// Scans argv for --seed=N (or --seed N), REMOVES it so the remaining
-/// args can go to benchmark::Initialize, and returns the value. A
-/// consumed CLI seed is also exported as OCI_SEED so the precedence
-/// below holds for every later resolution in the process (call from
-/// main(), before spawning threads).
-[[nodiscard]] std::optional<std::uint64_t> consume_seed_arg(int& argc, char** argv);
-
-/// The seed every scenario-aware binary runs with:
-/// --seed= beats OCI_SEED beats the built-in fallback.
-[[nodiscard]] std::uint64_t resolve_seed(std::uint64_t fallback);
-[[nodiscard]] std::uint64_t resolve_seed(std::uint64_t fallback, int& argc, char** argv);
-
-/// -- Precision override helpers --------------------------------------
-/// Same precedence story as seeds: CLI beats environment beats spec.
-/// OCI_PRECISION (positive double) forces an absolute CI half-width
-/// target -- arming adaptive mode even for specs without a
-/// PrecisionSpec -- and OCI_MAX_SAMPLES (positive integer) caps the
-/// per-point adaptive budget. Both parsed strictly; garbled values
-/// read as unset.
-[[nodiscard]] std::optional<double> precision_from_env();
-[[nodiscard]] std::optional<std::uint64_t> max_samples_from_env();
-
-/// Scans argv for --precision=H and --max-samples=N (= or split form),
-/// REMOVES them, and exports consumed values as OCI_PRECISION /
-/// OCI_MAX_SAMPLES so every later ScenarioRunner::run in the process
-/// sees them (call from main() before spawning threads). Unlike the
-/// forgiving seed parser, a garbled value throws std::invalid_argument
-/// -- an explicit precision override must never be silently ignored.
-void consume_precision_args(int& argc, char** argv);
-
-/// Applies the environment overrides to spec.precision in place:
-/// OCI_PRECISION sets target_half_width and enables adaptive mode
-/// (except for code-density traffic, which cannot chunk);
-/// OCI_MAX_SAMPLES caps max_samples. ScenarioRunner::run calls this --
-/// exposed for tools that want to inspect the resolved spec.
-void apply_precision_overrides(ScenarioSpec& spec);
+// The seed/precision override helpers (seed_from_env, consume_seed_arg,
+// resolve_seed, consume_precision_args, ...) moved to
+// oci/scenario/cli.hpp, included above so existing callers keep
+// compiling unchanged.
 
 }  // namespace oci::scenario

@@ -1,0 +1,101 @@
+// Content-addressed on-disk result store: the persistence half of the
+// scenario service. A chunk -- one map_until step of one sweep point --
+// is a pure function of (spec_hash, seed, point index, chunk index)
+// given the code version, so a stored chunk is bit-identical to
+// recomputing it. ScenarioRunner consults the store before simulating
+// each chunk and persists every finished one, which yields:
+//  - warm-cache runs that do zero simulation,
+//  - checkpoint/resume of killed sweeps for free (finished chunks are
+//    already on disk; the restart recomputes only the tail),
+//  - shards that later merge into exactly the unsharded report.
+//
+// The store trusts its key: it does NOT detect code changes that alter
+// simulation semantics. Invalidate by key (CI uses per-commit cache
+// keys) or age (cache_gc), or wipe the directory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oci::scenario {
+
+/// Address of one simulation chunk.
+struct ChunkKey {
+  std::string spec_hash;    ///< serialize.hpp's spec_hash(spec)
+  std::uint64_t seed = 0;   ///< resolved root seed of the run
+  std::size_t point = 0;    ///< GLOBAL sweep point index (shard-independent)
+  std::size_t chunk = 0;    ///< chunk ordinal within the point
+};
+
+/// One chunk's raw outcome: exactly what dispatch() returned for it.
+struct ChunkRecord {
+  std::uint64_t samples = 0;    ///< samples this chunk actually ran
+  std::uint64_t rng_draws = 0;  ///< RNG draws the chunk consumed
+  std::vector<double> metrics;  ///< per-metric chunk values, schema order
+};
+
+/// Storage interface consulted by ScenarioRunner. Implementations must
+/// be safe for concurrent load/save from the runner's worker threads
+/// (distinct keys; the runner never races one key).
+class ResultStore {
+ public:
+  virtual ~ResultStore() = default;
+
+  /// The stored record, or nullopt on miss (absent, unreadable, or
+  /// corrupt -- a bad entry reads as a miss, never as data).
+  [[nodiscard]] virtual std::optional<ChunkRecord> load(const ChunkKey& key) const = 0;
+
+  /// Persists `record` under `key` (overwrites). Errors are swallowed:
+  /// a full disk degrades the run to uncached, it does not fail it.
+  virtual void save(const ChunkKey& key, const ChunkRecord& record) const = 0;
+};
+
+/// No-op backend: every load misses, saves vanish. The runner's default.
+class NullResultStore final : public ResultStore {
+ public:
+  [[nodiscard]] std::optional<ChunkRecord> load(const ChunkKey&) const override {
+    return std::nullopt;
+  }
+  void save(const ChunkKey&, const ChunkRecord&) const override {}
+};
+
+/// Filesystem backend. Layout:
+///   <root>/<spec_hash>/seed<seed>/p<point>.c<chunk>
+/// One small text file per chunk, written atomically (temp file +
+/// rename) so a killed run never leaves a torn entry behind.
+class FsResultStore final : public ResultStore {
+ public:
+  /// Creates <root> (and parents) eagerly so a misconfigured path fails
+  /// loudly at startup, not silently per chunk. Throws std::runtime_error
+  /// when the directory cannot be created.
+  explicit FsResultStore(std::string root);
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+  [[nodiscard]] std::optional<ChunkRecord> load(const ChunkKey& key) const override;
+  void save(const ChunkKey& key, const ChunkRecord& record) const override;
+
+  /// On-disk path of a key (exposed for tests and cache tooling).
+  [[nodiscard]] std::string path_of(const ChunkKey& key) const;
+
+ private:
+  std::string root_;
+};
+
+/// Outcome of a cache_gc sweep.
+struct GcReport {
+  std::size_t scanned = 0;        ///< chunk files examined
+  std::size_t removed = 0;        ///< files deleted (or would-be, dry run)
+  std::size_t kept = 0;
+  std::uintmax_t bytes_freed = 0; ///< total size of removed files
+};
+
+/// Deletes chunk files older than `max_age_days` (by last write time)
+/// under `root`, pruning directories that become empty. `dry_run`
+/// reports without deleting. A missing root yields an all-zero report.
+[[nodiscard]] GcReport cache_gc(const std::string& root, double max_age_days,
+                                bool dry_run = false);
+
+}  // namespace oci::scenario

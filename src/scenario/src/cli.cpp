@@ -1,0 +1,232 @@
+#include "oci/scenario/cli.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace oci::scenario {
+
+std::optional<std::uint64_t> seed_from_env() {
+  const char* env = std::getenv("OCI_SEED");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<std::uint64_t> consume_seed_arg(int& argc, char** argv) {
+  std::optional<std::uint64_t> out;
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      value = arg + 7;
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      value = argv[++i];
+    }
+    if (value != nullptr) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(value, &end, 10);
+      if (end != value && *end == '\0') out = static_cast<std::uint64_t>(v);
+      continue;  // consumed either way; a garbled value falls back
+    }
+    argv[write++] = argv[i];
+  }
+  if (write < argc) {
+    argc = write;
+    argv[argc] = nullptr;
+  }
+  // Export the CLI seed as OCI_SEED so the documented precedence
+  // (--seed beats OCI_SEED beats the spec) holds for EVERY later
+  // resolution in this process -- including ScenarioRunner::run()'s
+  // own env check, which would otherwise re-apply a stale OCI_SEED
+  // over the CLI value. Called from main() before any threads exist.
+  if (out) setenv("OCI_SEED", std::to_string(*out).c_str(), 1);
+  return out;
+}
+
+std::optional<double> precision_from_env() {
+  const char* env = std::getenv("OCI_PRECISION");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(v > 0.0)) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> max_samples_from_env() {
+  const char* env = std::getenv("OCI_MAX_SAMPLES");
+  if (env == nullptr || *env == '\0' || env[0] == '-') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+void consume_precision_args(int& argc, char** argv) {
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* var = nullptr;
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--precision=", 12) == 0) {
+      var = "OCI_PRECISION";
+      value = arg + 12;
+    } else if (std::strcmp(arg, "--precision") == 0 && i + 1 < argc) {
+      var = "OCI_PRECISION";
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--max-samples=", 14) == 0) {
+      var = "OCI_MAX_SAMPLES";
+      value = arg + 14;
+    } else if (std::strcmp(arg, "--max-samples") == 0 && i + 1 < argc) {
+      var = "OCI_MAX_SAMPLES";
+      value = argv[++i];
+    }
+    if (var != nullptr) {
+      // An explicit CLI override must never be silently dropped:
+      // validate with the same strict parsers the environment uses.
+      const std::string saved = value;
+      setenv(var, value, 1);
+      const bool ok = std::strcmp(var, "OCI_PRECISION") == 0
+                          ? precision_from_env().has_value()
+                          : max_samples_from_env().has_value();
+      if (!ok) {
+        unsetenv(var);
+        throw std::invalid_argument(
+            std::string("scenario: ") +
+            (std::strcmp(var, "OCI_PRECISION") == 0 ? "--precision"
+                                                    : "--max-samples") +
+            " needs a positive " +
+            (std::strcmp(var, "OCI_PRECISION") == 0 ? "number" : "integer") +
+            ", got '" + saved + "'");
+      }
+      // Exported (like the consumed seed) so EVERY later resolution in
+      // the process honours the CLI-beats-env-beats-spec precedence.
+      continue;
+    }
+    argv[write++] = argv[i];
+  }
+  if (write < argc) {
+    argc = write;
+    argv[argc] = nullptr;
+  }
+}
+
+void apply_precision_overrides(ScenarioSpec& spec) {
+  if (const auto half_width = precision_from_env()) {
+    // Code-density traffic cannot chunk (whole-run order statistics);
+    // the env knob skips those scenarios instead of invalidating them.
+    if (spec.resolved_mode() != TrafficMode::kCodeDensity) {
+      spec.precision.target_half_width = *half_width;
+      // FORCE the absolute target: a spec's own looser relative /
+      // rare-event rules would otherwise still fire first (targets
+      // compose with OR) and silently undo the override.
+      spec.precision.target_relative = 0.0;
+      spec.precision.stop_below = 0.0;
+      spec.precision.enabled = true;
+    }
+  }
+  if (const auto cap = max_samples_from_env()) {
+    spec.precision.max_samples = *cap;
+  }
+}
+
+std::uint64_t resolve_seed(std::uint64_t fallback) {
+  return seed_from_env().value_or(fallback);
+}
+
+std::uint64_t resolve_seed(std::uint64_t fallback, int& argc, char** argv) {
+  const std::optional<std::uint64_t> cli = consume_seed_arg(argc, argv);
+  if (cli) return *cli;
+  return resolve_seed(fallback);
+}
+
+ShardSpec parse_shard(const std::string& text) {
+  const auto slash = text.find('/');
+  const auto bad = [&text] {
+    return std::invalid_argument("scenario: --shard needs i/N with i < N, got '" +
+                                 text + "'");
+  };
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) throw bad();
+  const std::string lhs = text.substr(0, slash);
+  const std::string rhs = text.substr(slash + 1);
+  char* end = nullptr;
+  const unsigned long long index = std::strtoull(lhs.c_str(), &end, 10);
+  if (end == lhs.c_str() || *end != '\0' || lhs[0] == '-') throw bad();
+  const unsigned long long count = std::strtoull(rhs.c_str(), &end, 10);
+  if (end == rhs.c_str() || *end != '\0' || rhs[0] == '-') throw bad();
+  if (count == 0 || index >= count) throw bad();
+  ShardSpec s;
+  s.index = static_cast<std::size_t>(index);
+  s.count = static_cast<std::size_t>(count);
+  return s;
+}
+
+std::optional<ShardSpec> consume_shard_arg(int& argc, char** argv) {
+  std::optional<ShardSpec> out;
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--shard=", 8) == 0) {
+      value = arg + 8;
+    } else if (std::strcmp(arg, "--shard") == 0 && i + 1 < argc) {
+      value = argv[++i];
+    }
+    if (value != nullptr) {
+      out = parse_shard(value);  // strict: a garbled shard must not run the full sweep
+      continue;
+    }
+    argv[write++] = argv[i];
+  }
+  if (write < argc) {
+    argc = write;
+    argv[argc] = nullptr;
+  }
+  return out;
+}
+
+std::optional<std::string> cache_dir_from_env() {
+  const char* env = std::getenv("OCI_SCENARIO_CACHE");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  return std::string(env);
+}
+
+std::optional<std::string> consume_cache_arg(int& argc, char** argv) {
+  std::optional<std::string> out;
+  int write = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--cache=", 8) == 0) {
+      value = arg + 8;
+    } else if (std::strcmp(arg, "--cache") == 0 && i + 1 < argc) {
+      value = argv[++i];
+    }
+    if (value != nullptr) {
+      if (*value == '\0') {
+        throw std::invalid_argument("scenario: --cache needs a directory, got ''");
+      }
+      out = std::string(value);
+      continue;
+    }
+    argv[write++] = argv[i];
+  }
+  if (write < argc) {
+    argc = write;
+    argv[argc] = nullptr;
+  }
+  // Exported so every later resolve_cache_dir / run in the process
+  // sees the CLI value -- same precedence story as seeds.
+  if (out) setenv("OCI_SCENARIO_CACHE", out->c_str(), 1);
+  return out;
+}
+
+std::optional<std::string> resolve_cache_dir(int& argc, char** argv) {
+  if (auto cli = consume_cache_arg(argc, argv)) return cli;
+  return cache_dir_from_env();
+}
+
+}  // namespace oci::scenario

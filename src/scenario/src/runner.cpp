@@ -14,6 +14,8 @@
 
 #include "oci/analysis/report.hpp"
 #include "oci/bus/vertical_bus.hpp"
+#include "oci/scenario/report_io.hpp"
+#include "oci/scenario/serialize.hpp"
 #include "oci/link/fec_link.hpp"
 #include "oci/link/link_engine.hpp"
 #include "oci/link/symbol_delivery.hpp"
@@ -374,17 +376,29 @@ PointResult dispatch(const ScenarioSpec& s, std::uint64_t samples, RngStream& rn
   throw std::logic_error("scenario: unhandled topology");
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+}  // namespace
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kRate:
+      return "rate";
+    case MetricKind::kMean:
+      return "mean";
+    case MetricKind::kCount:
+      return "count";
+    case MetricKind::kConstant:
+      return "constant";
   }
-  return out;
+  return "unknown";
 }
 
-}  // namespace
+MetricKind metric_kind_from_string(const std::string& name) {
+  if (name == "rate") return MetricKind::kRate;
+  if (name == "mean") return MetricKind::kMean;
+  if (name == "count") return MetricKind::kCount;
+  if (name == "constant") return MetricKind::kConstant;
+  throw std::invalid_argument("scenario: unknown metric kind '" + name + "'");
+}
 
 std::vector<MetricDef> metrics_for(const ScenarioSpec& spec) {
   using K = MetricKind;
@@ -498,90 +512,32 @@ util::Table RunReport::to_table(int precision) const {
 void RunReport::print(std::ostream& os) const {
   os << "scenario " << scenario << ": topology=" << topology << ", seed=" << seed
      << ", points=" << points.size();
+  // Unsharded output is byte-identical to the pre-service format, so
+  // the CI 1-vs-8-thread stdout diffs stay meaningful.
+  if (shard.active()) os << " of " << points_total << ", shard=" << shard.index
+                         << "/" << shard.count;
   std::uint64_t total_samples = 0;
   for (const RunPoint& p : points) total_samples += p.samples;
   os << ", samples=" << total_samples << "\n";
   to_table().print(os);
 }
 
-namespace {
-
-/// Best-effort commit id for the trajectory metadata: OCI_GIT_SHA
-/// (explicit override) beats GITHUB_SHA (set by Actions); "unknown"
-/// outside CI. Metadata only -- bench_diff never gates on it.
-std::string git_sha_for_meta() {
-  for (const char* var : {"OCI_GIT_SHA", "GITHUB_SHA"}) {
-    if (const char* v = std::getenv(var); v != nullptr && *v != '\0') return v;
-  }
-  return "unknown";
-}
-
-const char* compiler_for_meta() {
-#if defined(__clang__)
-  return "clang " __VERSION__;
-#elif defined(__GNUC__)
-  return "gcc " __VERSION__;
-#else
-  return "unknown";
-#endif
-}
-
-void write_json_number(std::ostream& os, double v) {
-  if (std::isfinite(v)) {
-    os << v;
-  } else {
-    os << "null";
-  }
-}
-
-}  // namespace
-
 void RunReport::write_bench_json(const std::string& path) const {
-  std::ofstream os(path);
-  os << std::setprecision(12);
-  os << "{\n";
-  os << "  \"schema_version\": 2,\n";
-  os << "  \"binary\": \"scenario_" << json_escape(scenario) << "\",\n";
-  os << "  \"config\": { \"repro_scale\": " << repro_scale << ", \"seed\": " << seed
-     << ", \"topology\": \"" << json_escape(topology) << "\", \"adaptive\": "
-     << (adaptive ? "true" : "false") << " },\n";
-  os << "  \"meta\": { \"git_sha\": \"" << json_escape(git_sha_for_meta())
-     << "\", \"threads\": " << threads << ", \"compiler\": \""
-     << json_escape(compiler_for_meta()) << "\" },\n";
-  os << "  \"results\": [";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const RunPoint& p = points[i];
-    const double per_op = static_cast<double>(std::max<std::uint64_t>(p.samples, 1));
-    os << (i == 0 ? "\n" : ",\n");
-    os << "    { \"name\": \"" << json_escape(scenario + "/" + p.label(axis_names))
-       << "\", \"ns_per_op\": " << p.wall_ns / per_op
-       << ", \"iterations\": " << p.samples << ", \"chunks\": " << p.chunks
-       << ", \"rng_draws_per_op\": " << static_cast<double>(p.rng_draws) / per_op
-       << ", \"metrics\": {";
-    for (std::size_t m = 0; m < metric_names.size(); ++m) {
-      os << (m == 0 ? " " : ", ");
-      // Every metric is the full interval quartet; points that ran
-      // without estimates (hand-built reports) fall back to a
-      // zero-width interval around the value.
-      const analysis::Estimate e =
-          m < p.estimates.size()
-              ? p.estimates[m]
-              : analysis::Estimate{p.metrics[m], p.metrics[m], p.metrics[m], p.samples};
-      os << "\"" << json_escape(metric_names[m]) << "\": { \"value\": ";
-      write_json_number(os, e.value);
-      os << ", \"ci_low\": ";
-      write_json_number(os, e.ci_low);
-      os << ", \"ci_high\": ";
-      write_json_number(os, e.ci_high);
-      os << ", \"n_samples\": " << e.n_samples << " }";
-    }
-    os << " } }";
-  }
-  os << "\n  ]\n}\n";
+  report_io::save(*this, path);
 }
 
 RunReport ScenarioRunner::run(const ScenarioSpec& spec) const {
+  return run(spec, RunOptions{});
+}
+
+RunReport ScenarioRunner::run(const ScenarioSpec& spec, const RunOptions& options) const {
   spec.validate();
+  if (options.shard.count == 0 || options.shard.index >= options.shard.count) {
+    throw std::invalid_argument("scenario: shard index " +
+                                std::to_string(options.shard.index) +
+                                " out of range for count " +
+                                std::to_string(options.shard.count));
+  }
   ScenarioSpec base = spec;
   base.seed = resolve_seed(spec.seed);
   apply_precision_overrides(base);
@@ -594,9 +550,17 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec) const {
   report.repro_scale = analysis::repro_scale();
   report.topology = to_string(base.topology);
   report.adaptive = base.precision.enabled;
+  // Hashed AFTER seed/precision overrides resolve: the hash names what
+  // actually runs, not what the file said.
+  report.spec_hash = spec_hash(base);
+  report.confidence_z = base.precision.confidence_z;
+  report.shard = options.shard;
   for (const SweepAxis& a : base.sweep) report.axis_names.push_back(a.param);
   const std::vector<MetricDef> defs = metrics_for(base);
-  for (const MetricDef& d : defs) report.metric_names.push_back(d.name);
+  for (const MetricDef& d : defs) {
+    report.metric_names.push_back(d.name);
+    report.metric_kinds.push_back(d.kind);
+  }
 
   sim::BatchConfig bc;
   bc.threads = threads_;
@@ -621,6 +585,8 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec) const {
     std::uint64_t samples = 0;
     std::uint64_t chunks = 0;
     std::uint64_t rng_draws = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
     double wall_ns = 0.0;
   };
   const auto estimate_of = [&defs](const PointState& st, std::size_t m) {
@@ -641,9 +607,18 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec) const {
 
   const bool adaptive = base.precision.enabled;
   const std::size_t n = base.sweep_points();
-  const auto results = runner.map_until<PointState>(
-      n, "scenario:" + base.name,
-      [&](std::size_t i, std::size_t /*chunk*/, RngStream& rng, PointState& st) {
+  report.points_total = n;
+  // Shard i of N owns global points {i, i+N, i+2N, ...}. Streams (and
+  // therefore cache keys) derive from the GLOBAL index, so a shard's
+  // results are bit-identical to the same points of an unsharded run.
+  std::vector<std::size_t> point_ids;
+  for (std::size_t g = options.shard.index; g < n; g += options.shard.count) {
+    point_ids.push_back(g);
+  }
+  const ResultStore* store = options.store;
+  auto results = runner.map_until<PointState>(
+      point_ids, "scenario:" + base.name,
+      [&](std::size_t i, std::size_t chunk, RngStream& rng, PointState& st) {
         if (!st.init) {
           st.point = base;
           const std::vector<std::size_t> idx = unravel(i, base.sweep);
@@ -682,11 +657,36 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec) const {
         if (st.rule.max_samples > st.samples) {
           run_samples = std::min(run_samples, st.rule.max_samples - st.samples);
         }
-        const auto t0 = std::chrono::steady_clock::now();
-        const PointResult r = dispatch(st.point, run_samples, rng);
-        st.wall_ns += std::chrono::duration<double, std::nano>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
+        // Chunk (point i, ordinal `chunk`) is a pure function of the
+        // store key: consult the cache, simulate only on miss. A hit
+        // must match the samples this run would execute (a different
+        // repro scale or precision override re-keys via the hash, but a
+        // corrupt/truncated entry must never slip through).
+        ChunkKey key;
+        PointResult r;
+        bool cached = false;
+        if (store != nullptr) {
+          key = ChunkKey{report.spec_hash, base.seed, i, chunk};
+          if (auto rec = store->load(key);
+              rec && rec->samples == run_samples && rec->metrics.size() == defs.size()) {
+            r.metrics = std::move(rec->metrics);
+            r.rng_draws = rec->rng_draws;
+            cached = true;
+          }
+        }
+        if (cached) {
+          ++st.cache_hits;
+        } else {
+          const auto t0 = std::chrono::steady_clock::now();
+          r = dispatch(st.point, run_samples, rng);
+          st.wall_ns += std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+          if (store != nullptr) {
+            ++st.cache_misses;
+            store->save(key, ChunkRecord{run_samples, r.rng_draws, r.metrics});
+          }
+        }
         for (std::size_t m = 0; m < defs.size(); ++m) {
           switch (defs[m].kind) {
             case MetricKind::kRate:
@@ -711,11 +711,12 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec) const {
         return st.rule.should_stop(estimate_of(st, st.target));
       });
 
-  report.points.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const PointState& st = results[i];
+  report.points.reserve(point_ids.size());
+  for (std::size_t slot = 0; slot < point_ids.size(); ++slot) {
+    PointState& st = results[slot];
     RunPoint p;
-    const std::vector<std::size_t> idx = unravel(i, base.sweep);
+    p.point_index = point_ids[slot];
+    const std::vector<std::size_t> idx = unravel(p.point_index, base.sweep);
     for (std::size_t a = 0; a < base.sweep.size(); ++a) {
       p.coordinate.push_back(base.sweep[a].display(idx[a]));
     }
@@ -725,150 +726,21 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec) const {
       p.estimates.push_back(estimate_of(st, m));
       p.metrics.push_back(p.estimates.back().value);
     }
+    // Export the accumulator state itself: merge pools THIS, then
+    // recomputes the intervals -- it never averages estimates.
+    p.rates = std::move(st.rates);
+    p.means = std::move(st.means);
+    p.sums = std::move(st.sums);
+    p.last = std::move(st.last);
     p.rng_draws = st.rng_draws;
     p.samples = st.samples;
     p.chunks = st.chunks;
     p.wall_ns = st.wall_ns;
+    report.cache_hits += st.cache_hits;
+    report.cache_misses += st.cache_misses;
     report.points.push_back(std::move(p));
   }
   return report;
-}
-
-std::optional<std::uint64_t> seed_from_env() {
-  const char* env = std::getenv("OCI_SEED");
-  if (env == nullptr || *env == '\0') return std::nullopt;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(env, &end, 10);
-  if (end == env || *end != '\0') return std::nullopt;
-  return static_cast<std::uint64_t>(v);
-}
-
-std::optional<std::uint64_t> consume_seed_arg(int& argc, char** argv) {
-  std::optional<std::uint64_t> out;
-  int write = 1;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* value = nullptr;
-    if (std::strncmp(arg, "--seed=", 7) == 0) {
-      value = arg + 7;
-    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
-      value = argv[++i];
-    }
-    if (value != nullptr) {
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(value, &end, 10);
-      if (end != value && *end == '\0') out = static_cast<std::uint64_t>(v);
-      continue;  // consumed either way; a garbled value falls back
-    }
-    argv[write++] = argv[i];
-  }
-  if (write < argc) {
-    argc = write;
-    argv[argc] = nullptr;
-  }
-  // Export the CLI seed as OCI_SEED so the documented precedence
-  // (--seed beats OCI_SEED beats the spec) holds for EVERY later
-  // resolution in this process -- including ScenarioRunner::run()'s
-  // own env check, which would otherwise re-apply a stale OCI_SEED
-  // over the CLI value. Called from main() before any threads exist.
-  if (out) setenv("OCI_SEED", std::to_string(*out).c_str(), 1);
-  return out;
-}
-
-std::optional<double> precision_from_env() {
-  const char* env = std::getenv("OCI_PRECISION");
-  if (env == nullptr || *env == '\0') return std::nullopt;
-  char* end = nullptr;
-  const double v = std::strtod(env, &end);
-  if (end == env || *end != '\0' || !(v > 0.0)) return std::nullopt;
-  return v;
-}
-
-std::optional<std::uint64_t> max_samples_from_env() {
-  const char* env = std::getenv("OCI_MAX_SAMPLES");
-  if (env == nullptr || *env == '\0' || env[0] == '-') return std::nullopt;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(env, &end, 10);
-  if (end == env || *end != '\0' || v == 0) return std::nullopt;
-  return static_cast<std::uint64_t>(v);
-}
-
-void consume_precision_args(int& argc, char** argv) {
-  int write = 1;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* var = nullptr;
-    const char* value = nullptr;
-    if (std::strncmp(arg, "--precision=", 12) == 0) {
-      var = "OCI_PRECISION";
-      value = arg + 12;
-    } else if (std::strcmp(arg, "--precision") == 0 && i + 1 < argc) {
-      var = "OCI_PRECISION";
-      value = argv[++i];
-    } else if (std::strncmp(arg, "--max-samples=", 14) == 0) {
-      var = "OCI_MAX_SAMPLES";
-      value = arg + 14;
-    } else if (std::strcmp(arg, "--max-samples") == 0 && i + 1 < argc) {
-      var = "OCI_MAX_SAMPLES";
-      value = argv[++i];
-    }
-    if (var != nullptr) {
-      // An explicit CLI override must never be silently dropped:
-      // validate with the same strict parsers the environment uses.
-      const std::string saved = value;
-      setenv(var, value, 1);
-      const bool ok = std::strcmp(var, "OCI_PRECISION") == 0
-                          ? precision_from_env().has_value()
-                          : max_samples_from_env().has_value();
-      if (!ok) {
-        unsetenv(var);
-        throw std::invalid_argument(
-            std::string("scenario: ") +
-            (std::strcmp(var, "OCI_PRECISION") == 0 ? "--precision"
-                                                    : "--max-samples") +
-            " needs a positive " +
-            (std::strcmp(var, "OCI_PRECISION") == 0 ? "number" : "integer") +
-            ", got '" + saved + "'");
-      }
-      // Exported (like the consumed seed) so EVERY later resolution in
-      // the process honours the CLI-beats-env-beats-spec precedence.
-      continue;
-    }
-    argv[write++] = argv[i];
-  }
-  if (write < argc) {
-    argc = write;
-    argv[argc] = nullptr;
-  }
-}
-
-void apply_precision_overrides(ScenarioSpec& spec) {
-  if (const auto half_width = precision_from_env()) {
-    // Code-density traffic cannot chunk (whole-run order statistics);
-    // the env knob skips those scenarios instead of invalidating them.
-    if (spec.resolved_mode() != TrafficMode::kCodeDensity) {
-      spec.precision.target_half_width = *half_width;
-      // FORCE the absolute target: a spec's own looser relative /
-      // rare-event rules would otherwise still fire first (targets
-      // compose with OR) and silently undo the override.
-      spec.precision.target_relative = 0.0;
-      spec.precision.stop_below = 0.0;
-      spec.precision.enabled = true;
-    }
-  }
-  if (const auto cap = max_samples_from_env()) {
-    spec.precision.max_samples = *cap;
-  }
-}
-
-std::uint64_t resolve_seed(std::uint64_t fallback) {
-  return seed_from_env().value_or(fallback);
-}
-
-std::uint64_t resolve_seed(std::uint64_t fallback, int& argc, char** argv) {
-  const std::optional<std::uint64_t> cli = consume_seed_arg(argc, argv);
-  if (cli) return *cli;
-  return resolve_seed(fallback);
 }
 
 }  // namespace oci::scenario

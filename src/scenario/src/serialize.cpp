@@ -1,0 +1,307 @@
+#include "oci/scenario/serialize.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <type_traits>
+
+#include "oci/analysis/report.hpp"
+
+namespace oci::scenario {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// SHA-256 (FIPS 180-4). Self-contained so the result store needs no
+// external dependency; throughput is irrelevant here (specs are ~2 KB).
+
+constexpr std::array<std::uint32_t, 64> kSha256K = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t rotr(std::uint32_t x, unsigned n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+struct Sha256 {
+  std::array<std::uint32_t, 8> h = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                    0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                    0x1f83d9ab, 0x5be0cd19};
+  std::array<std::uint8_t, 64> block{};
+  std::size_t block_len = 0;
+  std::uint64_t total_bytes = 0;
+
+  void compress(const std::uint8_t* p) {
+    std::array<std::uint32_t, 64> w;
+    for (std::size_t i = 0; i < 16; ++i) {
+      w[i] = (std::uint32_t(p[4 * i]) << 24) | (std::uint32_t(p[4 * i + 1]) << 16) |
+             (std::uint32_t(p[4 * i + 2]) << 8) | std::uint32_t(p[4 * i + 3]);
+    }
+    for (std::size_t i = 16; i < 64; ++i) {
+      const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    auto [a, b, c, d, e, f, g, hh] = h;
+    for (std::size_t i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t t1 = hh + s1 + ch + kSha256K[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t t2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+
+  void update(const std::uint8_t* data, std::size_t len) {
+    total_bytes += len;
+    while (len > 0) {
+      const std::size_t take = std::min(len, block.size() - block_len);
+      std::memcpy(block.data() + block_len, data, take);
+      block_len += take;
+      data += take;
+      len -= take;
+      if (block_len == block.size()) {
+        compress(block.data());
+        block_len = 0;
+      }
+    }
+  }
+
+  std::string finish_hex() {
+    const std::uint64_t bits = total_bytes * 8;
+    const std::uint8_t one = 0x80;
+    update(&one, 1);
+    const std::uint8_t zero = 0x00;
+    while (block_len != 56) update(&zero, 1);
+    std::array<std::uint8_t, 8> len_be;
+    for (std::size_t i = 0; i < 8; ++i) {
+      len_be[i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+    }
+    // update() already counted the padding; the length field closes the
+    // final block regardless of the running total.
+    std::memcpy(block.data() + block_len, len_be.data(), 8);
+    compress(block.data());
+    std::string out(64, '0');
+    for (std::size_t i = 0; i < 8; ++i) {
+      char buf[9];
+      std::snprintf(buf, sizeof buf, "%08x", h[i]);
+      std::memcpy(out.data() + 8 * i, buf, 8);
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Canonical text writer.
+
+/// Shortest exact round-trip rendering of a double (%.17g guarantees
+/// the bits survive text -> double).
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+class Canon {
+ public:
+  void kv(std::string_view key, const std::string& value) {
+    out_ << key << " = " << value << "\n";
+  }
+  void kv(std::string_view key, const char* value) { out_ << key << " = " << value << "\n"; }
+  void kv(std::string_view key, double value) { kv(key, fmt(value)); }
+  void kv(std::string_view key, bool value) { kv(key, value ? "1" : "0"); }
+  template <typename Int>
+    requires std::is_integral_v<Int>
+  void kv(std::string_view key, Int value) {
+    out_ << key << " = " << value << "\n";
+  }
+  template <typename Enum>
+    requires std::is_enum_v<Enum>
+  void kv(std::string_view key, Enum value) {
+    kv(key, static_cast<long long>(value));
+  }
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+std::string canonical_spec_text(const ScenarioSpec& s) {
+  // Every semantic field below is enumerated by hand: when the spec
+  // grows a field, add it HERE (and nowhere else) -- a missed field
+  // means two different experiments share a cache key. The format line
+  // re-keys every cache if the rendering itself ever changes.
+  Canon c;
+  c.kv("format", "oci-spec-canonical-v1");
+  c.kv("name", s.name);
+  c.kv("topology", to_string(s.topology));
+  c.kv("mode", to_string(s.mode));
+  c.kv("fec", to_string(s.fec));
+  c.kv("payload_bytes", s.payload_bytes);
+  // Ambient repro scale: it rescales every resolved budget, so two runs
+  // at different scales execute different chunks.
+  c.kv("repro_scale", analysis::repro_scale());
+
+  const auto& d = s.device;
+  c.kv("device.design.fine_elements", d.design.fine_elements);
+  c.kv("device.design.coarse_bits", d.design.coarse_bits);
+  c.kv("device.design.element_delay", d.design.element_delay.raw());
+  c.kv("device.bits_per_symbol", d.bits_per_symbol);
+  c.kv("device.labeling", d.labeling);
+  c.kv("device.led.wavelength", d.led.wavelength.raw());
+  c.kv("device.led.pulse_width", d.led.pulse_width.raw());
+  c.kv("device.led.shape", d.led.shape);
+  c.kv("device.led.peak_power", d.led.peak_power.raw());
+  c.kv("device.led.wall_plug_efficiency", d.led.wall_plug_efficiency);
+  c.kv("device.led.driver_load", d.led.driver_load.raw());
+  c.kv("device.led.supply", d.led.supply.raw());
+  c.kv("device.led.footprint", d.led.footprint.raw());
+  c.kv("device.spad.pdp_peak", d.spad.pdp_peak);
+  c.kv("device.spad.excess_bias", d.spad.excess_bias.raw());
+  c.kv("device.spad.nominal_excess_bias", d.spad.nominal_excess_bias.raw());
+  c.kv("device.spad.dead_time", d.spad.dead_time.raw());
+  c.kv("device.spad.quench", d.spad.quench);
+  c.kv("device.spad.dcr_at_ref", d.spad.dcr_at_ref.raw());
+  c.kv("device.spad.dcr_ref_temperature", d.spad.dcr_ref_temperature.raw());
+  c.kv("device.spad.dcr_doubling_kelvin", d.spad.dcr_doubling_kelvin);
+  c.kv("device.spad.afterpulse_probability", d.spad.afterpulse_probability);
+  c.kv("device.spad.afterpulse_tau", d.spad.afterpulse_tau.raw());
+  c.kv("device.spad.jitter_sigma", d.spad.jitter_sigma.raw());
+  c.kv("device.spad.footprint", d.spad.footprint.raw());
+  c.kv("device.delay_line.elements", d.delay_line.elements);
+  c.kv("device.delay_line.nominal_delay", d.delay_line.nominal_delay.raw());
+  c.kv("device.delay_line.mismatch_sigma", d.delay_line.mismatch_sigma);
+  c.kv("device.delay_line.odd_even_skew", d.delay_line.odd_even_skew);
+  c.kv("device.delay_line.temperature_coefficient",
+       d.delay_line.temperature_coefficient);
+  c.kv("device.delay_line.voltage_coefficient", d.delay_line.voltage_coefficient);
+  c.kv("device.delay_line.nominal_supply", d.delay_line.nominal_supply.raw());
+  c.kv("device.delay_line.metastability_window",
+       d.delay_line.metastability_window.raw());
+  c.kv("device.decode", d.decode);
+  c.kv("device.channel_transmittance", d.channel_transmittance);
+  c.kv("device.background_rate", d.background_rate.raw());
+  c.kv("device.temperature", d.temperature.raw());
+  c.kv("device.calibrate", d.calibrate);
+  c.kv("device.calibration_samples", d.calibration_samples);
+  c.kv("device.inter_symbol_guard", d.inter_symbol_guard.raw());
+  c.kv("device.rx_energy_per_conversion", d.rx_energy_per_conversion.raw());
+
+  c.kv("aggressors", s.aggressors.size());
+  for (std::size_t i = 0; i < s.aggressors.size(); ++i) {
+    const std::string p = "aggressor." + std::to_string(i);
+    c.kv(p + ".mean_photons", s.aggressors[i].mean_photons);
+    c.kv(p + ".offset_ps", s.aggressors[i].offset_ps);
+  }
+
+  c.kv("wdm.grid.center", s.wdm.grid.center.raw());
+  c.kv("wdm.grid.spacing", s.wdm.grid.spacing.raw());
+  c.kv("wdm.grid.channels", s.wdm.grid.channels);
+  c.kv("wdm.filter.passband_transmittance", s.wdm.filter.passband_transmittance);
+  c.kv("wdm.filter.adjacent_isolation_db", s.wdm.filter.adjacent_isolation_db);
+  c.kv("wdm.filter.rolloff_db_per_channel", s.wdm.filter.rolloff_db_per_channel);
+  c.kv("wdm.filter.isolation_floor_db", s.wdm.filter.isolation_floor_db);
+  c.kv("wdm.path_transmittance", s.wdm.path_transmittance);
+  c.kv("wdm.stack_dies", s.wdm.stack_dies);
+  c.kv("wdm.from_die", s.wdm.from_die);
+  c.kv("wdm.to_die", s.wdm.to_die);
+
+  c.kv("bus.dies", s.bus.dies);
+  c.kv("bus.master", s.bus.master);
+  c.kv("bus.die.thickness", s.bus.die.thickness.raw());
+  c.kv("bus.die.interface_coupling", s.bus.die.interface_coupling);
+  c.kv("bus.min_detection_probability", s.bus.min_detection_probability);
+
+  c.kv("noc.dies", s.noc.dies);
+  c.kv("noc.pattern", s.noc.pattern);
+  c.kv("noc.offered_load", s.noc.offered_load);
+  c.kv("noc.hot_die", s.noc.hot_die);
+  c.kv("noc.hot_load", s.noc.hot_load);
+  c.kv("noc.master_load", s.noc.master_load);
+  c.kv("noc.worker_load", s.noc.worker_load);
+  c.kv("noc.mac", s.noc.mac);
+  c.kv("noc.queue_capacity", s.noc.queue_capacity);
+  c.kv("noc.max_attempts", s.noc.max_attempts);
+  c.kv("noc.delivery", s.noc.delivery);
+  c.kv("noc.delivery_probability", s.noc.delivery_probability);
+  c.kv("noc.payload_bytes", s.noc.payload_bytes);
+  c.kv("noc.probe_transfers", s.noc.probe_transfers);
+
+  c.kv("sweep.axes", s.sweep.size());
+  for (std::size_t a = 0; a < s.sweep.size(); ++a) {
+    const SweepAxis& axis = s.sweep[a];
+    const std::string p = "sweep." + std::to_string(a);
+    c.kv(p + ".param", axis.param);
+    if (axis.categorical()) {
+      c.kv(p + ".labels", axis.labels.size());
+      for (std::size_t i = 0; i < axis.labels.size(); ++i) {
+        c.kv(p + ".label." + std::to_string(i), axis.labels[i]);
+      }
+    } else {
+      c.kv(p + ".values", axis.values.size());
+      for (std::size_t i = 0; i < axis.values.size(); ++i) {
+        c.kv(p + ".value." + std::to_string(i), axis.values[i]);
+      }
+    }
+  }
+
+  c.kv("budget.samples", s.budget.samples);
+  c.kv("budget.floor", s.budget.floor);
+  c.kv("budget.repro_scaled", s.budget.repro_scaled);
+
+  c.kv("precision.enabled", s.precision.enabled);
+  c.kv("precision.metric", s.precision.metric);
+  c.kv("precision.target_half_width", s.precision.target_half_width);
+  c.kv("precision.target_relative", s.precision.target_relative);
+  c.kv("precision.stop_below", s.precision.stop_below);
+  c.kv("precision.confidence_z", s.precision.confidence_z);
+  c.kv("precision.chunk", s.precision.chunk);
+  c.kv("precision.min_samples", s.precision.min_samples);
+  c.kv("precision.max_samples", s.precision.max_samples);
+
+  return c.str();
+}
+
+std::string sha256_hex(std::string_view data) {
+  Sha256 sha;
+  sha.update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  return sha.finish_hex();
+}
+
+std::string spec_hash(const ScenarioSpec& spec) {
+  return sha256_hex(canonical_spec_text(spec));
+}
+
+}  // namespace oci::scenario

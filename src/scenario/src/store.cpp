@@ -1,0 +1,144 @@
+#include "oci/scenario/store.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <system_error>
+#include <vector>
+
+namespace oci::scenario {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// %.17g: exact double round trip through the text file.
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+FsResultStore::FsResultStore(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec || !fs::is_directory(root_)) {
+    throw std::runtime_error("scenario store: cannot create cache directory '" +
+                             root_ + "'" + (ec ? ": " + ec.message() : ""));
+  }
+}
+
+std::string FsResultStore::path_of(const ChunkKey& key) const {
+  return root_ + "/" + key.spec_hash + "/seed" + std::to_string(key.seed) + "/p" +
+         std::to_string(key.point) + ".c" + std::to_string(key.chunk);
+}
+
+std::optional<ChunkRecord> FsResultStore::load(const ChunkKey& key) const {
+  std::ifstream in(path_of(key));
+  if (!in) return std::nullopt;
+  // Header: oci-chunk-v1 samples=<N> rng_draws=<N> metrics=<K>
+  std::string magic, samples_kv, draws_kv, metrics_kv;
+  if (!(in >> magic >> samples_kv >> draws_kv >> metrics_kv)) return std::nullopt;
+  if (magic != "oci-chunk-v1") return std::nullopt;
+  const auto value_of = [](const std::string& kv, std::string_view name,
+                           std::uint64_t& out) {
+    const std::string prefix = std::string(name) + "=";
+    if (kv.rfind(prefix, 0) != 0) return false;
+    char* end = nullptr;
+    const char* text = kv.c_str() + prefix.size();
+    out = std::strtoull(text, &end, 10);
+    return end != text && *end == '\0';
+  };
+  ChunkRecord rec;
+  std::uint64_t metric_count = 0;
+  if (!value_of(samples_kv, "samples", rec.samples) ||
+      !value_of(draws_kv, "rng_draws", rec.rng_draws) ||
+      !value_of(metrics_kv, "metrics", metric_count)) {
+    return std::nullopt;
+  }
+  rec.metrics.resize(metric_count);
+  for (std::uint64_t m = 0; m < metric_count; ++m) {
+    if (!(in >> rec.metrics[m])) return std::nullopt;  // truncated = corrupt = miss
+  }
+  return rec;
+}
+
+void FsResultStore::save(const ChunkKey& key, const ChunkRecord& record) const {
+  const fs::path final_path = path_of(key);
+  std::error_code ec;
+  fs::create_directories(final_path.parent_path(), ec);
+  if (ec) return;
+  // Unique temp name per process+call: concurrent shards writing the
+  // same key (same content, by construction) must not tear each other.
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream tmp_name;
+  tmp_name << final_path.string() << ".tmp." << ::getpid() << "."
+           << counter.fetch_add(1, std::memory_order_relaxed);
+  const fs::path tmp_path = tmp_name.str();
+  {
+    std::ofstream out(tmp_path);
+    if (!out) return;
+    out << "oci-chunk-v1 samples=" << record.samples << " rng_draws="
+        << record.rng_draws << " metrics=" << record.metrics.size() << "\n";
+    for (const double v : record.metrics) out << fmt(v) << "\n";
+    if (!out) {
+      out.close();
+      fs::remove(tmp_path, ec);
+      return;
+    }
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) fs::remove(tmp_path, ec);
+}
+
+GcReport cache_gc(const std::string& root, double max_age_days, bool dry_run) {
+  GcReport report;
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return report;
+  const auto now = fs::file_time_type::clock::now();
+  const auto max_age = std::chrono::duration_cast<fs::file_time_type::duration>(
+      std::chrono::duration<double, std::ratio<86400>>(max_age_days));
+  for (fs::recursive_directory_iterator it(root, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    ++report.scanned;
+    const auto mtime = fs::last_write_time(it->path(), ec);
+    if (ec) {
+      ec.clear();
+      ++report.kept;
+      continue;
+    }
+    if (now - mtime > max_age) {
+      ++report.removed;
+      report.bytes_freed += it->file_size(ec);
+      if (!dry_run) fs::remove(it->path(), ec);
+    } else {
+      ++report.kept;
+    }
+  }
+  if (!dry_run) {
+    // Prune directories the sweep emptied (deepest first).
+    std::vector<fs::path> dirs;
+    ec.clear();
+    for (fs::recursive_directory_iterator it(root, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (it->is_directory(ec)) dirs.push_back(it->path());
+    }
+    for (auto rit = dirs.rbegin(); rit != dirs.rend(); ++rit) {
+      if (fs::is_empty(*rit, ec) && !ec) fs::remove(*rit, ec);
+    }
+  }
+  return report;
+}
+
+}  // namespace oci::scenario

@@ -104,6 +104,26 @@ class BatchRunner {
     return out;
   }
 
+  /// map_until over an explicit task-id list: slot s runs task
+  /// task_ids[s] and derives its chunk streams from that GLOBAL id, so
+  /// a subset of a sweep (a shard) produces accumulators bit-identical
+  /// to the same ids inside a full run. Results land in slot order.
+  template <typename Acc, typename Step, typename Done>
+  [[nodiscard]] std::vector<Acc> map_until(
+      const std::vector<std::size_t>& task_ids, std::string_view label,
+      Step&& step, Done&& done) const {
+    std::vector<Acc> out(task_ids.size());
+    for_each_index(task_ids.size(), [&](std::size_t slot) {
+      const std::size_t id = task_ids[slot];
+      for (std::size_t chunk = 0;; ++chunk) {
+        util::RngStream rng = task_stream(label, id, chunk);
+        step(id, chunk, rng, out[slot]);
+        if (done(id, std::as_const(out[slot]))) break;
+      }
+    });
+    return out;
+  }
+
   /// Monte-Carlo reduction: each task accumulates samples into its own
   /// RunningStats via fn(index, rng, stats); partials are merged in
   /// index order so the result is identical for any thread count.

@@ -114,6 +114,26 @@ TEST(BatchRunner, MapUntilIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(BatchRunner, IndexedMapUntilMatchesFullRunPerTask) {
+  // The explicit-id overload is the sharding primitive: running the id
+  // subset {1, 4, 7, ...} must reproduce exactly those slots of the
+  // full run, because streams derive from the GLOBAL id, not the slot.
+  auto step = [](std::size_t, std::size_t, RngStream& rng, ChunkLog& acc) {
+    acc.draws.push_back(rng.uniform());
+  };
+  auto done = [](std::size_t i, const ChunkLog& acc) {
+    return acc.draws.size() >= i % 3 + 1;
+  };
+  const auto full = make_runner(2).map_until<ChunkLog>(12, "shard", step, done);
+  std::vector<std::size_t> ids;
+  for (std::size_t g = 1; g < 12; g += 3) ids.push_back(g);
+  const auto subset = make_runner(4).map_until<ChunkLog>(ids, "shard", step, done);
+  ASSERT_EQ(subset.size(), ids.size());
+  for (std::size_t slot = 0; slot < ids.size(); ++slot) {
+    EXPECT_EQ(subset[slot].draws, full[ids[slot]].draws) << "task " << ids[slot];
+  }
+}
+
 TEST(BatchRunner, MapUntilChunksAreIndependentOfStoppingDecision) {
   // The first k chunks of a long run must equal a run that stopped at
   // k: chunk streams are a pure function of (seed, label, index,

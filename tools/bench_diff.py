@@ -84,10 +84,11 @@ def diff_metrics(name, prev_result, cur_result, slack, drifts):
         if cur_iv is None or prev_iv is None:
             continue
         if significant(prev_iv, cur_iv, slack):
-            drifts.append(
+            detail = (
                 f"{name} :: {key}: {prev_iv[0]:.6g} [{prev_iv[1]:.6g}, {prev_iv[2]:.6g}]"
                 f" -> {cur_iv[0]:.6g} [{cur_iv[1]:.6g}, {cur_iv[2]:.6g}]"
             )
+            drifts.append((name, key, detail))
 
 
 def main():
@@ -168,10 +169,15 @@ def main():
     if drifts:
         print("\nSTATISTICALLY SIGNIFICANT metric drift (confidence intervals disjoint"
               f" at slack {slack}):")
-        for d in drifts:
-            print(f"  {d}")
+        for _, _, detail in drifts:
+            print(f"  {detail}")
         if gate:
-            print("bench_diff: --gate set, failing on significant drift")
+            # Name every failing metric/point pair in the gate verdict:
+            # the CI log's last lines must say WHAT regressed, not just
+            # that something did.
+            for name, key, _ in drifts:
+                print(f"bench_diff: FAILED metric '{key}' at '{name}'")
+            print(f"bench_diff: --gate set, failing on {len(drifts)} significant drift(s)")
             return 1
     elif gate:
         print("\nbench_diff: no statistically significant metric drift")

@@ -80,6 +80,11 @@ def main():
         check("out-of-interval regression fails the gate", code, 1)
         if "STATISTICALLY SIGNIFICANT" not in out:
             raise AssertionError(f"gate failure must name the drifted metric:\n{out}")
+        # The gate verdict itself must name the failing metric/point
+        # pair -- the tail of a CI log has to say WHAT regressed.
+        if "bench_diff: FAILED metric 'ser' at 'link_jitter/jitter_ps=40'" not in out:
+            raise AssertionError(f"gate verdict must name the metric and point:\n{out}")
+        print("ok: gate verdict names the failing metric/point pair")
         check("same regression is informational without --gate",
               run(baseline, regression)[0], 0)
 
