@@ -139,6 +139,41 @@ void BM_ReferenceSymbol(benchmark::State& state) {
 }
 BENCHMARK(BM_ReferenceSymbol);
 
+// One op = one kEngineBatch-lane batch through the dispatched SIMD
+// kernel (the ScenarioRunner chunk shape). The speedup gate divides
+// ns_per_op by kEngineBatch and compares against BM_EngineSymbol:
+// the batched window must come out >= 4x cheaper than the per-symbol
+// scalar walk. rng_draws is the summed per-lane counter-stream cost.
+void BM_EngineWindowBatch(benchmark::State& state) {
+  RngStream process(kSeed, "batch-link");
+  const link::OpticalLink link(bench_link_config(), process);
+  const link::LinkEngine engine(link);
+  const util::BatchRngStream lanes(kSeed, "batch-bench");
+
+  link::EngineBatchScratch scratch;
+  std::vector<link::WindowResult> windows(link::LinkEngine::kEngineBatch);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    windows[i].pulse_start_s = link.ppm().encode(i % 32).seconds();
+  }
+  const std::vector<link::WindowResult> staged = windows;
+
+  std::uint64_t first_lane = 0;
+  std::uint64_t draws = 0;
+  for (auto _ : state) {
+    std::copy(staged.begin(), staged.end(), windows.begin());
+    engine.simulate_windows(windows, lanes, scratch, first_lane);
+    first_lane += windows.size();
+    draws += windows.back().rng_draws;
+    benchmark::DoNotOptimize(windows.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["rng_draws"] = benchmark::Counter(
+      static_cast<double>(draws), benchmark::Counter::kAvgIterations);
+  state.counters["windows_per_op"] =
+      benchmark::Counter(static_cast<double>(windows.size()));
+}
+BENCHMARK(BM_EngineWindowBatch);
+
 void BM_EngineMeasure(benchmark::State& state) {
   RngStream process(kSeed, "measure-link");
   const link::OpticalLink link(bench_link_config(), process);

@@ -5,12 +5,26 @@
 
 namespace oci::analysis {
 
+namespace {
+
+/// Proportion of `successes` over `n` trials, hardened against
+/// reconstructed state: a non-finite count (corrupt/merged document)
+/// reads as 0 -- std::clamp propagates NaN, so clamping alone is NOT a
+/// guard -- and the result is pinned to [0, 1].
+double safe_proportion(double successes, double n) {
+  const double p = successes / n;
+  if (!std::isfinite(p)) return 0.0;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace
+
 Estimate wilson_estimate(double successes, std::uint64_t trials, double z) {
   Estimate e;
   e.n_samples = trials;
   if (trials == 0) return e;
   const double n = static_cast<double>(trials);
-  const double p = std::clamp(successes / n, 0.0, 1.0);
+  const double p = safe_proportion(successes, n);
   const double z2 = z * z;
   const double denom = 1.0 + z2 / n;
   const double centre = p + z2 / (2.0 * n);
@@ -26,7 +40,7 @@ Estimate wald_estimate(double successes, std::uint64_t trials, double z) {
   e.n_samples = trials;
   if (trials == 0) return e;
   const double n = static_cast<double>(trials);
-  const double p = std::clamp(successes / n, 0.0, 1.0);
+  const double p = safe_proportion(successes, n);
   const double margin = z * std::sqrt(p * (1.0 - p) / n);
   e.value = p;
   e.ci_low = std::max(0.0, p - margin);
@@ -42,7 +56,10 @@ void RateAccumulator::add(double rate, std::uint64_t trials) {
 RateAccumulator RateAccumulator::from_counts(double successes,
                                              std::uint64_t trials) {
   RateAccumulator acc;
-  acc.successes_ = successes;
+  // Reconstructed state (result store, merged schema-v2 documents) can
+  // carry a garbled count; a non-finite or negative value would poison
+  // every later merge, so it reads as zero successes.
+  acc.successes_ = std::isfinite(successes) ? std::max(successes, 0.0) : 0.0;
   acc.trials_ = trials;
   return acc;
 }
@@ -74,7 +91,15 @@ MeanAccumulator MeanAccumulator::from_state(std::size_t chunks,
                                             double batch_mean, double batch_m2,
                                             std::uint64_t samples) {
   MeanAccumulator acc;
-  acc.batch_ = util::RunningStats::from_moments(chunks, batch_mean, batch_m2);
+  // Zero-chunk state round-tripped through a report legitimately
+  // carries no moments (and a corrupt document can carry garbage):
+  // reconstruct the EMPTY accumulator rather than moments that NaN
+  // every merge they touch. Same for non-finite or negative M2.
+  if (chunks == 0 || !std::isfinite(batch_mean) || !std::isfinite(batch_m2)) {
+    return acc;
+  }
+  acc.batch_ =
+      util::RunningStats::from_moments(chunks, batch_mean, std::max(batch_m2, 0.0));
   acc.samples_ = samples;
   return acc;
 }
@@ -93,8 +118,12 @@ Estimate MeanAccumulator::interval(double z) const {
   if (batch_.count() >= 2) {
     const double margin =
         z * batch_.stddev() / std::sqrt(static_cast<double>(batch_.count()));
-    e.ci_low = e.value - margin;
-    e.ci_high = e.value + margin;
+    // A degenerate spread (reconstructed moments) must collapse the
+    // interval to the mean, never widen it to NaN.
+    if (std::isfinite(margin)) {
+      e.ci_low = e.value - margin;
+      e.ci_high = e.value + margin;
+    }
   }
   return e;
 }

@@ -4,8 +4,10 @@
 // without a circular include against link_engine.hpp.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "oci/link/kernels.hpp"
 #include "oci/util/units.hpp"
 
 namespace oci::photonics {
@@ -55,6 +57,62 @@ class EngineScratch {
   };
 
   std::vector<SourceState> states_;
+};
+
+/// One lane of the batched single-source window path
+/// (LinkEngine::simulate_windows). Times are WINDOW-LOCAL seconds: the
+/// window spans [0, toa_window). The caller fills the input fields; the
+/// engine writes the outputs. `dead_in_s` may be non-positive (an inert
+/// carry), and `dead_out_s` reports the lane's final blind horizon.
+struct WindowResult {
+  // Inputs.
+  double pulse_start_s = 0.0;  ///< signal envelope start (PPM slot offset)
+  double dead_in_s = 0.0;      ///< blind carry into this window
+  // Outputs.
+  bool fired = false;
+  bool first_is_signal = false;
+  double first_fire_s = 0.0;     ///< pre-jitter first avalanche (+inf if none)
+  double first_observed_s = 0.0; ///< jittered timestamp of the first avalanche
+  double last_fire_s = 0.0;      ///< pre-jitter time of the last avalanche
+  double dead_out_s = 0.0;       ///< final blind horizon of the lane
+  std::uint64_t rng_draws = 0;   ///< counter-RNG draws this lane consumed
+};
+
+/// Reusable SoA working memory for the batched window path: one scratch
+/// per calling thread (the engine also owns one for its run_symbols /
+/// run_sequence drivers). reserve() pre-sizes every array so steady-state
+/// batches are allocation-free; the first simulate_windows call grows on
+/// demand otherwise.
+class EngineBatchScratch {
+ public:
+  EngineBatchScratch() = default;
+
+  /// Pre-sizes every per-lane array for batches of up to `lanes`.
+  void reserve(std::size_t lanes);
+
+ private:
+  friend class LinkEngine;
+
+  /// Resizes the arrays to `lanes` and returns the kernel view.
+  [[nodiscard]] kernels::BatchSoA soa(std::size_t lanes);
+
+  std::vector<std::uint64_t> rng_state_;
+  std::vector<std::uint64_t> rng_draws_;
+  std::vector<double> pulse_start_;
+  std::vector<double> dead_in_;
+  std::vector<std::uint8_t> fired_;
+  std::vector<std::uint8_t> first_is_signal_;
+  std::vector<double> first_fire_;
+  std::vector<double> first_observed_;
+  std::vector<double> last_fire_;
+  std::vector<double> dead_out_;
+  std::vector<double> pending_;  ///< lanes x kMaxPendingPerLane, row-major
+  std::vector<std::uint32_t> n_pending_;
+  // Staging for the batched symbol drivers.
+  std::vector<WindowResult> windows_;
+  std::vector<std::uint64_t> symbols_;
+  std::vector<std::uint64_t> decoded_;
+  std::vector<std::uint8_t> erased_;
 };
 
 }  // namespace oci::link

@@ -29,20 +29,36 @@
 // Poisson count draw, an envelope inverse-CDF per photon, a sort, a
 // vector merge and a Bernoulli per photon for the same physics.
 //
-// A typical bright symbol costs ~5 RNG draws and no heap allocation,
-// and is bit-identical between the per-symbol API and the batched
-// run_symbols() driver (a golden-regression test pins this). Against
-// the reference pipeline the engine is equivalent in distribution, not
-// draw-for-draw; statistical regression tests pin that agreement for
-// the isolated, interference, WDM and bus-contention paths.
+// A typical bright symbol costs ~5 RNG draws and no heap allocation.
+// The single-source drivers (run_symbols / run_sequence / measure) run
+// on a batched SoA path: simulate_windows() hands whole spans of symbol
+// windows to the ISA kernels in kernels.hpp (scalar / SSE4.2 / AVX2,
+// runtime-dispatched), each window a decomposable counter-RNG lane, and
+// dead-time carry across consecutive windows is speculated flat and
+// repaired by replaying the rare lane whose phantom first fire lands in
+// the true blind interval. Every kernel is bit-identical per lane to
+// the scalar kernel (engine_batch_test pins this), so batched results
+// do not depend on the CPU, the batch size, or the thread count.
+// Against the per-symbol API and the reference pipeline the batched
+// drivers are equivalent in distribution, not draw-for-draw;
+// statistical regression tests pin that agreement for the isolated,
+// interference, WDM and bus-contention paths.
+//
+// Concurrency: the engine owns mutable batch scratch, so the batched
+// drivers must not run concurrently on ONE engine instance. Build one
+// engine per thread (cheap; every in-repo call site already does).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "oci/link/engine_types.hpp"
+#include "oci/link/kernels.hpp"
 #include "oci/link/optical_link.hpp"
+#include "oci/util/batch_rng.hpp"
 
 namespace oci::link {
 
@@ -81,25 +97,59 @@ class LinkEngine {
     bool erased = false;  ///< no avalanche in the TOA window
   };
 
+  /// Lanes per batch of the batched drivers. Sized so the SoA working
+  /// set stays L1/L2-resident while amortising the kernel dispatch.
+  static constexpr std::size_t kEngineBatch = 256;
+
+  /// Batched single-source window physics: simulates one symbol window
+  /// per lane of `windows` (inputs: pulse_start_s / dead_in_s; see
+  /// WindowResult). Lane i draws from the counter stream keyed by
+  /// `lanes.lane_key(first_lane + i)` -- results are a pure function of
+  /// (engine config, stream root, lane index), never of the batch
+  /// geometry, and are bit-identical for every kernel in the dispatch
+  /// table. Pass `table` to pin a specific kernel (tests); nullptr uses
+  /// active_kernels(). Allocation-free once `scratch` has warmed up.
+  void simulate_windows(std::span<WindowResult> windows,
+                        const util::BatchRngStream& lanes, EngineBatchScratch& scratch,
+                        std::uint64_t first_lane = 0,
+                        const kernels::KernelTable* table = nullptr) const;
+
   /// Streams `count` random symbols back-to-back and hands each outcome
   /// to `reduce(index, outcome)` -- the BatchRunner-friendly driver:
   /// sweeps accumulate statistics without materialising per-symbol
-  /// vectors. Returns the aggregated counters.
+  /// vectors. Runs on the batched window path: one root is drawn from
+  /// `rng`, then symbols and window physics come from counter streams,
+  /// so the whole run is a pure function of (engine config, root).
+  /// Returns the aggregated counters.
   template <typename Reducer>
   LinkRunStats run_symbols(std::uint64_t count, util::RngStream& rng,
                            Reducer&& reduce) const {
     LinkRunStats stats;
-    util::Time t = util::Time::zero();
-    util::Time dead_until = util::Time::zero();
-    const std::uint64_t max_symbol = (std::uint64_t{1} << bits_per_symbol_) - 1;
-    for (std::uint64_t i = 0; i < count; ++i) {
-      const auto symbol = static_cast<std::uint64_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(max_symbol)));
-      const std::uint64_t erasures_before = stats.erasures;
-      const std::uint64_t decoded = transmit_symbol(symbol, t, dead_until, stats, rng);
-      reduce(i, SymbolOutcome{symbol, decoded, stats.erasures != erasures_before});
-      t += symbol_period_;
+    const std::uint64_t root = rng.engine()();
+    const util::BatchRngStream lanes(root, "engine-windows");
+    util::CounterRng symbol_rng(util::BatchRngStream(root, "engine-symbols").lane_key(0));
+    // PPM symbol counts are powers of two, so masking is exact.
+    const std::uint64_t mask = (std::uint64_t{1} << bits_per_symbol_) - 1;
+    // Warm the scratch BEFORE staging symbols: run_window_batch reserves
+    // full batch capacity, which would reallocate the symbol staging the
+    // span below points into.
+    batch_scratch_.reserve(kEngineBatch);
+    double carry_s = 0.0;
+    std::uint64_t done = 0;
+    while (done < count) {
+      const auto n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kEngineBatch, count - done));
+      std::vector<std::uint64_t>& symbols = batch_scratch_.symbols_;
+      symbols.resize(n);
+      for (std::size_t j = 0; j < n; ++j) symbols[j] = symbol_rng.next_u64() & mask;
+      run_window_batch(symbols, done, lanes, carry_s, stats, rng);
+      for (std::size_t j = 0; j < n; ++j) {
+        reduce(done + j, SymbolOutcome{symbols[j], batch_scratch_.decoded_[j],
+                                       batch_scratch_.erased_[j] != 0});
+      }
+      done += n;
     }
+    stats.rng_draws += symbol_rng.draws();
     return stats;
   }
 
@@ -108,14 +158,18 @@ class LinkEngine {
   LinkRunStats run_sequence(std::span<const std::uint64_t> symbols, util::RngStream& rng,
                             Reducer&& reduce) const {
     LinkRunStats stats;
-    util::Time t = util::Time::zero();
-    util::Time dead_until = util::Time::zero();
-    for (std::size_t i = 0; i < symbols.size(); ++i) {
-      const std::uint64_t erasures_before = stats.erasures;
-      const std::uint64_t decoded =
-          transmit_symbol(symbols[i], t, dead_until, stats, rng);
-      reduce(i, SymbolOutcome{symbols[i], decoded, stats.erasures != erasures_before});
-      t += symbol_period_;
+    const std::uint64_t root = rng.engine()();
+    const util::BatchRngStream lanes(root, "engine-windows");
+    double carry_s = 0.0;
+    std::size_t done = 0;
+    while (done < symbols.size()) {
+      const std::size_t n = std::min<std::size_t>(kEngineBatch, symbols.size() - done);
+      run_window_batch(symbols.subspan(done, n), done, lanes, carry_s, stats, rng);
+      for (std::size_t j = 0; j < n; ++j) {
+        reduce(done + j, SymbolOutcome{symbols[done + j], batch_scratch_.decoded_[j],
+                                       batch_scratch_.erased_[j] != 0});
+      }
+      done += n;
     }
     return stats;
   }
@@ -131,7 +185,9 @@ class LinkEngine {
                                                      util::RngStream& rng) const;
 
  private:
-  struct WindowResult {
+  /// Scalar (multi-source) window outcome; the batched single-source
+  /// path uses the public link::WindowResult instead.
+  struct WindowEvents {
     bool fired = false;
     bool first_is_signal = false;
     double first_observed_s = 0.0;  ///< jittered timestamp of the first avalanche
@@ -148,7 +204,7 @@ class LinkEngine {
   /// merged candidate streams of `sources` (element 0 conventionally
   /// the victim's pulse) plus flat-rate noise at `noise_rate` [Hz];
   /// `dead_in_s` is the blind carry from the previous window.
-  WindowResult simulate_window(std::span<SourceState> sources, double window_start_s,
+  WindowEvents simulate_window(std::span<SourceState> sources, double window_start_s,
                                double window_end_s, double dead_in_s, double noise_rate,
                                util::RngStream& rng) const;
 
@@ -157,6 +213,26 @@ class LinkEngine {
   std::uint64_t finish_symbol(std::uint64_t symbol, util::Time start,
                               std::span<SourceState> sources, util::Time& dead_until,
                               LinkRunStats& stats, util::RngStream& rng) const;
+
+  /// TDC conversion + PPM decision + error counting for the first
+  /// avalanche observed at window-local `toa_s`; shared by the scalar
+  /// and batched finish paths.
+  std::uint64_t decode_first_avalanche(std::uint64_t symbol, double toa_s,
+                                       LinkRunStats& stats, util::RngStream& rng) const;
+
+  /// Engine constants of the batched kernels (envelope pre-resolved).
+  [[nodiscard]] kernels::BatchParams batch_params() const;
+
+  /// One batch of the batched drivers: simulates `symbols` as
+  /// consecutive windows (lane indices first_lane..), repairs the
+  /// speculative dead-time carry, accounts stats, and stages
+  /// decoded/erased per lane in the scratch. `carry_s` is the
+  /// window-local blind carry into the first lane, updated to the carry
+  /// into the batch after this one. `rng` serves only the TDC
+  /// conversions, in lane order, exactly like the per-symbol path.
+  void run_window_batch(std::span<const std::uint64_t> symbols, std::uint64_t first_lane,
+                        const util::BatchRngStream& lanes, double& carry_s,
+                        LinkRunStats& stats, util::RngStream& rng) const;
 
   const OpticalLink* link_;
   const photonics::MicroLed* led_;
@@ -179,6 +255,8 @@ class LinkEngine {
   util::Energy tx_pulse_energy_;
   util::Energy rx_energy_per_conversion_;
   unsigned bits_per_symbol_ = 0;
+  /// Batched-driver working memory (see the concurrency note above).
+  mutable EngineBatchScratch batch_scratch_;
 };
 
 }  // namespace oci::link

@@ -70,6 +70,9 @@ struct LinkRunStats {
   std::uint64_t noise_captures = 0;  ///< first detection was dark/afterpulse/background
   std::uint64_t bit_errors = 0;
   std::uint64_t total_bits = 0;
+  /// Counter-RNG draws consumed by the batched engine path (0 on the
+  /// scalar per-symbol paths, whose draws are tracked by RngStream).
+  std::uint64_t rng_draws = 0;
   util::Time elapsed;                ///< symbols x MW
   util::Energy tx_energy;
   util::Energy rx_energy;

@@ -1,0 +1,57 @@
+// Runtime kernel dispatch: resolve once per process, honoring
+// OCI_FORCE_SCALAR, then the widest ISA the CPU reports.
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "oci/link/kernels.hpp"
+
+namespace oci::link::kernels {
+
+#if defined(OCI_HAVE_KERNEL_SSE42)
+const KernelTable& sse42_kernels();  // kernels_sse42.cpp
+#endif
+#if defined(OCI_HAVE_KERNEL_AVX2)
+const KernelTable& avx2_kernels();  // kernels_avx2.cpp
+#endif
+
+namespace {
+
+bool force_scalar() {
+  const char* env = std::getenv("OCI_FORCE_SCALAR");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+const KernelTable& resolve_active() {
+  if (force_scalar()) return scalar_kernels();
+#if defined(OCI_HAVE_KERNEL_AVX2)
+  if (__builtin_cpu_supports("avx2")) return avx2_kernels();
+#endif
+#if defined(OCI_HAVE_KERNEL_SSE42)
+  if (__builtin_cpu_supports("sse4.2")) return sse42_kernels();
+#endif
+  return scalar_kernels();
+}
+
+}  // namespace
+
+const KernelTable& active_kernels() {
+  static const KernelTable& table = resolve_active();
+  return table;
+}
+
+std::span<const KernelTable* const> available_kernels() {
+  static const std::vector<const KernelTable*> tables = [] {
+    std::vector<const KernelTable*> t{&scalar_kernels()};
+#if defined(OCI_HAVE_KERNEL_SSE42)
+    if (__builtin_cpu_supports("sse4.2")) t.push_back(&sse42_kernels());
+#endif
+#if defined(OCI_HAVE_KERNEL_AVX2)
+    if (__builtin_cpu_supports("avx2")) t.push_back(&avx2_kernels());
+#endif
+    return t;
+  }();
+  return {tables.data(), tables.size()};
+}
+
+}  // namespace oci::link::kernels

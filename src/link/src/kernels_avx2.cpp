@@ -1,0 +1,90 @@
+// AVX2 kernel: 4 lanes per __m256d. Compiled with -mavx2 and
+// -ffp-contract=off only when the build enables it (OCI_HAVE_KERNEL_AVX2,
+// set by src/link/CMakeLists.txt on x86-64 GCC/Clang); otherwise this TU
+// is empty. The shared implementation is included inside an anonymous
+// namespace so none of its instantiations can be merged across TUs.
+#if defined(OCI_HAVE_KERNEL_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "oci/link/kernels.hpp"
+#include "oci/util/batch_rng.hpp"
+
+namespace oci::link::kernels {
+namespace {
+
+#include "kernels_impl.inc"
+
+struct Avx2Traits {
+  static constexpr std::size_t kWidth = 4;
+  using D = __m256d;
+  using U = __m256i;
+  using M = __m256d;
+
+  static D load_d(const double* p) { return _mm256_loadu_pd(p); }
+  static void store_d(double* p, D v) { _mm256_storeu_pd(p, v); }
+  static U load_u(const std::uint64_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store_u(std::uint64_t* p, U v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static D bcast_d(double v) { return _mm256_set1_pd(v); }
+  static U bcast_u(std::uint64_t v) {
+    return _mm256_set1_epi64x(static_cast<long long>(v));
+  }
+
+  static D add_d(D a, D b) { return _mm256_add_pd(a, b); }
+  static D sub_d(D a, D b) { return _mm256_sub_pd(a, b); }
+  static D mul_d(D a, D b) { return _mm256_mul_pd(a, b); }
+  static D div_d(D a, D b) { return _mm256_div_pd(a, b); }
+  static D min_d(D a, D b) { return _mm256_min_pd(a, b); }
+
+  static U add_u(U a, U b) { return _mm256_add_epi64(a, b); }
+  static U and_u(U a, U b) { return _mm256_and_si256(a, b); }
+  static U or_u(U a, U b) { return _mm256_or_si256(a, b); }
+  static U xor_u(U a, U b) { return _mm256_xor_si256(a, b); }
+  static U srl_u(U a, int n) { return _mm256_srli_epi64(a, n); }
+  /// Full 64-bit low product from 32x32 partials (no pmullq below
+  /// AVX-512): lo*lo + ((hi*lo + lo*hi) << 32), all mod 2^64.
+  static U mul_u(U a, U b) {
+    const U lo = _mm256_mul_epu32(a, b);
+    const U cross =
+        _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                         _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+    return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+  }
+
+  static D as_d(U b) { return _mm256_castsi256_pd(b); }
+  static U as_u(D d) { return _mm256_castpd_si256(d); }
+
+  static M ge_d(D a, D b) { return _mm256_cmp_pd(a, b, _CMP_GE_OQ); }
+  static M le_d(D a, D b) { return _mm256_cmp_pd(a, b, _CMP_LE_OQ); }
+  static M m_and(M a, M b) { return _mm256_and_pd(a, b); }
+  static D blend_d(M m, D t, D f) { return _mm256_blendv_pd(f, t, m); }
+  static unsigned to_bits(M m) {
+    return static_cast<unsigned>(_mm256_movemask_pd(m));
+  }
+};
+
+void simulate_windows_entry(const BatchParams& p, const BatchSoA& soa) {
+  run_batch_dispatch<Avx2Traits>(p, soa);
+}
+
+}  // namespace
+
+const KernelTable& avx2_kernels() {
+  static const KernelTable table{"avx2", &simulate_windows_entry};
+  return table;
+}
+
+}  // namespace oci::link::kernels
+
+#endif  // OCI_HAVE_KERNEL_AVX2

@@ -1,0 +1,31 @@
+// The reference kernel: the shared templated implementation at width 1.
+// Always built, no ISA flags beyond the baseline, but -ffp-contract=off
+// like every kernel TU (GCC contracts FMAs by default, which would
+// break the cross-ISA bit-exactness contract).
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "oci/link/kernels.hpp"
+#include "oci/util/batch_rng.hpp"
+
+namespace oci::link::kernels {
+namespace {
+
+#include "kernels_impl.inc"
+
+void simulate_windows_entry(const BatchParams& p, const BatchSoA& soa) {
+  run_batch_dispatch<ScalarTraits>(p, soa);
+}
+
+}  // namespace
+
+const KernelTable& scalar_kernels() {
+  static const KernelTable table{"scalar", &simulate_windows_entry};
+  return table;
+}
+
+}  // namespace oci::link::kernels

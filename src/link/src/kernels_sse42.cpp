@@ -1,0 +1,89 @@
+// SSE4.2 kernel: 2 lanes per __m128d. Compiled with -msse4.2 and
+// -ffp-contract=off only when the build enables it (OCI_HAVE_KERNEL_SSE42,
+// set by src/link/CMakeLists.txt on x86-64 GCC/Clang); otherwise this TU
+// is empty. The shared implementation is included inside an anonymous
+// namespace so none of its instantiations can be merged across TUs.
+#if defined(OCI_HAVE_KERNEL_SSE42)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "oci/link/kernels.hpp"
+#include "oci/util/batch_rng.hpp"
+
+namespace oci::link::kernels {
+namespace {
+
+#include "kernels_impl.inc"
+
+struct Sse42Traits {
+  static constexpr std::size_t kWidth = 2;
+  using D = __m128d;
+  using U = __m128i;
+  using M = __m128d;
+
+  static D load_d(const double* p) { return _mm_loadu_pd(p); }
+  static void store_d(double* p, D v) { _mm_storeu_pd(p, v); }
+  static U load_u(const std::uint64_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store_u(std::uint64_t* p, U v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static D bcast_d(double v) { return _mm_set1_pd(v); }
+  static U bcast_u(std::uint64_t v) {
+    return _mm_set1_epi64x(static_cast<long long>(v));
+  }
+
+  static D add_d(D a, D b) { return _mm_add_pd(a, b); }
+  static D sub_d(D a, D b) { return _mm_sub_pd(a, b); }
+  static D mul_d(D a, D b) { return _mm_mul_pd(a, b); }
+  static D div_d(D a, D b) { return _mm_div_pd(a, b); }
+  static D min_d(D a, D b) { return _mm_min_pd(a, b); }
+
+  static U add_u(U a, U b) { return _mm_add_epi64(a, b); }
+  static U and_u(U a, U b) { return _mm_and_si128(a, b); }
+  static U or_u(U a, U b) { return _mm_or_si128(a, b); }
+  static U xor_u(U a, U b) { return _mm_xor_si128(a, b); }
+  static U srl_u(U a, int n) { return _mm_srli_epi64(a, n); }
+  /// Full 64-bit low product from 32x32 partials (no pmullq below
+  /// AVX-512): lo*lo + ((hi*lo + lo*hi) << 32), all mod 2^64.
+  static U mul_u(U a, U b) {
+    const U lo = _mm_mul_epu32(a, b);
+    const U cross = _mm_add_epi64(_mm_mul_epu32(_mm_srli_epi64(a, 32), b),
+                                  _mm_mul_epu32(a, _mm_srli_epi64(b, 32)));
+    return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+  }
+
+  static D as_d(U b) { return _mm_castsi128_pd(b); }
+  static U as_u(D d) { return _mm_castpd_si128(d); }
+
+  static M ge_d(D a, D b) { return _mm_cmpge_pd(a, b); }
+  static M le_d(D a, D b) { return _mm_cmple_pd(a, b); }
+  static M m_and(M a, M b) { return _mm_and_pd(a, b); }
+  static D blend_d(M m, D t, D f) { return _mm_blendv_pd(f, t, m); }
+  static unsigned to_bits(M m) {
+    return static_cast<unsigned>(_mm_movemask_pd(m));
+  }
+};
+
+void simulate_windows_entry(const BatchParams& p, const BatchSoA& soa) {
+  run_batch_dispatch<Sse42Traits>(p, soa);
+}
+
+}  // namespace
+
+const KernelTable& sse42_kernels() {
+  static const KernelTable table{"sse4.2", &simulate_windows_entry};
+  return table;
+}
+
+}  // namespace oci::link::kernels
+
+#endif  // OCI_HAVE_KERNEL_SSE42

@@ -54,12 +54,12 @@ LinkEngine::SourceState LinkEngine::signal_state(double pulse_start_s) const {
   return s;
 }
 
-LinkEngine::WindowResult LinkEngine::simulate_window(std::span<SourceState> sources,
+LinkEngine::WindowEvents LinkEngine::simulate_window(std::span<SourceState> sources,
                                                      double window_start_s,
                                                      double window_end_s, double dead_in_s,
                                                      double noise_rate,
                                                      RngStream& rng) const {
-  WindowResult result;
+  WindowEvents result;
   double dead = dead_in_s;
 
   // Per-source candidate streams: arrivals of each PDP-thinned pulse
@@ -198,7 +198,7 @@ std::uint64_t LinkEngine::finish_symbol(std::uint64_t symbol, Time start,
   const double window_start_s = start.seconds();
   const double window_end_s = window_start_s + window_s_;
 
-  const WindowResult window = simulate_window(sources, window_start_s, window_end_s,
+  const WindowEvents window = simulate_window(sources, window_start_s, window_end_s,
                                               dead_until.seconds(), noise_rate_, rng);
 
   // SPAD stays blind into the next window after its last avalanche.
@@ -219,9 +219,15 @@ std::uint64_t LinkEngine::finish_symbol(std::uint64_t symbol, Time start,
   }
 
   if (!window.first_is_signal) ++stats.noise_captures;
+  return decode_first_avalanche(symbol, window.first_observed_s - window_start_s, stats,
+                                rng);
+}
 
+std::uint64_t LinkEngine::decode_first_avalanche(std::uint64_t symbol, double toa_s,
+                                                 LinkRunStats& stats,
+                                                 RngStream& rng) const {
   // TDC conversion of the first avalanche's TOA within the window.
-  const Time toa = Time::seconds(window.first_observed_s - window_start_s);
+  const Time toa = Time::seconds(toa_s);
   const tdc::Tdc& tdc = link_->tdc();
   const tdc::TdcReading reading = tdc.convert(toa, rng);
   const tdc::CalibrationLut& lut = link_->calibration_lut();
@@ -275,12 +281,127 @@ LinkRunStats LinkEngine::measure(std::uint64_t count, RngStream& rng) const {
   return run_symbols(count, rng, [](std::uint64_t, const SymbolOutcome&) {});
 }
 
+kernels::BatchParams LinkEngine::batch_params() const {
+  kernels::BatchParams p;
+  p.lambda_signal = lambda_signal_;
+  p.noise_rate = noise_rate_;
+  p.window_s = window_s_;
+  p.dead_s = dead_s_;
+  p.afterpulse_p = afterpulse_probability_;
+  p.afterpulse_tau_s = afterpulse_tau_.seconds();
+  p.jitter_sigma_s = jitter_sigma_.seconds();
+  p.envelope_width_s = led_->params().pulse_width.seconds();
+  switch (led_->params().shape) {
+    case photonics::PulseShape::kRectangular:
+      p.envelope = kernels::EnvelopeKind::kRectangular;
+      break;
+    case photonics::PulseShape::kExponential:
+      p.envelope = kernels::EnvelopeKind::kExponential;
+      break;
+    case photonics::PulseShape::kGaussian:
+      p.envelope = kernels::EnvelopeKind::kGaussian;
+      break;
+  }
+  p.passive_quench = passive_quench_;
+  return p;
+}
+
+void LinkEngine::simulate_windows(std::span<WindowResult> windows,
+                                  const util::BatchRngStream& lanes,
+                                  EngineBatchScratch& scratch, std::uint64_t first_lane,
+                                  const kernels::KernelTable* table) const {
+  const std::size_t n = windows.size();
+  if (n == 0) return;
+  const kernels::BatchSoA soa = scratch.soa(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    soa.rng_state[i] = lanes.lane_key(first_lane + i);
+    soa.rng_draws[i] = 0;
+    scratch.pulse_start_[i] = windows[i].pulse_start_s;
+    scratch.dead_in_[i] = windows[i].dead_in_s;
+  }
+  const kernels::KernelTable& k = table != nullptr ? *table : kernels::active_kernels();
+  k.simulate_windows(batch_params(), soa);
+  for (std::size_t i = 0; i < n; ++i) {
+    windows[i].fired = soa.fired[i] != 0;
+    windows[i].first_is_signal = soa.first_is_signal[i] != 0;
+    windows[i].first_fire_s = soa.first_fire[i];
+    windows[i].first_observed_s = soa.first_observed[i];
+    windows[i].last_fire_s = soa.last_fire[i];
+    windows[i].dead_out_s = soa.dead_out[i];
+    windows[i].rng_draws = soa.rng_draws[i];
+  }
+}
+
+void LinkEngine::run_window_batch(std::span<const std::uint64_t> symbols,
+                                  std::uint64_t first_lane,
+                                  const util::BatchRngStream& lanes, double& carry_s,
+                                  LinkRunStats& stats, RngStream& rng) const {
+  const std::size_t n = symbols.size();
+  // Reserve the FULL batch capacity up front: the first (possibly
+  // small) batch must leave later full-size batches allocation-free.
+  batch_scratch_.reserve(std::max(n, kEngineBatch));
+  std::vector<WindowResult>& ws = batch_scratch_.windows_;
+  ws.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    ws[j] = WindowResult{};
+    ws[j].pulse_start_s = link_->ppm().encode(symbols[j]).seconds();
+    // Lane 0 takes the real carry; later lanes speculate no blindness
+    // (right unless the previous window's dead time spills past the
+    // symbol period AND this lane's first fire lands inside it).
+    ws[j].dead_in_s = j == 0 ? carry_s : 0.0;
+  }
+  simulate_windows(ws, lanes, batch_scratch_, first_lane);
+
+  const double period_s = symbol_period_.seconds();
+  batch_scratch_.decoded_.resize(n);
+  batch_scratch_.erased_.resize(n);
+  double carry = carry_s;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j > 0 && carry > 0.0) {
+      if (ws[j].fired && ws[j].first_fire_s < carry) {
+        // Phantom fire inside the true blind interval: replay the lane
+        // with the real carry. Decomposability makes the replay the
+        // lane's one true history -- the counter stream restarts from
+        // the lane key, so the result is exactly what a sequential
+        // simulation would have produced.
+        ws[j].dead_in_s = carry;
+        simulate_windows(std::span<WindowResult>(&ws[j], 1), lanes, batch_scratch_,
+                         first_lane + j);
+      }
+      // A lane whose first fire clears the carry saw no candidate
+      // inside it, so the speculative trajectory IS the true one.
+    }
+    // Dead-time carry into the next window, window-local to it; mirrors
+    // finish_symbol (the blind horizon advances only on a fire).
+    carry = ws[j].fired ? ws[j].last_fire_s + dead_s_ - period_s : carry - period_s;
+
+    stats.rng_draws += ws[j].rng_draws;
+    ++stats.symbols_sent;
+    stats.total_bits += bits_per_symbol_;
+    stats.tx_energy += tx_pulse_energy_;
+    stats.rx_energy += rx_energy_per_conversion_;
+    stats.elapsed += symbol_period_;
+    if (!ws[j].fired) {
+      ++stats.erasures;
+      stats.bit_errors += modulation::PpmCodec::hamming(symbols[j], 0);
+      batch_scratch_.decoded_[j] = 0;  // receiver emits all-zero on erasure
+      batch_scratch_.erased_[j] = 1;
+      continue;
+    }
+    batch_scratch_.erased_[j] = 0;
+    if (!ws[j].first_is_signal) ++stats.noise_captures;
+    batch_scratch_.decoded_[j] =
+        decode_first_avalanche(symbols[j], ws[j].first_observed_s, stats, rng);
+  }
+  carry_s = carry;
+}
+
 std::optional<Time> LinkEngine::probe_pulse(Time pulse_start, RngStream& rng) const {
   // Training pulses are a controlled procedure: the dark-count rate is
   // intrinsic to the junction and stays, but ambient background flux is
   // excluded (the reference training never merged background photons).
   SourceState signal = signal_state(pulse_start.seconds());
-  const WindowResult window = simulate_window(std::span<SourceState>(&signal, 1), 0.0,
+  const WindowEvents window = simulate_window(std::span<SourceState>(&signal, 1), 0.0,
                                               window_s_, 0.0, dark_rate_, rng);
   if (!window.fired || !window.first_is_signal) return std::nullopt;
   return Time::seconds(window.first_observed_s);

@@ -105,6 +105,7 @@ LinkRunStats& LinkRunStats::operator+=(const LinkRunStats& other) {
   noise_captures += other.noise_captures;
   bit_errors += other.bit_errors;
   total_bits += other.total_bits;
+  rng_draws += other.rng_draws;
   elapsed += other.elapsed;
   tx_energy += other.tx_energy;
   rx_energy += other.rx_energy;

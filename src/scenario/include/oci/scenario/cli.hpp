@@ -2,10 +2,11 @@
 // binary (tools/run_scenario, the ported abl_* benches, the examples).
 // One precedence story for every knob: CLI flag beats environment
 // variable beats the spec's own value. Consumed flags are REMOVED from
-// argv (so leftover args can go to other parsers) and re-exported as
-// their environment variable, making the precedence hold for every
-// later resolution in the process -- call these from main() before
-// spawning threads.
+// argv (so leftover args can go to other parsers) and remembered for
+// every later resolution in the process -- the seed through an explicit
+// in-process override (set_seed_override), precision/cache knobs by
+// re-export as their environment variable. Call these from main()
+// before spawning threads.
 //
 // Parsing is strict where silence would be dangerous: a garbled value
 // for an explicitly given flag throws std::invalid_argument naming the
@@ -25,15 +26,25 @@ namespace oci::scenario {
 /// OCI_SEED parsed as an unsigned integer; nullopt when unset/garbled.
 [[nodiscard]] std::optional<std::uint64_t> seed_from_env();
 
+/// Process-wide resolved-seed override, consulted FIRST by
+/// resolve_seed(). consume_seed_arg installs the consumed CLI value
+/// here, which is how "--seed beats OCI_SEED" holds for every later
+/// resolution in the process -- including ScenarioRunner::run()'s own
+/// re-resolution. (It used to be re-exported as OCI_SEED instead; that
+/// mutated shared environment state, leaked the override into child
+/// processes, and could serve a STALE seed to anything reading the
+/// variable concurrently.) nullopt clears the override. Call from
+/// main(), before spawning threads.
+void set_seed_override(std::optional<std::uint64_t> seed);
+[[nodiscard]] std::optional<std::uint64_t> seed_override();
+
 /// Scans argv for --seed=N (or --seed N), REMOVES it so the remaining
-/// args can go to benchmark::Initialize, and returns the value. A
-/// consumed CLI seed is also exported as OCI_SEED so the precedence
-/// below holds for every later resolution in the process (call from
-/// main(), before spawning threads).
+/// args can go to benchmark::Initialize, installs the value via
+/// set_seed_override, and returns it.
 [[nodiscard]] std::optional<std::uint64_t> consume_seed_arg(int& argc, char** argv);
 
 /// The seed every scenario-aware binary runs with:
-/// --seed= beats OCI_SEED beats the built-in fallback.
+/// consumed --seed= beats OCI_SEED beats the built-in fallback.
 [[nodiscard]] std::uint64_t resolve_seed(std::uint64_t fallback);
 [[nodiscard]] std::uint64_t resolve_seed(std::uint64_t fallback, int& argc, char** argv);
 

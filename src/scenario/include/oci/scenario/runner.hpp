@@ -108,9 +108,12 @@ struct RunReport {
   /// an unsharded run; larger for a shard's partial report).
   std::size_t points_total = 0;
   /// Result-store traffic of this run: chunks served from the cache vs
-  /// simulated. Informational (never part of deterministic output).
+  /// simulated, plus chunks whose persist FAILED (full disk, read-only
+  /// cache) and will be re-simulated by the next run. Informational
+  /// (never part of deterministic output).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t cache_save_failures = 0;
   /// Worker threads the run actually used. Metadata only (exported in
   /// the BENCH json "meta" object); results never depend on it.
   std::size_t threads = 0;

@@ -9,9 +9,12 @@
 //    already on disk; the restart recomputes only the tail),
 //  - shards that later merge into exactly the unsharded report.
 //
-// The store trusts its key: it does NOT detect code changes that alter
-// simulation semantics. Invalidate by key (CI uses per-commit cache
-// keys) or age (cache_gc), or wipe the directory.
+// The store trusts its key for SPEC changes (spec_hash re-keys those),
+// but a key cannot see code changes that alter simulation semantics.
+// Those are versioned explicitly: kEngineRevision below is baked into
+// every on-disk path, and any PR that changes simulated numbers for an
+// unchanged spec MUST bump it. A bump turns the whole warm cache into
+// misses; cache_gc reclaims the dead revisions' space.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +23,15 @@
 #include <vector>
 
 namespace oci::scenario {
+
+/// Simulation-semantics revision of the engines the runner dispatches
+/// to. Part of every FsResultStore path (<root>/r<revision>/...), so
+/// results simulated by older code can never be served as current.
+/// Bump whenever a code change alters the numbers a spec produces:
+///   1  seed: per-symbol mt19937 engine paths
+///   2  batched SoA/SIMD window engine (counter-RNG lanes; the symbol
+///      path's draw sequence and rng_draws accounting changed)
+inline constexpr unsigned kEngineRevision = 2;
 
 /// Address of one simulation chunk.
 struct ChunkKey {
@@ -47,9 +59,11 @@ class ResultStore {
   /// corrupt -- a bad entry reads as a miss, never as data).
   [[nodiscard]] virtual std::optional<ChunkRecord> load(const ChunkKey& key) const = 0;
 
-  /// Persists `record` under `key` (overwrites). Errors are swallowed:
-  /// a full disk degrades the run to uncached, it does not fail it.
-  virtual void save(const ChunkKey& key, const ChunkRecord& record) const = 0;
+  /// Persists `record` under `key` (overwrites). Returns false when the
+  /// entry could not be written; the run degrades to uncached (a full
+  /// disk never fails a sweep) but the runner COUNTS the failures and
+  /// surfaces them in the report, so a silently cold cache is visible.
+  virtual bool save(const ChunkKey& key, const ChunkRecord& record) const = 0;
 };
 
 /// No-op backend: every load misses, saves vanish. The runner's default.
@@ -58,11 +72,11 @@ class NullResultStore final : public ResultStore {
   [[nodiscard]] std::optional<ChunkRecord> load(const ChunkKey&) const override {
     return std::nullopt;
   }
-  void save(const ChunkKey&, const ChunkRecord&) const override {}
+  bool save(const ChunkKey&, const ChunkRecord&) const override { return true; }
 };
 
 /// Filesystem backend. Layout:
-///   <root>/<spec_hash>/seed<seed>/p<point>.c<chunk>
+///   <root>/r<kEngineRevision>/<spec_hash>/seed<seed>/p<point>.c<chunk>
 /// One small text file per chunk, written atomically (temp file +
 /// rename) so a killed run never leaves a torn entry behind.
 class FsResultStore final : public ResultStore {
@@ -75,7 +89,7 @@ class FsResultStore final : public ResultStore {
   [[nodiscard]] const std::string& root() const { return root_; }
 
   [[nodiscard]] std::optional<ChunkRecord> load(const ChunkKey& key) const override;
-  void save(const ChunkKey& key, const ChunkRecord& record) const override;
+  bool save(const ChunkKey& key, const ChunkRecord& record) const override;
 
   /// On-disk path of a key (exposed for tests and cache tooling).
   [[nodiscard]] std::string path_of(const ChunkKey& key) const;
@@ -93,8 +107,12 @@ struct GcReport {
 };
 
 /// Deletes chunk files older than `max_age_days` (by last write time)
-/// under `root`, pruning directories that become empty. `dry_run`
-/// reports without deleting. A missing root yields an all-zero report.
+/// under `root`, pruning directories that become empty. Top-level
+/// entries belonging to DEAD engine revisions -- any r<N> directory
+/// with N != kEngineRevision, and pre-revision legacy layouts -- are
+/// removed wholesale regardless of age: no running binary can ever
+/// read them again. `dry_run` reports without deleting. A missing root
+/// yields an all-zero report.
 [[nodiscard]] GcReport cache_gc(const std::string& root, double max_age_days,
                                 bool dry_run = false);
 

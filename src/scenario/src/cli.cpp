@@ -6,6 +6,22 @@
 
 namespace oci::scenario {
 
+namespace {
+
+/// The consumed CLI seed; lives here (not in the environment) so the
+/// override can never leak into child processes or race a concurrent
+/// getenv. Written from main() before threads exist.
+std::optional<std::uint64_t>& cli_seed_slot() {
+  static std::optional<std::uint64_t> slot;
+  return slot;
+}
+
+}  // namespace
+
+void set_seed_override(std::optional<std::uint64_t> seed) { cli_seed_slot() = seed; }
+
+std::optional<std::uint64_t> seed_override() { return cli_seed_slot(); }
+
 std::optional<std::uint64_t> seed_from_env() {
   const char* env = std::getenv("OCI_SEED");
   if (env == nullptr || *env == '\0') return std::nullopt;
@@ -38,12 +54,12 @@ std::optional<std::uint64_t> consume_seed_arg(int& argc, char** argv) {
     argc = write;
     argv[argc] = nullptr;
   }
-  // Export the CLI seed as OCI_SEED so the documented precedence
-  // (--seed beats OCI_SEED beats the spec) holds for EVERY later
-  // resolution in this process -- including ScenarioRunner::run()'s
-  // own env check, which would otherwise re-apply a stale OCI_SEED
-  // over the CLI value. Called from main() before any threads exist.
-  if (out) setenv("OCI_SEED", std::to_string(*out).c_str(), 1);
+  // Install the CLI seed as the in-process override so the documented
+  // precedence (--seed beats OCI_SEED beats the spec) holds for EVERY
+  // later resolution in this process -- including ScenarioRunner::
+  // run()'s own re-resolution, which would otherwise re-apply a stale
+  // OCI_SEED over the CLI value. The environment is left untouched.
+  if (out) set_seed_override(out);
   return out;
 }
 
@@ -134,6 +150,7 @@ void apply_precision_overrides(ScenarioSpec& spec) {
 }
 
 std::uint64_t resolve_seed(std::uint64_t fallback) {
+  if (const auto cli = seed_override()) return *cli;
   return seed_from_env().value_or(fallback);
 }
 

@@ -89,7 +89,7 @@ void save(const RunReport& report, const std::string& path) {
      << "\", \"threads\": " << report.threads << ", \"compiler\": \""
      << json_escape(compiler_for_meta()) << "\", \"cache_hits\": "
      << report.cache_hits << ", \"cache_misses\": " << report.cache_misses
-     << " },\n";
+     << ", \"cache_save_failures\": " << report.cache_save_failures << " },\n";
   os << "  \"results\": [";
   for (std::size_t i = 0; i < report.points.size(); ++i) {
     const RunPoint& p = report.points[i];
@@ -460,6 +460,8 @@ RunReport load(const std::string& path) {
     report.threads = static_cast<std::size_t>(uint_or(*meta, "threads", 0, path));
     report.cache_hits = uint_or(*meta, "cache_hits", 0, path);
     report.cache_misses = uint_or(*meta, "cache_misses", 0, path);
+    // Absent in documents written before the counter existed: reads 0.
+    report.cache_save_failures = uint_or(*meta, "cache_save_failures", 0, path);
   }
 
   const JValue* results = doc.find("results");

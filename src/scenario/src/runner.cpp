@@ -1,12 +1,14 @@
 #include "oci/scenario/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -55,6 +57,17 @@ std::size_t stop_metric_index(const std::vector<MetricDef>& defs,
   return 0;
 }
 
+/// One-line warning the FIRST time a result-store save fails in this
+/// process; every later failure only bumps the report counter. A full
+/// or read-only cache degrades the run to uncached, it never fails it.
+void warn_save_failure_once() {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::cerr << "scenario: result-store save failed; run continues uncached "
+                 "(cache_save_failures counts every failed chunk)\n";
+  }
+}
+
 /// Flat sweep index -> per-axis indices, first axis slowest.
 std::vector<std::size_t> unravel(std::size_t flat, const std::vector<SweepAxis>& axes) {
   std::vector<std::size_t> idx(axes.size(), 0);
@@ -72,6 +85,11 @@ PointResult run_p2p_symbols(const ScenarioSpec& s, std::uint64_t samples, RngStr
 
   link::LinkRunStats stats;
   if (s.aggressors.empty()) {
+    // Rides the batched SoA/SIMD window path: measure() hands the
+    // chunk's samples to the engine in kEngineBatch-lane spans, so a
+    // map_until chunk is simulated batch-by-batch by the dispatched
+    // kernel. Results stay a pure function of (spec, seed) -- the
+    // kernels are bit-identical across ISAs and thread counts.
     stats = link.measure(samples, tx);
   } else {
     const link::LinkEngine engine(link);
@@ -103,7 +121,9 @@ PointResult run_p2p_symbols(const ScenarioSpec& s, std::uint64_t samples, RngStr
                stats.raw_throughput().bits_per_second(),
                stats.goodput().bits_per_second(),
                stats.energy_per_bit().joules()};
-  r.rng_draws = process.draws() + tx.draws();
+  // Counter-stream draws of the batched engine live in stats, not in
+  // the mt19937 streams; both are deterministic per (spec, seed).
+  r.rng_draws = process.draws() + tx.draws() + stats.rng_draws;
   return r;
 }
 
@@ -587,6 +607,7 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec, const RunOptions& option
     std::uint64_t rng_draws = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
+    std::uint64_t cache_save_failures = 0;
     double wall_ns = 0.0;
   };
   const auto estimate_of = [&defs](const PointState& st, std::size_t m) {
@@ -684,7 +705,10 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec, const RunOptions& option
                             .count();
           if (store != nullptr) {
             ++st.cache_misses;
-            store->save(key, ChunkRecord{run_samples, r.rng_draws, r.metrics});
+            if (!store->save(key, ChunkRecord{run_samples, r.rng_draws, r.metrics})) {
+              ++st.cache_save_failures;
+              warn_save_failure_once();
+            }
           }
         }
         for (std::size_t m = 0; m < defs.size(); ++m) {
@@ -738,6 +762,7 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec, const RunOptions& option
     p.wall_ns = st.wall_ns;
     report.cache_hits += st.cache_hits;
     report.cache_misses += st.cache_misses;
+    report.cache_save_failures += st.cache_save_failures;
     report.points.push_back(std::move(p));
   }
   return report;

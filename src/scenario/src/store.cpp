@@ -39,8 +39,9 @@ FsResultStore::FsResultStore(std::string root) : root_(std::move(root)) {
 }
 
 std::string FsResultStore::path_of(const ChunkKey& key) const {
-  return root_ + "/" + key.spec_hash + "/seed" + std::to_string(key.seed) + "/p" +
-         std::to_string(key.point) + ".c" + std::to_string(key.chunk);
+  return root_ + "/r" + std::to_string(kEngineRevision) + "/" + key.spec_hash +
+         "/seed" + std::to_string(key.seed) + "/p" + std::to_string(key.point) +
+         ".c" + std::to_string(key.chunk);
 }
 
 std::optional<ChunkRecord> FsResultStore::load(const ChunkKey& key) const {
@@ -73,11 +74,11 @@ std::optional<ChunkRecord> FsResultStore::load(const ChunkKey& key) const {
   return rec;
 }
 
-void FsResultStore::save(const ChunkKey& key, const ChunkRecord& record) const {
+bool FsResultStore::save(const ChunkKey& key, const ChunkRecord& record) const {
   const fs::path final_path = path_of(key);
   std::error_code ec;
   fs::create_directories(final_path.parent_path(), ec);
-  if (ec) return;
+  if (ec || !fs::is_directory(final_path.parent_path())) return false;
   // Unique temp name per process+call: concurrent shards writing the
   // same key (same content, by construction) must not tear each other.
   static std::atomic<std::uint64_t> counter{0};
@@ -87,28 +88,62 @@ void FsResultStore::save(const ChunkKey& key, const ChunkRecord& record) const {
   const fs::path tmp_path = tmp_name.str();
   {
     std::ofstream out(tmp_path);
-    if (!out) return;
+    if (!out) return false;
     out << "oci-chunk-v1 samples=" << record.samples << " rng_draws="
         << record.rng_draws << " metrics=" << record.metrics.size() << "\n";
     for (const double v : record.metrics) out << fmt(v) << "\n";
     if (!out) {
       out.close();
       fs::remove(tmp_path, ec);
-      return;
+      return false;
     }
   }
   fs::rename(tmp_path, final_path, ec);
-  if (ec) fs::remove(tmp_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  return true;
 }
 
 GcReport cache_gc(const std::string& root, double max_age_days, bool dry_run) {
   GcReport report;
   std::error_code ec;
   if (!fs::is_directory(root, ec)) return report;
+
+  // Dead revisions first: every top-level entry that is not the live
+  // r<kEngineRevision> directory (older revisions, pre-revision legacy
+  // hash dirs) is unreadable by current binaries -- remove wholesale.
+  const std::string live = "r" + std::to_string(kEngineRevision);
+  for (fs::directory_iterator it(root, ec), end; !ec && it != end; it.increment(ec)) {
+    if (it->path().filename().string() == live) continue;
+    if (it->is_directory(ec)) {
+      for (fs::recursive_directory_iterator sub(it->path(), ec), send;
+           !ec && sub != send; sub.increment(ec)) {
+        if (!sub->is_regular_file(ec)) continue;
+        ++report.scanned;
+        ++report.removed;
+        report.bytes_freed += sub->file_size(ec);
+      }
+      ec.clear();
+    } else {
+      ++report.scanned;
+      ++report.removed;
+      report.bytes_freed += it->file_size(ec);
+    }
+    if (!dry_run) fs::remove_all(it->path(), ec);
+  }
+  ec.clear();
+
+  // Age-based sweep over the LIVE revision only (dead trees are fully
+  // accounted above -- walking them again would double-count dry runs).
+  const fs::path live_root = fs::path(root) / live;
+  if (!fs::is_directory(live_root, ec)) return report;
+  ec.clear();
   const auto now = fs::file_time_type::clock::now();
   const auto max_age = std::chrono::duration_cast<fs::file_time_type::duration>(
       std::chrono::duration<double, std::ratio<86400>>(max_age_days));
-  for (fs::recursive_directory_iterator it(root, ec), end; !ec && it != end;
+  for (fs::recursive_directory_iterator it(live_root, ec), end; !ec && it != end;
        it.increment(ec)) {
     if (!it->is_regular_file(ec)) continue;
     ++report.scanned;

@@ -131,6 +131,40 @@ TEST(AllocGuard, SingleSourceSymbolLoopIsAllocationFree) {
   expect_no_allocations(before, after, "single-source run_symbols");
 }
 
+TEST(AllocGuard, BatchedWindowKernelIsAllocationFree) {
+  RngStream process(1231);
+  const OpticalLink link(guard_config(), process);
+  const LinkEngine engine(link);
+  const util::BatchRngStream lanes(0xA110Cull, "alloc-guard");
+
+  // Direct batched-kernel loop: the shape ScenarioRunner's chunked
+  // map drives. One scratch + one staging vector, reused per batch.
+  link::EngineBatchScratch scratch;
+  std::vector<link::WindowResult> windows(LinkEngine::kEngineBatch);
+  const auto stage = [&](std::uint64_t first_lane) {
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      windows[i] = link::WindowResult{};
+      windows[i].pulse_start_s =
+          link.ppm().encode((first_lane + i) % 32).seconds();
+    }
+  };
+
+  stage(0);
+  engine.simulate_windows(windows, lanes, scratch);  // warm-up sizes the SoA
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  std::uint64_t fired = 0;
+  for (std::uint64_t batch = 0; batch < 16; ++batch) {
+    stage(batch * windows.size());
+    engine.simulate_windows(windows, lanes, scratch, batch * windows.size());
+    for (const link::WindowResult& w : windows) fired += w.fired ? 1 : 0;
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_GT(fired, 0u);
+  expect_no_allocations(before, after, "simulate_windows batch loop");
+}
+
 TEST(AllocGuard, MultiSourceInterferenceLoopIsAllocationFree) {
   RngStream process(1213);
   const OpticalLink link(guard_config(), process);

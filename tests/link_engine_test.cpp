@@ -1,16 +1,18 @@
 // LinkEngine regression suite.
 //
 // Two layers of protection around the zero-allocation hot path:
-//  * GOLDEN, bit-for-bit -- every public OpticalLink driver (the
-//    per-symbol API, transmit(), measure()) must reproduce the exact
-//    counters of an explicit LinkEngine run at the same seed. This
-//    locks the batching/reducer plumbing and the dead-time carry: any
-//    divergence between the drivers is a real bug, not noise.
-//  * STATISTICAL -- the engine's streamed thinned-process sampling must
-//    agree in distribution with the reference per-photon pipeline
-//    (transmit_symbol_reference). They consume RNG draws differently
-//    by design, so agreement is asserted with two-proportion z-tests
-//    on erasure/error/noise-capture rates across link configurations.
+//  * GOLDEN, bit-for-bit -- OpticalLink's measure()/transmit() must
+//    reproduce the exact counters of an explicit LinkEngine run at the
+//    same seed: the facade and the engine ride the same batched driver.
+//    (Per-lane bit-exactness of the batched path itself -- across ISA
+//    kernels, batch sizes and thread counts -- is pinned separately in
+//    engine_batch_test.)
+//  * STATISTICAL -- the per-symbol mt19937 API, the batched
+//    counter-RNG drivers, and the reference per-photon pipeline
+//    (transmit_symbol_reference) consume RNG draws differently by
+//    design, so cross-path agreement is asserted with two-proportion
+//    z-tests on erasure/error/noise-capture rates across link
+//    configurations.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -104,9 +106,14 @@ TEST_P(EngineGolden, MeasureMatchesExplicitEngineBitForBit) {
   expect_identical(via_api, via_engine);
 }
 
-TEST_P(EngineGolden, PerSymbolLoopMatchesBatchedRunBitForBit) {
+TEST_P(EngineGolden, PerSymbolLoopMatchesBatchedRunStatistically) {
+  // The batched drivers replaced the per-symbol mt19937 walk with
+  // counter-RNG window lanes, so the two paths are equivalent in
+  // distribution, not draw-for-draw: rates must agree statistically
+  // and the deterministic accounting must agree exactly.
   RngStream process(823);
   const OpticalLink link(config(), process);
+  constexpr std::uint64_t n = 4000;
 
   // Old-style driver: one transmit_symbol call per window.
   RngStream tx_loop(827);
@@ -114,25 +121,30 @@ TEST_P(EngineGolden, PerSymbolLoopMatchesBatchedRunBitForBit) {
   Time t = Time::zero();
   Time dead_until = Time::zero();
   const std::uint64_t max_symbol = (std::uint64_t{1} << link.bits_per_symbol()) - 1;
-  std::vector<std::uint64_t> loop_decoded;
-  for (int i = 0; i < 600; ++i) {
+  for (std::uint64_t i = 0; i < n; ++i) {
     const auto symbol = static_cast<std::uint64_t>(
         tx_loop.uniform_int(0, static_cast<std::int64_t>(max_symbol)));
-    loop_decoded.push_back(link.transmit_symbol(symbol, t, dead_until, loop_stats, tx_loop));
+    (void)link.transmit_symbol(symbol, t, dead_until, loop_stats, tx_loop);
     t += link.symbol_period();
   }
 
-  // Batched driver: one engine, streaming reducer.
-  RngStream tx_batch(827);
+  // Batched driver: one engine, whole batches.
+  RngStream tx_batch(829);
   const LinkEngine engine(link);
-  std::vector<std::uint64_t> batch_decoded;
-  const LinkRunStats batch_stats = engine.run_symbols(
-      600, tx_batch, [&](std::uint64_t, const LinkEngine::SymbolOutcome& out) {
-        batch_decoded.push_back(out.decoded);
-      });
+  const LinkRunStats batch_stats = engine.measure(n, tx_batch);
 
-  expect_identical(loop_stats, batch_stats);
-  EXPECT_EQ(loop_decoded, batch_decoded);
+  EXPECT_EQ(loop_stats.symbols_sent, batch_stats.symbols_sent);
+  EXPECT_EQ(loop_stats.total_bits, batch_stats.total_bits);
+  EXPECT_DOUBLE_EQ(loop_stats.elapsed.seconds(), batch_stats.elapsed.seconds());
+  EXPECT_DOUBLE_EQ(loop_stats.tx_energy.joules(), batch_stats.tx_energy.joules());
+  EXPECT_DOUBLE_EQ(loop_stats.rx_energy.joules(), batch_stats.rx_energy.joules());
+  EXPECT_RATES_CONSISTENT(loop_stats.erasures, n, batch_stats.erasures, n, 1e-4);
+  EXPECT_RATES_CONSISTENT(loop_stats.symbol_errors, n, batch_stats.symbol_errors, n,
+                          1e-4);
+  EXPECT_RATES_CONSISTENT(loop_stats.noise_captures, n, batch_stats.noise_captures, n,
+                          1e-4);
+  EXPECT_RATES_CONSISTENT(loop_stats.bit_errors, loop_stats.total_bits,
+                          batch_stats.bit_errors, batch_stats.total_bits, 1e-4);
 }
 
 TEST_P(EngineGolden, TransmitMatchesRunSequenceBitForBit) {

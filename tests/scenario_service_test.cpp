@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -255,6 +256,70 @@ TEST(ResultStore, GcRemovesOnlyOldEntries) {
 
 // -- Cache semantics ----------------------------------------------------
 
+TEST(ScenarioService, EngineRevisionBumpInvalidatesTheWholeCache) {
+  // Entries live under r<kEngineRevision>: a revision bump (new engine
+  // code, same spec hash) must be a FULL miss, never a stale hit.
+  const fs::path dir = scratch_dir("store_rev");
+  const FsResultStore store(dir.string());
+  RunOptions options;
+  options.store = &store;
+  const ScenarioSpec spec = adaptive_spec();
+  const RunReport cold = ScenarioRunner(2).run(spec, options);
+  EXPECT_GT(cold.cache_misses, 0u);
+  const fs::path live = dir / ("r" + std::to_string(scenario::kEngineRevision));
+  ASSERT_TRUE(fs::exists(live));
+
+  // Simulate a store written by the PREVIOUS engine revision by moving
+  // the whole tree under r<rev-1>. The warm run serves nothing from it
+  // and re-simulates every chunk, bit-identically.
+  const fs::path stale =
+      dir / ("r" + std::to_string(scenario::kEngineRevision - 1));
+  fs::rename(live, stale);
+  const RunReport warm = ScenarioRunner(2).run(spec, options);
+  EXPECT_EQ(warm.cache_hits, 0u);
+  EXPECT_EQ(warm.cache_misses, cold.cache_misses);
+  expect_identical(cold, warm);
+
+  // cache_gc prunes the dead revision wholesale -- even entries far
+  // younger than max_age -- and keeps the freshly rewritten live tree.
+  const auto gc = scenario::cache_gc(dir.string(), /*max_age_days=*/365.0);
+  EXPECT_GT(gc.removed, 0u);
+  EXPECT_FALSE(fs::exists(stale));
+  ASSERT_TRUE(fs::exists(live));
+  const RunReport rewarm = ScenarioRunner(2).run(spec, options);
+  EXPECT_EQ(rewarm.cache_misses, 0u);
+  EXPECT_EQ(rewarm.cache_hits, cold.cache_misses);
+}
+
+TEST(ScenarioService, SaveFailuresAreCountedAndHarmless) {
+  const fs::path dir = scratch_dir("store_blocked");
+  const FsResultStore store(dir.string());
+  // Block the store with a regular FILE where the revision directory
+  // must go: every save's create_directories fails, loads simply miss.
+  std::ofstream(dir / ("r" + std::to_string(scenario::kEngineRevision))) << "x";
+  RunOptions options;
+  options.store = &store;
+  const ScenarioSpec spec = adaptive_spec();
+  const RunReport blocked = ScenarioRunner(2).run(spec, options);
+  EXPECT_EQ(blocked.cache_hits, 0u);
+  EXPECT_GT(blocked.cache_misses, 0u);
+  // Every simulated chunk failed to persist, and each failure was
+  // counted -- not swallowed.
+  EXPECT_EQ(blocked.cache_save_failures, blocked.cache_misses);
+
+  // The broken cache is invisible to the physics: an uncached run
+  // produces the identical report.
+  const RunReport uncached = ScenarioRunner(2).run(spec);
+  EXPECT_EQ(uncached.cache_save_failures, 0u);
+  expect_identical(blocked, uncached);
+
+  // The counter survives the schema-v2 report document round trip.
+  const fs::path path = scratch_dir("store_blocked_io") / "report.json";
+  scenario::report_io::save(blocked, path.string());
+  const RunReport back = scenario::report_io::load(path.string());
+  EXPECT_EQ(back.cache_save_failures, blocked.cache_save_failures);
+}
+
 TEST(ScenarioService, WarmCacheIsBitIdenticalAcrossThreadCounts) {
   const fs::path dir = scratch_dir("cache_warm");
   const FsResultStore store(dir.string());
@@ -423,6 +488,44 @@ TEST(ReportIo, RoundTripsThroughDisk) {
   const RunReport merged = scenario::merge_reports(
       {scenario::report_io::load(p0.string()), scenario::report_io::load(p1.string())});
   expect_identical(report, merged);
+}
+
+TEST(ReportIo, EmptyAccumulatorStateRoundTrips) {
+  // Zero-chunk accumulator state is legal on disk (a point whose mean
+  // metrics never accumulated): the loader must reconstruct the EMPTY
+  // accumulator -- finite, merge-safe -- not NaN moments.
+  const ScenarioSpec spec = adaptive_spec();
+  RunReport report = ScenarioRunner(2).run(spec);
+  ASSERT_FALSE(report.points.empty());
+  for (auto& m : report.points[0].means) m = analysis::MeanAccumulator();
+  for (auto& r : report.points[0].rates) r = analysis::RateAccumulator();
+
+  const fs::path path = scratch_dir("report_io_empty") / "report.json";
+  scenario::report_io::save(report, path.string());
+  const RunReport back = scenario::report_io::load(path.string());
+  ASSERT_EQ(back.points[0].means.size(), report.points[0].means.size());
+  for (const auto& m : back.points[0].means) {
+    EXPECT_EQ(m.chunks(), 0u);
+    EXPECT_TRUE(std::isfinite(m.interval().value));
+    EXPECT_DOUBLE_EQ(m.interval().half_width(), 0.0);
+  }
+  for (const auto& r : back.points[0].rates) {
+    EXPECT_EQ(r.trials(), 0u);
+    EXPECT_TRUE(std::isfinite(r.wilson().ci_high));
+  }
+
+  // And the reconstruction is live: pooling the emptied point with a
+  // different-seed run behaves like an in-memory empty accumulator.
+  ScenarioSpec other = spec;
+  other.seed = kSeed + 1;
+  const RunReport pooled =
+      scenario::merge_reports({back, ScenarioRunner(2).run(other)});
+  for (const auto& p : pooled.points) {
+    for (const auto& e : p.estimates) {
+      EXPECT_TRUE(std::isfinite(e.value));
+      EXPECT_TRUE(std::isfinite(e.ci_low) && std::isfinite(e.ci_high));
+    }
+  }
 }
 
 TEST(ReportIo, LoadRejectsMalformedDocuments) {

@@ -700,9 +700,12 @@ TEST(ScenarioSeed, EnvOverrideBeatsSpecSeed) {
 }
 
 TEST(ScenarioSeed, CliArgConsumedAndWins) {
-  // The CLI seed must beat a pre-existing OCI_SEED -- including inside
-  // a later ScenarioRunner::run(), which re-resolves from the
-  // environment (the consumed value is re-exported as OCI_SEED).
+  // The CLI seed must beat a CONFLICTING pre-existing OCI_SEED --
+  // including inside a later ScenarioRunner::run(), which re-resolves
+  // the seed itself. The consumed value travels as an explicit
+  // in-process override (set_seed_override); the environment variable
+  // must stay untouched, not be clobbered with the CLI value (the old
+  // workaround, which leaked the override into child processes).
   ASSERT_EQ(setenv("OCI_SEED", "555", 1), 0);
   char a0[] = "bench";
   char a1[] = "--seed=4242";
@@ -715,7 +718,10 @@ TEST(ScenarioSeed, CliArgConsumedAndWins) {
   ScenarioSpec spec = tiny_link_spec();
   spec.budget.samples = 20;
   EXPECT_EQ(ScenarioRunner().run(spec).seed, 4242u);
+  ASSERT_NE(std::getenv("OCI_SEED"), nullptr);
+  EXPECT_STREQ(std::getenv("OCI_SEED"), "555");  // environment untouched
   unsetenv("OCI_SEED");
+  scenario::set_seed_override(std::nullopt);
 
   // Split form: --seed N.
   char b1[] = "--seed";
@@ -724,8 +730,10 @@ TEST(ScenarioSeed, CliArgConsumedAndWins) {
   int argc2 = 3;
   EXPECT_EQ(scenario::resolve_seed(7, argc2, argv2), 99u);
   EXPECT_EQ(argc2, 1);
+  EXPECT_EQ(scenario::seed_override(), std::optional<std::uint64_t>(99u));
+  scenario::set_seed_override(std::nullopt);
 
-  // No flag: fallback (or OCI_SEED, unset here).
+  // No flag, no env, no override: fallback.
   unsetenv("OCI_SEED");
   char* argv3[] = {a0, nullptr};
   int argc3 = 1;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "oci/analysis/sequential.hpp"
 
@@ -115,6 +116,90 @@ TEST(MeanAccumulator, SingleChunkHasNoSpreadInformation) {
   EXPECT_DOUBLE_EQ(e.value, 7.25);
   EXPECT_DOUBLE_EQ(e.half_width(), 0.0);
   EXPECT_EQ(e.n_samples, 500u);
+}
+
+// -- Reconstruction edge cases (result store / report merge path) -------
+
+TEST(RateAccumulator, FromCountsSanitizesGarbledState) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  // A garbled success count reads as zero successes over the recorded
+  // trials -- the interval stays finite instead of poisoning merges.
+  RateAccumulator garbled = RateAccumulator::from_counts(nan, 100);
+  EXPECT_EQ(garbled.trials(), 100u);
+  EXPECT_DOUBLE_EQ(garbled.successes(), 0.0);
+  const Estimate e = garbled.wilson();
+  EXPECT_TRUE(std::isfinite(e.ci_low));
+  EXPECT_TRUE(std::isfinite(e.ci_high));
+  EXPECT_GE(e.ci_high, e.ci_low);
+
+  // Negative counts (impossible for a binomial) clamp to zero too.
+  const RateAccumulator negative = RateAccumulator::from_counts(-3.0, 10);
+  EXPECT_DOUBLE_EQ(negative.rate(), 0.0);
+
+  // The sanitized state merges like any other accumulator.
+  RateAccumulator pooled = RateAccumulator::from_counts(5.0, 10);
+  pooled.merge(garbled);
+  EXPECT_EQ(pooled.trials(), 110u);
+  EXPECT_TRUE(std::isfinite(pooled.rate()));
+  EXPECT_DOUBLE_EQ(pooled.successes(), 5.0);
+}
+
+TEST(RateAccumulator, WilsonTreatsNonFiniteSuccessesAsZero) {
+  // Direct estimator call, not just the accumulator path: std::clamp
+  // propagates NaN, so the estimators need their own finite guard.
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {std::nan(""), inf, -inf}) {
+    const Estimate w = wilson_estimate(bad, 50);
+    EXPECT_TRUE(std::isfinite(w.value)) << bad;
+    EXPECT_TRUE(std::isfinite(w.ci_low) && std::isfinite(w.ci_high)) << bad;
+    const Estimate a = wald_estimate(bad, 50);
+    EXPECT_TRUE(std::isfinite(a.ci_low) && std::isfinite(a.ci_high)) << bad;
+  }
+}
+
+TEST(MeanAccumulator, FromStateWithZeroChunksIsTheEmptyAccumulator) {
+  // A zero-sample point round-tripped through a report legitimately
+  // serializes zero chunks; reconstruction must hand back the EMPTY
+  // accumulator, not moments that NaN every merge they touch.
+  const MeanAccumulator empty = MeanAccumulator::from_state(0, 0.0, 0.0, 0);
+  EXPECT_EQ(empty.chunks(), 0u);
+  EXPECT_EQ(empty.samples(), 0u);
+  const Estimate e = empty.interval();
+  EXPECT_TRUE(std::isfinite(e.value));
+  EXPECT_DOUBLE_EQ(e.half_width(), 0.0);
+
+  // Merging the empty reconstruction into live state is a no-op.
+  MeanAccumulator live;
+  live.add(2.0, 100);
+  live.add(4.0, 100);
+  const Estimate before = live.interval();
+  live.merge(empty);
+  const Estimate after = live.interval();
+  EXPECT_DOUBLE_EQ(after.value, before.value);
+  EXPECT_DOUBLE_EQ(after.ci_low, before.ci_low);
+  EXPECT_DOUBLE_EQ(after.ci_high, before.ci_high);
+  EXPECT_EQ(after.n_samples, before.n_samples);
+}
+
+TEST(MeanAccumulator, FromStateSanitizesGarbledMoments) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  // Non-finite moments reconstruct as empty rather than contagious NaN.
+  for (const MeanAccumulator acc : {MeanAccumulator::from_state(3, nan, 1.0, 300),
+                                    MeanAccumulator::from_state(3, 1.0, nan, 300)}) {
+    EXPECT_EQ(acc.chunks(), 0u);
+    EXPECT_TRUE(std::isfinite(acc.interval().value));
+  }
+
+  // A (numerically impossible) negative M2 clamps to zero spread: the
+  // interval collapses to the mean instead of widening to NaN.
+  const MeanAccumulator clamped = MeanAccumulator::from_state(4, 2.5, -1e-9, 400);
+  EXPECT_EQ(clamped.chunks(), 4u);
+  const Estimate e = clamped.interval();
+  EXPECT_DOUBLE_EQ(e.value, 2.5);
+  EXPECT_TRUE(std::isfinite(e.ci_low) && std::isfinite(e.ci_high));
+  EXPECT_DOUBLE_EQ(e.half_width(), 0.0);
 }
 
 TEST(StoppingRule, AbsoluteHalfWidthTarget) {

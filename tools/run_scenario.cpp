@@ -173,6 +173,10 @@ int cmd_run(int argc, char** argv, const std::string& spec_path_arg) {
       // byte-identical with and without a cache.
       std::cout << "cache: " << report.cache_hits << " chunk(s) hit, "
                 << report.cache_misses << " missed (" << *cache_dir << ")\n";
+      if (report.cache_save_failures > 0) {
+        std::cout << "cache: " << report.cache_save_failures
+                  << " chunk(s) FAILED to persist -- next run re-simulates them\n";
+      }
     }
 
     std::string out = out_path;
