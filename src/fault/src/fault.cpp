@@ -1,0 +1,95 @@
+#include "oci/fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace oci::fault {
+
+std::size_t Realisation::live_nodes() const {
+  std::size_t live = 0;
+  for (const std::uint8_t d : dead_nodes) live += d == 0 ? 1 : 0;
+  return dead_nodes.empty() ? 0 : live;
+}
+
+std::uint64_t pick_count(std::uint64_t n, double fraction) {
+  if (fraction <= 0.0 || n == 0) return 0;
+  const double k = std::llround(fraction * static_cast<double>(n));
+  return std::min<std::uint64_t>(static_cast<std::uint64_t>(k), n);
+}
+
+std::vector<std::uint32_t> pick_subset(std::uint64_t n, std::uint64_t k,
+                                       util::RngStream& rng) {
+  if (k > n) throw std::invalid_argument("fault: subset larger than its ground set");
+  std::vector<std::uint32_t> pool(n);
+  for (std::uint64_t i = 0; i < n; ++i) pool[i] = static_cast<std::uint32_t>(i);
+  // Fisher-Yates prefix: after k swaps the first k entries are a
+  // uniform k-subset in random order.
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::uint64_t>(
+        rng.uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+Realisation realise(const FaultSpec& spec, const Context& ctx, util::RngStream& rng) {
+  Realisation r;
+  r.recalibrate = spec.recalibrate;
+  r.reroute = spec.reroute;
+  r.mac_reclaim = spec.mac_reclaim;
+
+  // SPAD pixels: counts only (the detection physics is exchangeable
+  // over pixels), so no draws -- the curve steps deterministically.
+  if (spec.pixel_active() && spec.array_pixels > 0) {
+    r.pixels.pixels = spec.array_pixels;
+    r.pixels.dead = pick_count(spec.array_pixels, spec.dead_pixel_fraction);
+    r.pixels.hot = std::min(pick_count(spec.array_pixels, spec.hot_pixel_fraction),
+                            spec.array_pixels - r.pixels.dead);
+    r.pixels.masked = spec.mask_hot_pixels;
+    r.pixels.hot_dcr_hz = spec.hot_pixel_dcr_hz;
+  }
+
+  r.tdc_drift_c = spec.tdc_drift_c;
+  r.dark_window_probability = spec.dark_window_probability;
+  r.flaky_window_probability = spec.flaky_window_probability;
+  r.flaky_scale = std::pow(10.0, -spec.flaky_attenuation_db / 10.0);
+
+  // WDM channels: dead subset drawn first, survivors attenuated.
+  if (spec.wdm_active() && ctx.wdm_channels > 0) {
+    const double survivor_scale = std::pow(10.0, -spec.channel_attenuation_db / 10.0);
+    r.channel_scale.assign(ctx.wdm_channels, survivor_scale);
+    const std::uint64_t dead = pick_count(ctx.wdm_channels, spec.dead_channel_fraction);
+    for (const std::uint32_t c : pick_subset(ctx.wdm_channels, dead, rng)) {
+      r.channel_scale[c] = 0.0;
+    }
+  }
+
+  // NoC dies, then links -- fixed order keeps realisations stable when
+  // one fault kind is toggled on a sweep axis... as long as the axis
+  // is the LAST kind in the order (sweep link failures freely; node
+  // sets never move).
+  if (spec.noc_active() && ctx.noc_dies > 0) {
+    r.dead_nodes.assign(ctx.noc_dies, 0);
+    const std::uint64_t dead = pick_count(ctx.noc_dies, spec.dead_node_fraction);
+    for (const std::uint32_t d : pick_subset(ctx.noc_dies, dead, rng)) {
+      r.dead_nodes[d] = 1;
+    }
+    if (spec.link_failure_probability > 0.0) {
+      r.broken_links.assign(ctx.noc_dies * ctx.noc_dies, 0);
+      for (std::size_t src = 0; src < ctx.noc_dies; ++src) {
+        for (std::size_t dst = 0; dst < ctx.noc_dies; ++dst) {
+          if (src == dst || r.dead_nodes[src] != 0 || r.dead_nodes[dst] != 0) continue;
+          if (rng.bernoulli(spec.link_failure_probability)) {
+            r.broken_links[src * ctx.noc_dies + dst] = 1;
+          }
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace oci::fault

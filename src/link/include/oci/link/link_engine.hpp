@@ -77,6 +77,16 @@ class LinkEngine {
                                               util::Time& dead_until, LinkRunStats& stats,
                                               util::RngStream& rng) const;
 
+  /// Single-source symbol whose launched pulse is scaled by
+  /// `signal_scale` (0 = dark window: the driver dropped the pulse;
+  /// (0,1) = flaky window: attenuated launch). Energy/period accounting
+  /// is unchanged -- the transmitter still spent the slot. The fault
+  /// layer's dark/flaky window injection rides this entry point.
+  [[nodiscard]] std::uint64_t transmit_symbol(std::uint64_t symbol, util::Time start,
+                                              double signal_scale, util::Time& dead_until,
+                                              LinkRunStats& stats,
+                                              util::RngStream& rng) const;
+
   /// Multi-source symbol: the victim's own pulse plus `aggressors`
   /// (co-channel crosstalk, WDM leakage, colliding talkers) merged
   /// with the flat noise/afterpulse streams. Aggressor triggers that

@@ -44,6 +44,12 @@ struct WdmLinkConfig {
   const photonics::DieStack* stack = nullptr;
   std::size_t from_die = 0;
   std::size_t to_die = 1;
+  /// Per-channel LAUNCH power scale (fault injection): 0 kills the
+  /// channel's laser outright -- its traffic is lost AND its leakage
+  /// into neighbours vanishes with it -- while (0,1) models an aged
+  /// driver. Empty (the default) = every channel at full power;
+  /// otherwise one entry per grid channel, each >= 0.
+  std::vector<double> channel_power_scale;
 };
 
 class WdmLink {

@@ -256,6 +256,17 @@ std::uint64_t LinkEngine::transmit_symbol(std::uint64_t symbol, Time start, Time
 }
 
 std::uint64_t LinkEngine::transmit_symbol(std::uint64_t symbol, Time start,
+                                          double signal_scale, Time& dead_until,
+                                          LinkRunStats& stats, RngStream& rng) const {
+  SourceState signal =
+      signal_state(start.seconds() + link_->ppm().encode(symbol).seconds());
+  signal.lambda *= std::max(signal_scale, 0.0);
+  signal.exhausted = signal.lambda <= 0.0;
+  return finish_symbol(symbol, start, std::span<SourceState>(&signal, 1), dead_until,
+                       stats, rng);
+}
+
+std::uint64_t LinkEngine::transmit_symbol(std::uint64_t symbol, Time start,
                                           std::span<const SourcePulse> aggressors,
                                           Time& dead_until, LinkRunStats& stats,
                                           RngStream& rng, EngineScratch& scratch) const {

@@ -19,12 +19,27 @@ WdmLink::WdmLink(const WdmLinkConfig& config, RngStream& process_rng) : config_(
   if (config_.path_transmittance <= 0.0 || config_.path_transmittance > 1.0) {
     throw std::invalid_argument("WdmLink: path transmittance must be in (0,1]");
   }
+  if (!config_.channel_power_scale.empty()) {
+    if (config_.channel_power_scale.size() != config_.grid.channels) {
+      throw std::invalid_argument("WdmLink: one channel_power_scale entry per channel");
+    }
+    for (const double s : config_.channel_power_scale) {
+      if (s < 0.0) throw std::invalid_argument("WdmLink: channel power scale must be >= 0");
+    }
+  }
   crosstalk_ = photonics::crosstalk_matrix(config_.grid, config_.filter);
   links_.reserve(config_.grid.channels);
   for (std::size_t i = 0; i < config_.grid.channels; ++i) {
     OpticalLinkConfig c = config_.base;
     c.led.wavelength = config_.grid.wavelength(i);
     c.channel_transmittance = path_for(i) * config_.filter.passband_transmittance;
+    // Scaling the LAUNCH power (not the path) makes a killed channel's
+    // aggressor leakage die with it: photons_per_pulse() feeds both the
+    // victim's own lambda and every neighbour's collected mean.
+    if (!config_.channel_power_scale.empty()) {
+      c.led.peak_power =
+          util::Power::watts(c.led.peak_power.watts() * config_.channel_power_scale[i]);
+    }
     links_.push_back(std::make_unique<OpticalLink>(c, process_rng));
   }
 }

@@ -67,6 +67,32 @@ class TokenMac final : public MacPolicy {
   unsigned passing_ = 0;  ///< dead slots left in the current pass
 };
 
+/// MAC re-arbitration over the SURVIVORS of a partially failed stack:
+/// wraps any inner policy built for `members.size()` participants and
+/// remaps between the full die index space and the compacted live one.
+/// With a TDMA inner policy this is slot reclamation (the dead dies'
+/// slots are redistributed over the survivors); with a token inner
+/// policy the ring simply bypasses dead dies. Dead dies are never
+/// granted -- their backlog flags are dropped at the boundary.
+class SubsetMac final : public MacPolicy {
+ public:
+  /// `members` lists the LIVE die indices (strictly increasing, each <
+  /// `dies`); `inner` must be built for members.size() participants.
+  SubsetMac(std::unique_ptr<MacPolicy> inner, std::vector<std::size_t> members,
+            std::size_t dies);
+  [[nodiscard]] SlotGrant arbitrate(std::uint64_t slot, const std::vector<bool>& backlogged,
+                                    util::RngStream& rng) override;
+  [[nodiscard]] const char* name() const override { return "subset"; }
+  [[nodiscard]] const MacPolicy& inner() const { return *inner_; }
+  [[nodiscard]] const std::vector<std::size_t>& members() const { return members_; }
+
+ private:
+  std::unique_ptr<MacPolicy> inner_;
+  std::vector<std::size_t> members_;
+  std::size_t dies_;
+  std::vector<bool> inner_backlogged_;
+};
+
 /// Slotted ALOHA: every backlogged die independently transmits with
 /// probability `attempt_probability`. Simultaneous transmissions
 /// collide (the receivers' SPADs fire on whichever photon lands first;

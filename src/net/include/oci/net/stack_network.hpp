@@ -53,6 +53,21 @@ struct StackNetworkConfig {
   /// Wall-clock duration of one slot (for seconds-domain reporting):
   /// packet symbols x the link's symbol period.
   Time slot_duration = Time::microseconds(1.0);
+  /// Fault state: dead_nodes[i] != 0 marks die i dead -- it injects
+  /// nothing and receives nothing (a transfer addressed to it fails
+  /// deterministically). Empty = all live.
+  std::vector<std::uint8_t> dead_nodes;
+  /// Row-major dies x dies matrix; broken_links[src*dies+dst] != 0
+  /// fails every (src -> dst) transfer deterministically while both
+  /// endpoints live. Empty = all paths intact.
+  std::vector<std::uint8_t> broken_links;
+  /// Graceful-degradation response: uniform traffic draws destinations
+  /// among LIVE other dies (routing around the holes). false = keep
+  /// drawing over all other dies and pay the deterministic failures.
+  /// Fixed-destination traffic to a dead die is dropped at entry when
+  /// true (counted as queue_drops: unroutable), retried to death when
+  /// false.
+  bool reroute_dead_destinations = true;
 };
 
 struct DieStats {
@@ -102,6 +117,16 @@ class StackNetwork {
   /// Packets currently waiting across all queues.
   [[nodiscard]] std::size_t backlog() const;
 
+  /// True when die i is configured dead.
+  [[nodiscard]] bool node_dead(std::size_t die) const {
+    return !config_.dead_nodes.empty() && config_.dead_nodes[die] != 0;
+  }
+  /// True when the (src -> dst) path is configured broken.
+  [[nodiscard]] bool link_broken(std::size_t src, std::size_t dst) const {
+    return !config_.broken_links.empty() &&
+           config_.broken_links[src * config_.dies + dst] != 0;
+  }
+
  private:
   void inject_arrivals(std::uint64_t slot, util::RngStream& rng,
                        std::vector<DieStats>& stats);
@@ -109,6 +134,12 @@ class StackNetwork {
   StackNetworkConfig config_;
   std::unique_ptr<MacPolicy> mac_;
   std::vector<std::deque<Packet>> queues_;
+  /// Per-die uniform-destination candidate lists. Clean (or
+  /// reroute-off) runs list all OTHER dies in increasing order -- the
+  /// index mapping and draw count are then identical to the historical
+  /// `pick >= die ? pick+1 : pick` fold, keeping clean runs
+  /// bit-identical. With rerouting armed, dead dies are excluded.
+  std::vector<std::vector<std::size_t>> uniform_candidates_;
   std::uint64_t next_packet_id_ = 0;
   std::uint64_t slot_cursor_ = 0;  ///< absolute slot index across run() calls
 };

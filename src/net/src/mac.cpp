@@ -47,6 +47,33 @@ SlotGrant TokenMac::arbitrate(std::uint64_t /*slot*/, const std::vector<bool>& b
   return {};  // everyone idle; token stays put
 }
 
+SubsetMac::SubsetMac(std::unique_ptr<MacPolicy> inner, std::vector<std::size_t> members,
+                     std::size_t dies)
+    : inner_(std::move(inner)), members_(std::move(members)), dies_(dies) {
+  if (!inner_) throw std::invalid_argument("SubsetMac: inner policy required");
+  if (members_.empty()) throw std::invalid_argument("SubsetMac: need >= 1 live member");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] >= dies_ || (i > 0 && members_[i] <= members_[i - 1])) {
+      throw std::invalid_argument(
+          "SubsetMac: members must be strictly increasing die indices");
+    }
+  }
+  inner_backlogged_.resize(members_.size());
+}
+
+SlotGrant SubsetMac::arbitrate(std::uint64_t slot, const std::vector<bool>& backlogged,
+                               util::RngStream& rng) {
+  if (backlogged.size() != dies_) {
+    throw std::invalid_argument("SubsetMac: backlog vector size mismatch");
+  }
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    inner_backlogged_[i] = backlogged[members_[i]];
+  }
+  SlotGrant grant = inner_->arbitrate(slot, inner_backlogged_, rng);
+  for (std::size_t& g : grant) g = members_[g];
+  return grant;
+}
+
 AlohaMac::AlohaMac(double attempt_probability) : p_(attempt_probability) {
   if (p_ <= 0.0 || p_ > 1.0) {
     throw std::invalid_argument("AlohaMac: attempt probability must be in (0,1]");

@@ -82,6 +82,27 @@ StackNetwork::StackNetwork(const StackNetworkConfig& config, std::unique_ptr<Mac
       throw std::invalid_argument("StackNetwork: destination out of range");
     }
   }
+  if (!config_.dead_nodes.empty() && config_.dead_nodes.size() != config_.dies) {
+    throw std::invalid_argument("StackNetwork: dead_nodes must be empty or one flag per die");
+  }
+  if (!config_.broken_links.empty() &&
+      config_.broken_links.size() != config_.dies * config_.dies) {
+    throw std::invalid_argument(
+        "StackNetwork: broken_links must be empty or a dies x dies matrix");
+  }
+  // Destination candidate lists (see header): all others in increasing
+  // order on the clean path; live others when routing around dead dies.
+  const bool exclude_dead = config_.reroute_dead_destinations && !config_.dead_nodes.empty();
+  uniform_candidates_.resize(config_.dies);
+  for (std::size_t die = 0; die < config_.dies; ++die) {
+    auto& list = uniform_candidates_[die];
+    list.reserve(config_.dies - 1);
+    for (std::size_t other = 0; other < config_.dies; ++other) {
+      if (other == die) continue;
+      if (exclude_dead && node_dead(other)) continue;
+      list.push_back(other);
+    }
+  }
 }
 
 std::size_t StackNetwork::backlog() const {
@@ -95,6 +116,9 @@ void StackNetwork::inject_arrivals(std::uint64_t slot, util::RngStream& rng,
   for (std::size_t die = 0; die < config_.dies; ++die) {
     const TrafficSpec& spec = config_.traffic[die];
     if (spec.packets_per_slot <= 0.0) continue;
+    // A dead die's transmitter is gone: it sources nothing, and no
+    // Poisson draw is consumed for it (faulted runs re-seed anyway).
+    if (node_dead(die)) continue;
     const auto arrivals = rng.poisson(spec.packets_per_slot);
     for (std::int64_t a = 0; a < arrivals; ++a) {
       ++stats[die].offered;
@@ -105,12 +129,27 @@ void StackNetwork::inject_arrivals(std::uint64_t slot, util::RngStream& rng,
       Packet p;
       p.src = die;
       if (spec.uniform_destinations && config_.dies > 1) {
-        // Uniform over the OTHER dies.
-        auto pick = static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(config_.dies) - 2));
-        if (pick >= die) ++pick;
-        p.dst = pick;
+        // Uniform over the eligible OTHER dies. On the clean path the
+        // list enumerates all others, so the draw count and the index
+        // mapping are bit-identical to the historical
+        // `pick >= die ? pick+1 : pick` fold.
+        const auto& candidates = uniform_candidates_[die];
+        if (candidates.empty()) {
+          // Every possible destination is dead: unroutable at entry.
+          ++stats[die].queue_drops;
+          continue;
+        }
+        p.dst = candidates[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
       } else {
+        if (spec.destination != kBroadcast && config_.reroute_dead_destinations &&
+            node_dead(spec.destination)) {
+          // Fixed-destination traffic to a dead die: the source's flow
+          // control knows the endpoint is gone, so the packet is shed
+          // at entry instead of burning max_attempts slots on the bus.
+          ++stats[die].queue_drops;
+          continue;
+        }
         p.dst = spec.destination;
       }
       p.id = next_packet_id_++;
@@ -169,9 +208,17 @@ NetworkRunResult StackNetwork::run(std::uint64_t slots, util::RngStream& rng) {
     }
     Packet& head = q.front();
     ++result.per_die[die].transmissions;
-    const bool delivered = config_.delivery_model
-                               ? config_.delivery_model(head, rng)
-                               : rng.bernoulli(config_.delivery_probability);
+    // A unicast transfer to a dead die or across a broken (src -> dst)
+    // path fails deterministically -- the pulse is launched (the slot
+    // and the attempt are spent) but nothing can decode it, so no
+    // physical-layer delivery draw is consumed. Broadcasts keep the
+    // normal draw: the surviving receivers still decode the frame.
+    const bool unreachable =
+        head.dst != kBroadcast && (node_dead(head.dst) || link_broken(die, head.dst));
+    const bool delivered =
+        !unreachable && (config_.delivery_model
+                             ? config_.delivery_model(head, rng)
+                             : rng.bernoulli(config_.delivery_probability));
     if (delivered) {
       ++result.per_die[die].delivered;
       latencies.push_back(static_cast<double>(slot - head.enqueued_slot + 1));

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "oci/fault/fault.hpp"
 #include "oci/link/optical_link.hpp"
 #include "oci/photonics/die_stack.hpp"
 #include "oci/photonics/wdm.hpp"
@@ -189,6 +190,14 @@ struct ScenarioSpec {
   WdmSpec wdm;
   BusSpec bus;
   NocSpec noc;
+  /// Declarative fault injection (fault.* keys, sweepable): dead/hot
+  /// SPAD pixels, dark/flaky transmit windows, TDC thermal drift,
+  /// killed/attenuated WDM channels, dead NoC dies and broken links.
+  /// Faults are realised deterministically per sweep point from a
+  /// dedicated RNG stream, so degraded runs stay bit-identical across
+  /// threads, shards and kernel dispatch. fault::FaultSpec::any() ==
+  /// false (the default) leaves every engine path untouched.
+  fault::FaultSpec fault;
   std::vector<SweepAxis> sweep;
   BudgetSpec budget;
   PrecisionSpec precision;

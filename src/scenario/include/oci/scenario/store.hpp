@@ -31,7 +31,9 @@ namespace oci::scenario {
 ///   1  seed: per-symbol mt19937 engine paths
 ///   2  batched SoA/SIMD window engine (counter-RNG lanes; the symbol
 ///      path's draw sequence and rng_draws accounting changed)
-inline constexpr unsigned kEngineRevision = 2;
+///   3  fault-injection subsystem (FaultSpec in the canonical text; the
+///      p2p symbol path grew a recalibrations metric column)
+inline constexpr unsigned kEngineRevision = 3;
 
 /// Address of one simulation chunk.
 struct ChunkKey {

@@ -78,13 +78,51 @@ std::vector<std::size_t> unravel(std::size_t flat, const std::vector<SweepAxis>&
   return idx;
 }
 
-PointResult run_p2p_symbols(const ScenarioSpec& s, std::uint64_t samples, RngStream& rng) {
+PointResult run_p2p_symbols(const ScenarioSpec& s, std::uint64_t samples, RngStream& rng,
+                            const fault::Realisation* fr) {
   RngStream process = rng.fork("process");
-  const link::OpticalLink link(s.device, process);
+  link::OpticalLink link(s.device, process);
+  std::uint64_t fault_draws = 0;
+  std::uint64_t recalibrations = 0;
+  if (fr != nullptr && fr->tdc_drift_c != 0.0) {
+    // The drift hits AFTER construction calibrated at the nominal
+    // temperature: the delay line walks out from under the trained
+    // LUT/offset -- exactly the gap set_temperature leaves open.
+    link.set_temperature(
+        util::Temperature::celsius(s.device.temperature.celsius() + fr->tdc_drift_c));
+    if (fr->recalibrate && s.device.calibrate) {
+      // Graceful degradation: retrain at the operating point.
+      link.recalibrate(s.device.calibration_samples, process);
+      ++recalibrations;
+    }
+  }
   RngStream tx = rng.fork("tx");
 
   link::LinkRunStats stats;
-  if (s.aggressors.empty()) {
+  if (fr != nullptr && fr->window_faults()) {
+    // Dark/flaky transmit windows: a per-symbol driver-health draw from
+    // a dedicated stream scales the launched pulse (0 = dropped). The
+    // clean batched path never sees this branch, so its draw sequence
+    // is untouched.
+    const link::LinkEngine engine(link);
+    RngStream wf = rng.fork("window-faults");
+    const auto max_symbol = static_cast<std::int64_t>(link.ppm().slot_count()) - 1;
+    Time dead_until = Time::zero();
+    Time start = Time::zero();
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      const auto symbol = static_cast<std::uint64_t>(tx.uniform_int(0, max_symbol));
+      const double u = wf.uniform();
+      double scale = 1.0;
+      if (u < fr->dark_window_probability) {
+        scale = 0.0;
+      } else if (u < fr->dark_window_probability + fr->flaky_window_probability) {
+        scale = fr->flaky_scale;
+      }
+      (void)engine.transmit_symbol(symbol, start, scale, dead_until, stats, tx);
+      start = start + link.symbol_period();
+    }
+    fault_draws = wf.draws();
+  } else if (s.aggressors.empty()) {
     // Rides the batched SoA/SIMD window path: measure() hands the
     // chunk's samples to the engine in kEngineBatch-lane spans, so a
     // map_until chunk is simulated batch-by-batch by the dispatched
@@ -120,10 +158,11 @@ PointResult run_p2p_symbols(const ScenarioSpec& s, std::uint64_t samples, RngStr
                link.ppm().config().slot_width.picoseconds(),
                stats.raw_throughput().bits_per_second(),
                stats.goodput().bits_per_second(),
-               stats.energy_per_bit().joules()};
+               stats.energy_per_bit().joules(),
+               static_cast<double>(recalibrations)};
   // Counter-stream draws of the batched engine live in stats, not in
   // the mt19937 streams; both are deterministic per (spec, seed).
-  r.rng_draws = process.draws() + tx.draws() + stats.rng_draws;
+  r.rng_draws = process.draws() + tx.draws() + stats.rng_draws + fault_draws;
   return r;
 }
 
@@ -182,12 +221,16 @@ PointResult run_p2p_code_density(const ScenarioSpec& s, std::uint64_t samples,
   return r;
 }
 
-PointResult run_wdm(const ScenarioSpec& s, std::uint64_t samples, RngStream& rng) {
+PointResult run_wdm(const ScenarioSpec& s, std::uint64_t samples, RngStream& rng,
+                    const fault::Realisation* fr) {
   link::WdmLinkConfig wc;
   wc.grid = s.wdm.grid;
   wc.filter = s.wdm.filter;
   wc.base = s.device;
   wc.path_transmittance = s.wdm.path_transmittance;
+  if (fr != nullptr && !fr->channel_scale.empty()) {
+    wc.channel_power_scale = fr->channel_scale;
+  }
   std::unique_ptr<photonics::DieStack> stack;
   if (s.wdm.stack_dies > 0) {
     stack = std::make_unique<photonics::DieStack>(
@@ -294,8 +337,14 @@ net::StackNetworkConfig noc_config(const NocSpec& n) {
   return cfg;
 }
 
-PointResult run_noc(const ScenarioSpec& s, std::uint64_t slots, RngStream& rng) {
+PointResult run_noc(const ScenarioSpec& s, std::uint64_t slots, RngStream& rng,
+                    const fault::Realisation* fr) {
   net::StackNetworkConfig cfg = noc_config(s.noc);
+  if (fr != nullptr && fr->noc_faults()) {
+    cfg.dead_nodes = fr->dead_nodes;
+    cfg.broken_links = fr->broken_links;
+    cfg.reroute_dead_destinations = fr->reroute;
+  }
 
   // The physical substrate, when the spec couples one in. Objects must
   // outlive network.run(), so they are hoisted out of the switch.
@@ -334,7 +383,22 @@ PointResult run_noc(const ScenarioSpec& s, std::uint64_t slots, RngStream& rng) 
     }
   }
 
-  net::StackNetwork network(cfg, make_mac(s.noc.mac, s.noc.dies));
+  std::unique_ptr<net::MacPolicy> mac;
+  if (fr != nullptr && fr->mac_reclaim && !fr->dead_nodes.empty() &&
+      fr->live_nodes() < s.noc.dies) {
+    // MAC re-arbitration over the survivors: the inner policy is built
+    // for the live population (TDMA slots reclaimed, token ring
+    // shortened) and SubsetMac remaps it onto the full die space.
+    std::vector<std::size_t> members;
+    for (std::size_t die = 0; die < s.noc.dies; ++die) {
+      if (fr->dead_nodes[die] == 0) members.push_back(die);
+    }
+    mac = std::make_unique<net::SubsetMac>(make_mac(s.noc.mac, members.size()),
+                                           std::move(members), s.noc.dies);
+  } else {
+    mac = make_mac(s.noc.mac, s.noc.dies);
+  }
+  net::StackNetwork network(cfg, std::move(mac));
   RngStream run_rng = rng.fork("run");
   const auto run = network.run(slots, run_rng);
 
@@ -375,7 +439,12 @@ PointResult run_noc(const ScenarioSpec& s, std::uint64_t slots, RngStream& rng) 
   return r;
 }
 
-PointResult dispatch(const ScenarioSpec& s, std::uint64_t samples, RngStream& rng) {
+PointResult dispatch(const ScenarioSpec& s, std::uint64_t samples, RngStream& rng,
+                     const fault::Realisation* fr) {
+  // Pixel faults never reach here: they fold analytically into the
+  // point's SPAD parameters (Poisson thinning), so faulted specs still
+  // ride the batched SIMD kernels. fr carries only the realisations an
+  // engine must act on (windows, drift, channel scales, dead dies).
   switch (s.topology) {
     case Topology::kPointToPoint:
       switch (s.resolved_mode()) {
@@ -384,14 +453,14 @@ PointResult dispatch(const ScenarioSpec& s, std::uint64_t samples, RngStream& rn
         case TrafficMode::kCodeDensity:
           return run_p2p_code_density(s, samples, rng);
         default:
-          return run_p2p_symbols(s, samples, rng);
+          return run_p2p_symbols(s, samples, rng, fr);
       }
     case Topology::kWdm:
-      return run_wdm(s, samples, rng);
+      return run_wdm(s, samples, rng, fr);
     case Topology::kVerticalBus:
       return run_bus(s, samples, rng);
     case Topology::kStackNoc:
-      return run_noc(s, samples, rng);
+      return run_noc(s, samples, rng, fr);
   }
   throw std::logic_error("scenario: unhandled topology");
 }
@@ -444,7 +513,8 @@ std::vector<MetricDef> metrics_for(const ScenarioSpec& spec) {
                   {"slot_ps", K::kConstant},
                   {"raw_tp_bps", K::kMean},
                   {"goodput_bps", K::kMean},
-                  {"energy_per_bit_j", K::kMean}};
+                  {"energy_per_bit_j", K::kMean},
+                  {"recalibrations", K::kCount}};
       }
     case Topology::kWdm:
       // worst_ser is a per-window order statistic: adaptive chunks
@@ -594,6 +664,8 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec, const RunOptions& option
   struct PointState {
     bool init = false;
     ScenarioSpec point;
+    fault::Realisation fr;
+    bool faulted = false;
     analysis::StoppingRule rule;
     double z = 1.96;
     std::uint64_t chunk_size = 0;
@@ -649,6 +721,33 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec, const RunOptions& option
           // Re-validate after axis application: a sweep can push the
           // spec into an invalid corner (e.g. channels = 0).
           st.point.validate();
+          if (st.point.fault.any()) {
+            // Realise the point's faults from a dedicated stream keyed
+            // by (seed, GLOBAL point index, salt) -- independent of the
+            // chunk streams, so the same degraded hardware is simulated
+            // regardless of thread count, sharding or chunking.
+            fault::Context ctx;
+            if (st.point.topology == Topology::kWdm) {
+              ctx.wdm_channels = st.point.wdm.grid.channels;
+            }
+            if (st.point.topology == Topology::kStackNoc) {
+              ctx.noc_dies = st.point.noc.dies;
+            }
+            RngStream frng(base.seed, "fault/" + std::to_string(i) + "/" +
+                                          std::to_string(st.point.fault.salt));
+            st.fr = fault::realise(st.point.fault, ctx, frng);
+            st.faulted = true;
+            if (st.point.fault.pixel_active()) {
+              // Poisson thinning folds the faulted array into the SPAD
+              // parameters, so pixel-faulted points keep riding the
+              // batched SIMD kernels untouched.
+              auto& spad = st.point.device.spad;
+              spad.pdp_peak *= st.fr.pixels.pdp_scale();
+              spad.dcr_at_ref = util::Frequency::hertz(
+                  spad.dcr_at_ref.hertz() * st.fr.pixels.dcr_scale() +
+                  st.fr.pixels.extra_dcr_hz());
+            }
+          }
           const PrecisionSpec& prec = st.point.precision;
           if (adaptive) {
             st.z = prec.confidence_z;
@@ -699,7 +798,7 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec, const RunOptions& option
           ++st.cache_hits;
         } else {
           const auto t0 = std::chrono::steady_clock::now();
-          r = dispatch(st.point, run_samples, rng);
+          r = dispatch(st.point, run_samples, rng, st.faulted ? &st.fr : nullptr);
           st.wall_ns += std::chrono::duration<double, std::nano>(
                             std::chrono::steady_clock::now() - t0)
                             .count();

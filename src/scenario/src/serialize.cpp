@@ -291,6 +291,24 @@ std::string canonical_spec_text(const ScenarioSpec& s) {
   c.kv("precision.min_samples", s.precision.min_samples);
   c.kv("precision.max_samples", s.precision.max_samples);
 
+  c.kv("fault.dead_pixel_fraction", s.fault.dead_pixel_fraction);
+  c.kv("fault.hot_pixel_fraction", s.fault.hot_pixel_fraction);
+  c.kv("fault.hot_pixel_dcr_hz", s.fault.hot_pixel_dcr_hz);
+  c.kv("fault.array_pixels", s.fault.array_pixels);
+  c.kv("fault.mask_hot_pixels", s.fault.mask_hot_pixels);
+  c.kv("fault.dark_window_probability", s.fault.dark_window_probability);
+  c.kv("fault.flaky_window_probability", s.fault.flaky_window_probability);
+  c.kv("fault.flaky_attenuation_db", s.fault.flaky_attenuation_db);
+  c.kv("fault.tdc_drift_c", s.fault.tdc_drift_c);
+  c.kv("fault.recalibrate", s.fault.recalibrate);
+  c.kv("fault.dead_channel_fraction", s.fault.dead_channel_fraction);
+  c.kv("fault.channel_attenuation_db", s.fault.channel_attenuation_db);
+  c.kv("fault.dead_node_fraction", s.fault.dead_node_fraction);
+  c.kv("fault.link_failure_probability", s.fault.link_failure_probability);
+  c.kv("fault.reroute", s.fault.reroute);
+  c.kv("fault.mac_reclaim", s.fault.mac_reclaim);
+  c.kv("fault.salt", s.fault.salt);
+
   return c.str();
 }
 

@@ -267,6 +267,41 @@ const std::map<std::string, Param>& registry() {
     num("delivery_probability", [](S& s, double v) { s.noc.delivery_probability = v; });
     cnt("probe_transfers", [](S& s, std::uint64_t v) { s.noc.probe_transfers = v; });
 
+    // -- fault injection ---------------------------------------------
+    num("fault.dead_pixel_fraction", [](S& s, double v) {
+      s.fault.dead_pixel_fraction = v;
+    });
+    num("fault.hot_pixel_fraction", [](S& s, double v) { s.fault.hot_pixel_fraction = v; });
+    num("fault.hot_pixel_dcr_hz", [](S& s, double v) { s.fault.hot_pixel_dcr_hz = v; });
+    cnt("fault.array_pixels", [](S& s, std::uint64_t v) { s.fault.array_pixels = v; });
+    cnt("fault.mask_hot_pixels", [](S& s, std::uint64_t v) {
+      s.fault.mask_hot_pixels = v != 0;
+    });
+    num("fault.dark_window_probability", [](S& s, double v) {
+      s.fault.dark_window_probability = v;
+    });
+    num("fault.flaky_window_probability", [](S& s, double v) {
+      s.fault.flaky_window_probability = v;
+    });
+    num("fault.flaky_attenuation_db", [](S& s, double v) {
+      s.fault.flaky_attenuation_db = v;
+    });
+    num("fault.tdc_drift_c", [](S& s, double v) { s.fault.tdc_drift_c = v; });
+    cnt("fault.recalibrate", [](S& s, std::uint64_t v) { s.fault.recalibrate = v != 0; });
+    num("fault.dead_channel_fraction", [](S& s, double v) {
+      s.fault.dead_channel_fraction = v;
+    });
+    num("fault.channel_attenuation_db", [](S& s, double v) {
+      s.fault.channel_attenuation_db = v;
+    });
+    num("fault.dead_node_fraction", [](S& s, double v) { s.fault.dead_node_fraction = v; });
+    num("fault.link_failure_probability", [](S& s, double v) {
+      s.fault.link_failure_probability = v;
+    });
+    cnt("fault.reroute", [](S& s, std::uint64_t v) { s.fault.reroute = v != 0; });
+    cnt("fault.mac_reclaim", [](S& s, std::uint64_t v) { s.fault.mac_reclaim = v != 0; });
+    cnt("fault.salt", [](S& s, std::uint64_t v) { s.fault.salt = v; });
+
     return r;
   }();
   return params;
@@ -482,6 +517,68 @@ void ScenarioSpec::validate() const {
       err("stack-noc hot_die must be one of the dies");
     }
     if (noc.payload_bytes == 0) err("stack-noc payload_bytes must be >= 1");
+  }
+
+  // Fault injection. Range checks first, then topology gating: every
+  // fault kind maps to one engine path, and arming it anywhere else
+  // would silently change nothing -- reject loudly instead.
+  {
+    auto frac = [&err](const char* key, double v) {
+      if (v < 0.0 || v > 1.0) {
+        err(std::string("fault: ") + key + " must be in [0, 1]");
+      }
+    };
+    frac("fault.dead_pixel_fraction", fault.dead_pixel_fraction);
+    frac("fault.hot_pixel_fraction", fault.hot_pixel_fraction);
+    frac("fault.dark_window_probability", fault.dark_window_probability);
+    frac("fault.flaky_window_probability", fault.flaky_window_probability);
+    frac("fault.dead_channel_fraction", fault.dead_channel_fraction);
+    frac("fault.dead_node_fraction", fault.dead_node_fraction);
+    frac("fault.link_failure_probability", fault.link_failure_probability);
+    if (fault.dead_pixel_fraction >= 0.0 && fault.hot_pixel_fraction >= 0.0 &&
+        fault.dead_pixel_fraction + fault.hot_pixel_fraction > 1.0) {
+      err("fault: dead_pixel_fraction + hot_pixel_fraction must not exceed 1");
+    }
+    if (fault.hot_pixel_dcr_hz < 0.0) err("fault: hot_pixel_dcr_hz must be >= 0");
+    if (fault.flaky_attenuation_db < 0.0) err("fault: flaky_attenuation_db must be >= 0");
+    if (fault.channel_attenuation_db < 0.0) {
+      err("fault: channel_attenuation_db must be >= 0");
+    }
+    if (fault.pixel_active() && fault.array_pixels == 0) {
+      err("fault: pixel faults need array_pixels >= 1");
+    }
+
+    if (fault.any() && m == TrafficMode::kCodeDensity) {
+      err("fault injection does not apply to code-density traffic (no photons fly)");
+    } else {
+      const bool p2p = topology == Topology::kPointToPoint;
+      const bool p2p_symbols = p2p && m == TrafficMode::kSymbols;
+      if (fault.pixel_active() && !p2p && topology != Topology::kWdm) {
+        err("fault: pixel faults apply to point-to-point and wdm receivers only");
+      }
+      if (fault.window_active()) {
+        if (!p2p_symbols) {
+          err("fault: dark/flaky windows apply to point-to-point symbol traffic only");
+        }
+        if (!aggressors.empty()) {
+          err("fault: dark/flaky windows cannot be combined with aggressor pulses");
+        }
+      }
+      if (fault.tdc_active() && !p2p_symbols) {
+        err("fault: tdc_drift_c applies to point-to-point symbol traffic only");
+      }
+      if (fault.wdm_active() && topology != Topology::kWdm) {
+        err("fault: channel faults require the wdm topology");
+      }
+      if (fault.noc_active() && topology != Topology::kStackNoc) {
+        err("fault: node/link faults require the stack-noc topology");
+      }
+      if (topology == Topology::kStackNoc && fault.dead_node_fraction > 0.0 &&
+          noc.dies >= 2 &&
+          ::oci::fault::pick_count(noc.dies, fault.dead_node_fraction) > noc.dies - 2) {
+        err("fault: dead_node_fraction must leave at least 2 live dies");
+      }
+    }
   }
 
   // Sweep axes. Structural keys are settable but not sweepable: they

@@ -7,8 +7,11 @@
 
 #include "oci/link/optical_link.hpp"
 #include "oci/link/rs_link.hpp"
+#include "oci/scenario/runner.hpp"
+#include "oci/scenario/spec.hpp"
 #include "oci/spad/array.hpp"
 #include "oci/util/random.hpp"
+#include "support/stat_assert.hpp"
 
 using namespace oci;
 using util::RngStream;
@@ -115,6 +118,109 @@ TEST(FailureInjection, RsLinkSurvivesBurstOfDeadWindows) {
   const auto result = codec.decode(coded, erasures);
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->data, block);
+}
+
+// ---------- declarative fault.* twins of the direct wirings ----------
+//
+// The direct hand-wired injections above stay as oracles; the fault.*
+// scenario axes must reproduce their physics through the declarative
+// path (deterministic realisation + runner plumbing).
+
+namespace {
+
+/// Fast jitterless point-to-point spec for the scenario-path twins.
+scenario::ScenarioSpec fault_twin_spec() {
+  scenario::ScenarioSpec spec;
+  spec.name = "fault_twin";
+  spec.seed = 503;
+  spec.device.design = link::TdcDesign{64, 4, Time::picoseconds(52.0)};
+  spec.device.bits_per_symbol = 6;
+  spec.device.calibrate = false;
+  spec.device.spad.dcr_at_ref = util::Frequency::hertz(0.0);
+  spec.device.spad.afterpulse_probability = 0.0;
+  spec.budget.samples = 1500;
+  spec.budget.repro_scaled = false;
+  return spec;
+}
+
+}  // namespace
+
+TEST(FailureInjection, ScenarioDarkWindowsMatchDarkTransmitterOracle) {
+  // fault.dark_window_probability = 1 is the declarative twin of the
+  // dark-transmitter oracle above: with no dark counts every window is
+  // an erasure, never garbage.
+  scenario::ScenarioSpec spec = fault_twin_spec();
+  spec.fault.dark_window_probability = 1.0;
+  const scenario::RunReport r = scenario::ScenarioRunner().run(spec);
+  const scenario::RunPoint& p = r.points.front();
+  EXPECT_DOUBLE_EQ(r.metric(p, "erasure_rate"), 1.0);
+  EXPECT_DOUBLE_EQ(r.metric(p, "noise_capture_rate"), 0.0);
+
+  // A partial brownout erases the dark fraction of windows.
+  scenario::ScenarioSpec partial = fault_twin_spec();
+  partial.fault.dark_window_probability = 0.3;
+  const scenario::RunReport rp = scenario::ScenarioRunner().run(partial);
+  const scenario::RunPoint& pp = rp.points.front();
+  const auto erasures = static_cast<std::uint64_t>(
+      rp.metric(pp, "erasure_rate") * static_cast<double>(pp.samples) + 0.5);
+  EXPECT_RATE_NEAR(erasures, pp.samples, 0.3, 1e-4);
+}
+
+TEST(FailureInjection, ScenarioDeadPixelsMatchPdpScaledOracle) {
+  // Dead pixels thin the detected photon stream: the declarative fold
+  // (pdp_peak x live fraction) must be statistically indistinguishable
+  // from hand-scaling the PDP on a direct link, at an operating point
+  // starved enough for erasures to move.
+  scenario::ScenarioSpec spec = fault_twin_spec();
+  spec.device.led.peak_power = util::Power::nanowatts(20.0);
+  spec.fault.dead_pixel_fraction = 0.5;
+  spec.fault.array_pixels = 64;
+  const scenario::RunReport r = scenario::ScenarioRunner().run(spec);
+  const scenario::RunPoint& p = r.points.front();
+  const auto scenario_erasures = static_cast<std::uint64_t>(
+      r.metric(p, "erasure_rate") * static_cast<double>(p.samples) + 0.5);
+
+  link::OpticalLinkConfig direct = spec.device;
+  direct.spad.pdp_peak *= 0.5;  // the same Poisson thinning, by hand
+  RngStream process(521);
+  const link::OpticalLink link(direct, process);
+  RngStream tx(523);
+  const link::LinkRunStats stats = link.measure(1500, tx);
+
+  EXPECT_RATES_CONSISTENT(scenario_erasures, p.samples, stats.erasures,
+                          stats.symbols_sent, 1e-4);
+  // And the degradation is real: the faulted link erases more than a
+  // healthy one at the same starved operating point.
+  scenario::ScenarioSpec healthy = spec;
+  healthy.fault = {};
+  const scenario::RunReport h = scenario::ScenarioRunner().run(healthy);
+  EXPECT_GT(r.metric(p, "erasure_rate"),
+            h.metric(h.points.front(), "erasure_rate"));
+}
+
+TEST(FailureInjection, ScenarioTdcDriftDegradesAndRecalibrationRecovers) {
+  // Drifting the delay line out from under the trained calibration
+  // raises SER; the documented response (retrain at the operating
+  // point) pulls it back down and is counted in the report.
+  scenario::ScenarioSpec drifted = fault_twin_spec();
+  // 8 bits/symbol: ~208 ps slots, where a 40 C drift of the 52 ps
+  // delay line (2e-3/K) walks detections across slot boundaries.
+  drifted.device.bits_per_symbol = 8;
+  drifted.device.calibrate = true;
+  drifted.device.calibration_samples = 3000;
+  drifted.fault.tdc_drift_c = 40.0;
+  drifted.fault.recalibrate = false;
+  const scenario::RunReport d = scenario::ScenarioRunner().run(drifted);
+
+  scenario::ScenarioSpec recovered = drifted;
+  recovered.fault.recalibrate = true;
+  const scenario::RunReport rec = scenario::ScenarioRunner().run(recovered);
+
+  const double drifted_ser = d.metric(d.points.front(), "ser");
+  const double recovered_ser = rec.metric(rec.points.front(), "ser");
+  EXPECT_LT(recovered_ser, drifted_ser);
+  EXPECT_DOUBLE_EQ(d.metric(d.points.front(), "recalibrations"), 0.0);
+  EXPECT_GE(rec.metric(rec.points.front(), "recalibrations"), 1.0);
 }
 
 // ---------- receiver clock failure ----------

@@ -135,6 +135,48 @@ TEST(ScenarioParse, PrecisionKeysParse) {
   EXPECT_FALSE(off.precision.enabled);
 }
 
+TEST(ScenarioParse, FaultKeysParse) {
+  const ScenarioSpec spec = parse_spec_text(
+      "name = degraded\n"
+      "calibrate = 0\n"
+      "fault.dead_pixel_fraction = 0.25\n"
+      "fault.hot_pixel_fraction = 0.1\n"
+      "fault.hot_pixel_dcr_hz = 2e6\n"
+      "fault.array_pixels = 128\n"
+      "fault.mask_hot_pixels = 0\n"
+      "fault.tdc_drift_c = 12.5\n"
+      "fault.recalibrate = 0\n"
+      "fault.salt = 7\n"
+      "sweep.fault.dead_pixel_fraction = linear(0, 0.5, 6)\n");
+  EXPECT_DOUBLE_EQ(spec.fault.dead_pixel_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(spec.fault.hot_pixel_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(spec.fault.hot_pixel_dcr_hz, 2e6);
+  EXPECT_EQ(spec.fault.array_pixels, 128u);
+  EXPECT_FALSE(spec.fault.mask_hot_pixels);
+  EXPECT_DOUBLE_EQ(spec.fault.tdc_drift_c, 12.5);
+  EXPECT_FALSE(spec.fault.recalibrate);
+  EXPECT_EQ(spec.fault.salt, 7u);
+  ASSERT_EQ(spec.sweep.size(), 1u);
+  EXPECT_EQ(spec.sweep[0].param, "fault.dead_pixel_fraction");
+  ASSERT_EQ(spec.sweep[0].size(), 6u);
+  EXPECT_NO_THROW(spec.validate());
+
+  // A typo'd fault key is a hard error with a file:line prefix, same as
+  // every other unknown key.
+  try {
+    (void)parse_spec_text("name = ok\nfault.bogus = 1\n", "demo.spec");
+    FAIL() << "expected parse error for unknown fault key";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("demo.spec:2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unknown parameter 'fault.bogus'"), std::string::npos) << msg;
+  }
+  // Malformed values and out-of-range parameters also fail loudly.
+  EXPECT_THROW((void)parse_spec_text("fault.tdc_drift_c = warm\n"), std::runtime_error);
+  const ScenarioSpec bad = parse_spec_text("fault.dead_pixel_fraction = 1.5\n");
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
 TEST(ScenarioParse, CheckedInSpecFilesParseAndValidate) {
   // The CI job runs these through tools/run_scenario; parsing must not
   // rot. The test binary runs from build/tests, so walk up to the repo
@@ -142,7 +184,8 @@ TEST(ScenarioParse, CheckedInSpecFilesParseAndValidate) {
   // use the source-relative path baked in by CMake instead.
 #ifdef OCI_SOURCE_DIR
   const std::string root = OCI_SOURCE_DIR;
-  for (const std::string name : {"link_jitter", "noc_saturation"}) {
+  for (const std::string name :
+       {"link_jitter", "noc_saturation", "degraded_link", "noc_node_failure"}) {
     const ScenarioSpec spec = parse_spec_file(root + "/scenarios/" + name + ".spec");
     EXPECT_EQ(spec.name, name);
     EXPECT_NO_THROW(spec.validate());

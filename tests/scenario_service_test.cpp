@@ -168,8 +168,14 @@ TEST(SpecHash, ChangesOnEverySemanticField) {
   hashes.insert(mutated([](ScenarioSpec& s) {
     s.device.channel_transmittance = 0.25;
   }));
-  // Every mutation produced a distinct hash (base + 10 variants).
-  EXPECT_EQ(hashes.size(), 11u);
+  // Fault injection changes the simulated hardware, so every fault.*
+  // knob -- including the realisation salt -- must re-key the cache.
+  hashes.insert(mutated([](ScenarioSpec& s) { s.fault.dead_pixel_fraction = 0.25; }));
+  hashes.insert(mutated([](ScenarioSpec& s) { s.fault.dark_window_probability = 0.1; }));
+  hashes.insert(mutated([](ScenarioSpec& s) { s.fault.tdc_drift_c = 15.0; }));
+  hashes.insert(mutated([](ScenarioSpec& s) { s.fault.salt = 1; }));
+  // Every mutation produced a distinct hash (base + 14 variants).
+  EXPECT_EQ(hashes.size(), 15u);
   for (const std::string& h : hashes) EXPECT_EQ(h.size(), 64u);
 }
 

@@ -147,6 +147,68 @@ TEST(ScenarioSpec, RejectsFramesOffPointToPoint) {
   EXPECT_NE(validation_message(spec).find("frame traffic"), std::string::npos);
 }
 
+TEST(ScenarioSpec, RejectsOutOfRangeFaultParameters) {
+  ScenarioSpec spec = tiny_link_spec();
+  spec.fault.dead_pixel_fraction = 1.5;
+  EXPECT_NE(validation_message(spec).find("fault.dead_pixel_fraction"),
+            std::string::npos);
+
+  spec = tiny_link_spec();
+  spec.fault.dead_pixel_fraction = 0.7;
+  spec.fault.hot_pixel_fraction = 0.7;  // sums past the whole array
+  EXPECT_NE(validation_message(spec).find("must not exceed 1"), std::string::npos);
+
+  spec = tiny_link_spec();
+  spec.fault.link_failure_probability = -0.1;
+  EXPECT_NE(validation_message(spec).find("fault.link_failure_probability"),
+            std::string::npos);
+
+  spec = tiny_link_spec();
+  spec.fault.dead_pixel_fraction = 0.1;
+  spec.fault.array_pixels = 0;
+  EXPECT_NE(validation_message(spec).find("array_pixels"), std::string::npos);
+
+  spec = tiny_link_spec();
+  spec.fault.flaky_attenuation_db = -3.0;
+  spec.fault.flaky_window_probability = 0.1;
+  EXPECT_NE(validation_message(spec).find("flaky_attenuation_db"), std::string::npos);
+}
+
+TEST(ScenarioSpec, RejectsFaultsOnForeignTopologies) {
+  // Each fault kind maps to one engine path; arming it anywhere else is
+  // a silent no-op and must be rejected instead.
+  ScenarioSpec spec = tiny_link_spec();
+  spec.fault.dead_channel_fraction = 0.25;  // WDM fault on a p2p link
+  EXPECT_NE(validation_message(spec).find("wdm topology"), std::string::npos);
+
+  spec = tiny_link_spec();
+  spec.fault.dead_node_fraction = 0.25;  // NoC fault on a p2p link
+  EXPECT_NE(validation_message(spec).find("stack-noc topology"), std::string::npos);
+
+  spec = tiny_link_spec();
+  spec.topology = Topology::kStackNoc;
+  spec.fault.dead_pixel_fraction = 0.25;  // pixel fault on the slot simulation
+  EXPECT_NE(validation_message(spec).find("pixel faults"), std::string::npos);
+
+  spec = tiny_link_spec();
+  spec.mode = TrafficMode::kCodeDensity;
+  spec.fault.tdc_drift_c = 15.0;
+  EXPECT_NE(validation_message(spec).find("code-density"), std::string::npos);
+
+  spec = tiny_link_spec();
+  spec.fault.dark_window_probability = 0.1;
+  spec.aggressors = {scenario::AggressorSpec{10.0, 0.0}};
+  EXPECT_NE(validation_message(spec).find("aggressor"), std::string::npos);
+
+  // Killing all but one die must fail: the slot simulation needs a
+  // live transmitter AND a live destination.
+  spec = tiny_link_spec();
+  spec.topology = Topology::kStackNoc;
+  spec.noc.dies = 4;
+  spec.fault.dead_node_fraction = 0.9;
+  EXPECT_NE(validation_message(spec).find("2 live dies"), std::string::npos);
+}
+
 TEST(ScenarioSpec, CollectsEveryErrorInOneMessage) {
   ScenarioSpec spec = tiny_link_spec();
   spec.topology = Topology::kWdm;
@@ -207,7 +269,7 @@ TEST(ScenarioRunner, GoldenRoundTripIsDeterministic) {
 
   ASSERT_EQ(a.points.size(), 4u);
   EXPECT_EQ(a.axis_names, (std::vector<std::string>{"jitter_ps", "labeling"}));
-  ASSERT_EQ(a.metric_names.size(), 8u);
+  ASSERT_EQ(a.metric_names.size(), 9u);
   EXPECT_EQ(a.seed, kSeed);
   for (std::size_t i = 0; i < a.points.size(); ++i) {
     EXPECT_EQ(a.points[i].coordinate, b.points[i].coordinate);
