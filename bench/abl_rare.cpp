@@ -1,0 +1,182 @@
+// Ablation: rare-event acceleration for deep-SER estimation. The
+// paper's operating points sit where crude Monte Carlo still sees
+// errors (SER 1e-3..1e-2); margin questions -- "how low is the SER two
+// sigma of jitter below the knee?" -- land at 1e-6 and beyond, where a
+// crude budget of millions of symbols observes nothing. This bench
+// sweeps the jitter knee downward and compares the crude estimator
+// against importance sampling (jitter tilting), reporting the Kish
+// effective sample size and the variance-reduction factor, and HARD
+// FAILS if the deep point's speedup drops below the 20x floor the
+// scenario tests pin (guards against proposal/estimator regressions
+// that stay statistically unbiased but quietly lose the acceleration).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "oci/analysis/report.hpp"
+#include "oci/link/link_engine.hpp"
+#include "oci/link/optical_link.hpp"
+#include "oci/rare/rare.hpp"
+#include "oci/util/table.hpp"
+#include "support/bench_json.hpp"
+
+namespace {
+
+using namespace oci;
+using util::RngStream;
+using util::Time;
+
+constexpr std::uint64_t kSeed = 20080608;
+
+/// The scenarios/deep_ser.spec receiver chain, calibration off so the
+/// bench measures the estimators, not the LUT build.
+link::OpticalLinkConfig deep_config(double jitter_ps) {
+  link::OpticalLinkConfig c;
+  c.bits_per_symbol = 8;
+  c.channel_transmittance = 0.8;
+  c.led.peak_power = util::Power::microwatts(50.0);
+  c.led.pulse_width = Time::picoseconds(100.0);
+  c.spad.dcr_at_ref = util::Frequency::hertz(10.0);
+  c.spad.jitter_sigma = Time::picoseconds(jitter_ps);
+  c.calibrate = false;
+  return c;
+}
+
+rare::ChunkResult run_tilted(const link::OpticalLink& link, double gamma,
+                             std::uint64_t samples) {
+  rare::RareSpec spec;
+  spec.kind = rare::Kind::kTilt;
+  spec.jitter_tilt = gamma;
+  RngStream rng(kSeed, "bench-chunk");
+  return rare::run_chunk(link, spec, samples, /*point_index=*/0, rng);
+}
+
+/// Weighted SER and the two estimator variances the speedup compares:
+/// accelerated (from the weighted second moment) vs what crude MC
+/// would need at the same sample budget (binomial, using the
+/// accelerated point estimate as truth).
+struct Speedup {
+  double ser = 0.0;
+  double factor = 0.0;
+};
+
+Speedup speedup_vs_crude(const rare::ChunkResult& r) {
+  const auto n = static_cast<double>(r.samples);
+  Speedup s;
+  s.ser = (r.w_symbol_errors + r.w_erasures) / n;
+  const double var_acc = (r.err_weight_sq / n - s.ser * s.ser) / n;
+  const double var_crude = s.ser * (1.0 - s.ser) / n;
+  if (var_acc > 0.0 && var_crude > 0.0) s.factor = var_crude / var_acc;
+  return s;
+}
+
+void print_reproduction() {
+  analysis::print_banner(std::cout, "Ablation: rare-event acceleration",
+                         "crude MC vs importance sampling down the jitter tail",
+                         kSeed);
+
+  constexpr std::uint64_t kSamples = 20000;
+  constexpr double kGamma = 2.0;
+  util::Table t({"jitter [ps]", "crude SER", "crude errs", "tilted SER",
+                 "n_eff", "weight CV", "speedup [x]"});
+  double deep_speedup = 0.0;
+  for (const double jitter_ps : {120.0, 100.0, 80.0, 60.0, 50.0}) {
+    RngStream process(kSeed, "process");
+    const link::OpticalLink link(deep_config(jitter_ps), process);
+    const link::LinkEngine engine(link);
+
+    RngStream crude_rng(kSeed, "bench-crude");
+    const link::LinkRunStats crude = engine.measure(kSamples, crude_rng);
+    const auto crude_errs = crude.symbol_errors + crude.erasures;
+
+    const rare::ChunkResult tilted = run_tilted(link, kGamma, kSamples);
+    const Speedup s = speedup_vs_crude(tilted);
+    if (jitter_ps == 50.0) deep_speedup = s.factor;
+
+    t.new_row()
+        .add_cell(jitter_ps, 0)
+        .add_sci(crude.symbol_error_rate(), 2)
+        .add_cell(crude_errs)
+        .add_sci(s.ser, 2)
+        .add_cell(tilted.weights.n_eff(), 1)
+        .add_cell(tilted.weights.weight_cv(), 2)
+        .add_cell(s.factor, 1);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape check: in the overlap region (>= 80 ps) the two estimators\n"
+               "agree and the speedup is modest -- tilting buys little where errors\n"
+               "are common. Down the tail the crude column degrades to a handful of\n"
+               "counts (60 ps) and then to zero (50 ps), where its interval is the\n"
+               "bare Wilson upper bound; the tilted estimator resolves a finite\n"
+               "1e-6-class SER from the same " << kSamples
+            << "-symbol budget. The speedup column\nis the variance ratio "
+               "var_crude / var_acc at that budget.\n";
+
+  if (!(deep_speedup >= 20.0)) {
+    std::cerr << "\nFAIL: deep-point (50 ps) variance-reduction factor "
+              << deep_speedup << " fell below the 20x floor.\n";
+    std::exit(1);
+  }
+  std::cout << "\nDeep-point variance reduction: " << deep_speedup
+            << "x (floor: 20x).\n";
+}
+
+// ---------- microbenchmarks ----------
+
+void BM_CrudeChunk(benchmark::State& state) {
+  RngStream process(kSeed, "process");
+  const link::OpticalLink link(deep_config(60.0), process);
+  const link::LinkEngine engine(link);
+  RngStream rng(kSeed, "bm-crude");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.measure(2000, rng).symbol_errors);
+  }
+}
+BENCHMARK(BM_CrudeChunk);
+
+void BM_TiltedChunk(benchmark::State& state) {
+  RngStream process(kSeed, "process");
+  const link::OpticalLink link(deep_config(60.0), process);
+  rare::RareSpec spec;
+  spec.kind = rare::Kind::kTilt;
+  spec.jitter_tilt = 2.0;
+  RngStream rng(kSeed, "bm-tilt");
+  std::uint64_t draws = 0;
+  for (auto _ : state) {
+    const rare::ChunkResult r = rare::run_chunk(link, spec, 2000, 0, rng);
+    benchmark::DoNotOptimize(r.w_symbol_errors);
+    draws += r.rng_draws;
+  }
+  state.counters["rng_draws"] = benchmark::Counter(
+      static_cast<double>(draws), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_TiltedChunk);
+
+void BM_SplitChunk(benchmark::State& state) {
+  RngStream process(kSeed, "process");
+  const link::OpticalLink link(deep_config(60.0), process);
+  rare::RareSpec spec;
+  spec.kind = rare::Kind::kSplit;
+  spec.levels = "3:2:1:0.5";
+  RngStream rng(kSeed, "bm-split");
+  std::uint64_t draws = 0;
+  for (auto _ : state) {
+    const rare::ChunkResult r = rare::run_chunk(link, spec, 2000, 0, rng);
+    benchmark::DoNotOptimize(r.w_symbol_errors);
+    draws += r.rng_draws;
+  }
+  state.counters["rng_draws"] = benchmark::Counter(
+      static_cast<double>(draws), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SplitChunk);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return oci::benchsupport::run_and_export(argc, argv, "abl_rare",
+                                           "BENCH_rare.json");
+}

@@ -110,6 +110,45 @@ class MeanAccumulator {
   std::uint64_t samples_ = 0;
 };
 
+/// Streaming moments of importance-sampling weights. Rare-event
+/// accelerated chunks (oci::rare) report every per-sample likelihood
+/// ratio here; the moments answer the two questions weighted estimates
+/// raise: how many CRUDE samples is this weighted run worth
+/// (`n_eff` = (sum w)^2 / sum w^2, the Kish effective sample size) and
+/// how skewed are the weights (`weight_cv`). A healthy tilt keeps
+/// n_eff within a small factor of n; n_eff << n means the proposal
+/// over-shot. State is three doubles, so it pools across shards and
+/// round-trips through the result store exactly.
+class WeightStats {
+ public:
+  /// Folds one sample's likelihood-ratio weight in.
+  void add(double weight);
+
+  /// Rebuilds from serialized moments (store / merge path). NaN or
+  /// negative moments collapse to the empty state.
+  [[nodiscard]] static WeightStats from_state(double sum, double sum_sq,
+                                              std::uint64_t count);
+
+  /// Pools another accumulator in (independent samples only).
+  void merge(const WeightStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double sum_sq() const { return sum_sq_; }
+  /// Kish effective sample size (sum w)^2 / (sum w^2); equals count()
+  /// for unit weights, 0 for the empty state.
+  [[nodiscard]] double n_eff() const;
+  /// Coefficient of variation of the weights; 0 for unit weights.
+  [[nodiscard]] double weight_cv() const;
+  /// True when any weight has been recorded (a variance-reduced run).
+  [[nodiscard]] bool active() const { return count_ > 0; }
+
+ private:
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
 /// When to stop sampling a point. Precision targets compose with OR --
 /// the point is "precise enough" as soon as any enabled rule passes --
 /// and the budget bounds bracket them: never stop before `min_samples`,

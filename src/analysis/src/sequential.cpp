@@ -128,6 +128,46 @@ Estimate MeanAccumulator::interval(double z) const {
   return e;
 }
 
+void WeightStats::add(double weight) {
+  sum_ += weight;
+  sum_sq_ += weight * weight;
+  ++count_;
+}
+
+WeightStats WeightStats::from_state(double sum, double sum_sq,
+                                    std::uint64_t count) {
+  WeightStats acc;
+  // Same hardening contract as the other accumulators: reconstructed
+  // moments that are non-finite or negative read as the empty state
+  // instead of poisoning every merge downstream.
+  if (count == 0 || !std::isfinite(sum) || !std::isfinite(sum_sq) ||
+      sum < 0.0 || sum_sq < 0.0) {
+    return acc;
+  }
+  acc.sum_ = sum;
+  acc.sum_sq_ = sum_sq;
+  acc.count_ = count;
+  return acc;
+}
+
+void WeightStats::merge(const WeightStats& other) {
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  count_ += other.count_;
+}
+
+double WeightStats::n_eff() const {
+  if (sum_sq_ <= 0.0) return 0.0;
+  return sum_ * sum_ / sum_sq_;
+}
+
+double WeightStats::weight_cv() const {
+  if (sum_ <= 0.0 || count_ == 0) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double ratio = n * sum_sq_ / (sum_ * sum_);
+  return std::sqrt(std::max(ratio - 1.0, 0.0));
+}
+
 bool StoppingRule::has_target() const {
   return target_half_width > 0.0 || target_relative > 0.0 || stop_below > 0.0;
 }

@@ -59,6 +59,33 @@ class EngineScratch {
   std::vector<SourceState> states_;
 };
 
+/// Proposal-distribution controls for rare-event accelerated symbols
+/// (LinkEngine::transmit_symbol_rare). The engine samples the window
+/// under the TILTED measure described here and accumulates the exact
+/// log likelihood-ratio of the trajectory in `log_weight`, so
+/// exp(log_weight) turns every tilted outcome back into an unbiased
+/// contribution under the natural measure. Drivers in oci::rare own
+/// the policy (which factors, which bands); this struct is only the
+/// mechanism.
+struct RareSampling {
+  /// TDC jitter proposal: sample from N(0, (jitter_scale x sigma)^2).
+  /// 1 = natural. Ignored when `condition_jitter` is set.
+  double jitter_scale = 1.0;
+  /// Flat noise-candidate rate proposal: simulate at rate x noise_scale.
+  /// 1 = natural.
+  double noise_scale = 1.0;
+  /// Stratified-splitting mode: draw the jitter MAGNITUDE from the
+  /// half-normal conditioned to the band whose two-sided survival
+  /// S(z) = P(|Z| >= z) spans (band_survival_hi, band_survival_lo].
+  /// The band selection weight is applied by the driver, not here.
+  bool condition_jitter = false;
+  double band_survival_lo = 1.0;  ///< S at the band's near (low-z) edge
+  double band_survival_hi = 0.0;  ///< S at the band's far (high-z) edge
+  /// Out: accumulated log likelihood-ratio (natural / proposal) of the
+  /// current symbol's trajectory. Reset by transmit_symbol_rare.
+  double log_weight = 0.0;
+};
+
 /// One lane of the batched single-source window path
 /// (LinkEngine::simulate_windows). Times are WINDOW-LOCAL seconds: the
 /// window spans [0, toa_window). The caller fills the input fields; the

@@ -100,6 +100,19 @@ class LinkEngine {
                                               util::RngStream& rng,
                                               EngineScratch& scratch) const;
 
+  /// Single-source symbol sampled under the tilted/conditioned proposal
+  /// in `ctl` (see RareSampling). Identical counters and dead-time
+  /// carry semantics to transmit_symbol; on return `ctl.log_weight`
+  /// holds the symbol's exact log likelihood-ratio, so
+  /// exp(ctl.log_weight) re-weights the outcome back to the natural
+  /// measure. The rare-event drivers in oci::rare call this per
+  /// symbol; the clean paths (plain transmit / batched SIMD) are
+  /// untouched -- their draw sequences do not change.
+  [[nodiscard]] std::uint64_t transmit_symbol_rare(std::uint64_t symbol, util::Time start,
+                                                   RareSampling& ctl, util::Time& dead_until,
+                                                   LinkRunStats& stats,
+                                                   util::RngStream& rng) const;
+
   /// Per-symbol outcome handed to run_symbols/run_sequence reducers.
   struct SymbolOutcome {
     std::uint64_t sent = 0;
@@ -213,16 +226,20 @@ class LinkEngine {
   /// Simulates the SPAD over [window_start, window_end) against the
   /// merged candidate streams of `sources` (element 0 conventionally
   /// the victim's pulse) plus flat-rate noise at `noise_rate` [Hz];
-  /// `dead_in_s` is the blind carry from the previous window.
+  /// `dead_in_s` is the blind carry from the previous window. A
+  /// non-null `rare` tilts the noise rate / jitter proposal and
+  /// accumulates the trajectory's log likelihood-ratio (see
+  /// RareSampling); null reproduces the natural measure draw for draw.
   WindowEvents simulate_window(std::span<SourceState> sources, double window_start_s,
                                double window_end_s, double dead_in_s, double noise_rate,
-                               util::RngStream& rng) const;
+                               util::RngStream& rng, RareSampling* rare = nullptr) const;
 
   /// Shared back half of every transmit flavour: runs the window,
   /// updates counters/dead carry, converts the first avalanche.
   std::uint64_t finish_symbol(std::uint64_t symbol, util::Time start,
                               std::span<SourceState> sources, util::Time& dead_until,
-                              LinkRunStats& stats, util::RngStream& rng) const;
+                              LinkRunStats& stats, util::RngStream& rng,
+                              RareSampling* rare = nullptr) const;
 
   /// TDC conversion + PPM decision + error counting for the first
   /// avalanche observed at window-local `toa_s`; shared by the scalar

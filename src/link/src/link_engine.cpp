@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "oci/util/math.hpp"
+
 namespace oci::link {
 
 namespace {
@@ -57,10 +59,25 @@ LinkEngine::SourceState LinkEngine::signal_state(double pulse_start_s) const {
 LinkEngine::WindowEvents LinkEngine::simulate_window(std::span<SourceState> sources,
                                                      double window_start_s,
                                                      double window_end_s, double dead_in_s,
-                                                     double noise_rate,
-                                                     RngStream& rng) const {
+                                                     double noise_rate, RngStream& rng,
+                                                     RareSampling* rare) const {
   WindowEvents result;
   double dead = dead_in_s;
+
+  // Rare-event proposal: simulate the flat noise stream at the TILTED
+  // rate and pay the likelihood-ratio per realized draw. The outstanding
+  // draw at window end is Rao-Blackwellised to the event it actually
+  // encodes -- "no candidate before window_end" -- instead of its
+  // density: the loop never looks at the overshoot value, and charging
+  // its full density would cost every window (signal-only ones
+  // included) a factor ~(nat/tilt)*e, collapsing n_eff for nothing.
+  const double noise_nat = noise_rate;
+  const bool tilt_noise =
+      rare != nullptr && rare->noise_scale != 1.0 && noise_rate > 0.0;
+  if (tilt_noise) noise_rate *= rare->noise_scale;
+  const double noise_log_ratio = tilt_noise ? std::log(noise_nat / noise_rate) : 0.0;
+  double noise_from = window_start_s;  ///< origin of the outstanding draw
+  bool noise_outstanding = false;
 
   // Per-source candidate streams: arrivals of each PDP-thinned pulse
   // process, generated lazily in time order. Each hazard walks the
@@ -79,9 +96,19 @@ LinkEngine::WindowEvents LinkEngine::simulate_window(std::span<SourceState> sour
   for (SourceState& s : sources) advance(s);
 
   // Flat-rate noise candidate stream (dark counts + thinned background).
+  // Each re-arm realizes the previous draw (a candidate the merge loop
+  // either fired on or fast-forwarded across), so that is where its
+  // exact likelihood-ratio factor lands: log(nat/tilt) for the point
+  // plus the exponential-gap density ratio over the realized gap.
   double noise_next = kInf;
   const auto advance_noise = [&](double from) {
     if (noise_rate <= 0.0) return;
+    if (tilt_noise && noise_outstanding) {
+      rare->log_weight +=
+          noise_log_ratio + (noise_rate - noise_nat) * (noise_next - noise_from);
+    }
+    noise_from = from;
+    noise_outstanding = true;
     noise_next = from + rng.exponential_mean(1.0 / noise_rate);
   };
   advance_noise(window_start_s);
@@ -174,8 +201,32 @@ LinkEngine::WindowEvents LinkEngine::simulate_window(std::span<SourceState> sour
     if (!result.fired) {
       result.fired = true;
       result.first_is_signal = kind == Kind::kPulse && sources[winner].is_signal;
-      result.first_observed_s =
-          t + rng.normal_time(Time::zero(), jitter_sigma_).seconds();
+      const double sigma_s = jitter_sigma_.seconds();
+      if (rare != nullptr && sigma_s > 0.0 && rare->condition_jitter) {
+        // Stratified splitting: magnitude from the half-normal
+        // conditioned to the band (S_hi, S_lo] of the two-sided
+        // survival S(z) = P(|Z| >= z); the band mass is the DRIVER's
+        // weight, so no likelihood-ratio term lands here. uniform()
+        // is in [0, 1), so s stays strictly above the far edge.
+        const double u = rng.uniform();
+        const double s =
+            rare->band_survival_lo -
+            u * (rare->band_survival_lo - rare->band_survival_hi);
+        const double z = -util::normal_quantile(0.5 * s);
+        const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+        result.first_observed_s = t + sign * std::max(z, 0.0) * sigma_s;
+      } else if (rare != nullptr && sigma_s > 0.0 && rare->jitter_scale != 1.0) {
+        // Exponential tilt of the jitter variance: sample from
+        // N(0, (g*sigma)^2) and pay the exact Gaussian density ratio.
+        const double g = rare->jitter_scale;
+        const double x = rng.normal(0.0, sigma_s * g);
+        rare->log_weight +=
+            std::log(g) + x * x * (1.0 / (g * g) - 1.0) / (2.0 * sigma_s * sigma_s);
+        result.first_observed_s = t + x;
+      } else {
+        result.first_observed_s =
+            t + rng.normal_time(Time::zero(), jitter_sigma_).seconds();
+      }
     }
     result.last_fire_s = t;
     dead = t + dead_s_;
@@ -189,17 +240,26 @@ LinkEngine::WindowEvents LinkEngine::simulate_window(std::span<SourceState> sour
     consume();
   }
 
+  // Window over: the outstanding noise draw only told the loop "no
+  // candidate before window_end", so its likelihood-ratio factor is
+  // that event's probability ratio (truncation, not density).
+  if (tilt_noise && noise_outstanding) {
+    rare->log_weight +=
+        (noise_rate - noise_nat) * std::max(window_end_s - noise_from, 0.0);
+  }
+
   return result;
 }
 
 std::uint64_t LinkEngine::finish_symbol(std::uint64_t symbol, Time start,
                                         std::span<SourceState> sources, Time& dead_until,
-                                        LinkRunStats& stats, RngStream& rng) const {
+                                        LinkRunStats& stats, RngStream& rng,
+                                        RareSampling* rare) const {
   const double window_start_s = start.seconds();
   const double window_end_s = window_start_s + window_s_;
 
   const WindowEvents window = simulate_window(sources, window_start_s, window_end_s,
-                                              dead_until.seconds(), noise_rate_, rng);
+                                              dead_until.seconds(), noise_rate_, rng, rare);
 
   // SPAD stays blind into the next window after its last avalanche.
   if (window.fired) {
@@ -253,6 +313,16 @@ std::uint64_t LinkEngine::transmit_symbol(std::uint64_t symbol, Time start, Time
       signal_state(start.seconds() + link_->ppm().encode(symbol).seconds());
   return finish_symbol(symbol, start, std::span<SourceState>(&signal, 1), dead_until,
                        stats, rng);
+}
+
+std::uint64_t LinkEngine::transmit_symbol_rare(std::uint64_t symbol, Time start,
+                                               RareSampling& ctl, Time& dead_until,
+                                               LinkRunStats& stats, RngStream& rng) const {
+  ctl.log_weight = 0.0;
+  SourceState signal =
+      signal_state(start.seconds() + link_->ppm().encode(symbol).seconds());
+  return finish_symbol(symbol, start, std::span<SourceState>(&signal, 1), dead_until,
+                       stats, rng, &ctl);
 }
 
 std::uint64_t LinkEngine::transmit_symbol(std::uint64_t symbol, Time start,

@@ -77,6 +77,14 @@ struct RunPoint {
   std::vector<analysis::MeanAccumulator> means;
   std::vector<double> sums;
   std::vector<double> last;
+  /// Likelihood-ratio weight state of a rare-event point (variance.kind
+  /// != none): per-sample weight sum / sum-of-squares for n_eff and
+  /// weight-CV diagnostics. Inactive (count == 0) on crude-MC points.
+  /// Pooled on merge like the accumulators above.
+  analysis::WeightStats weights;
+  /// sum over samples of (weight x ser-error indicator)^2 -- the second
+  /// moment behind the weighted-estimator variance diagnostic.
+  double err_weight_sq = 0.0;
   std::uint64_t samples = 0;    ///< symbols/transfers/slots/hits run
   std::uint64_t chunks = 1;     ///< adaptive chunks spent (1 = fixed budget)
   std::uint64_t rng_draws = 0;  ///< RNG draws consumed by this point

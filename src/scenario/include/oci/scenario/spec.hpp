@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "oci/fault/fault.hpp"
+#include "oci/rare/rare.hpp"
 #include "oci/link/optical_link.hpp"
 #include "oci/photonics/die_stack.hpp"
 #include "oci/photonics/wdm.hpp"
@@ -198,6 +199,14 @@ struct ScenarioSpec {
   /// threads, shards and kernel dispatch. fault::FaultSpec::any() ==
   /// false (the default) leaves every engine path untouched.
   fault::FaultSpec fault;
+  /// Rare-event acceleration (variance.* keys, sweepable): importance
+  /// sampling via jitter/noise tilting or multilevel splitting over
+  /// decode-margin bands, with likelihood-ratio-weighted estimates.
+  /// Applies to point-to-point symbol traffic only; kind == kNone (the
+  /// default) leaves every engine path untouched. The tilt factors and
+  /// level schedule are part of the canonical spec text, so every knob
+  /// re-keys the result cache.
+  rare::RareSpec variance;
   std::vector<SweepAxis> sweep;
   BudgetSpec budget;
   PrecisionSpec precision;

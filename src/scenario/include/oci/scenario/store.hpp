@@ -33,7 +33,9 @@ namespace oci::scenario {
 ///      path's draw sequence and rng_draws accounting changed)
 ///   3  fault-injection subsystem (FaultSpec in the canonical text; the
 ///      p2p symbol path grew a recalibrations metric column)
-inline constexpr unsigned kEngineRevision = 3;
+///   4  rare-event subsystem (variance.* in the canonical text; chunk
+///      records grew likelihood-ratio weight state)
+inline constexpr unsigned kEngineRevision = 4;
 
 /// Address of one simulation chunk.
 struct ChunkKey {
@@ -48,6 +50,13 @@ struct ChunkRecord {
   std::uint64_t samples = 0;    ///< samples this chunk actually ran
   std::uint64_t rng_draws = 0;  ///< RNG draws the chunk consumed
   std::vector<double> metrics;  ///< per-metric chunk values, schema order
+  /// Likelihood-ratio weight state of a rare-event chunk (variance.kind
+  /// != none): sum/sum-of-squares of per-sample weights plus the
+  /// squared-weight mass on SER-error samples (variance diagnostics).
+  /// All zero for crude-MC chunks; pooled, never averaged, on merge.
+  double weight_sum = 0.0;
+  double weight_sum_sq = 0.0;
+  double err_weight_sq = 0.0;
 };
 
 /// Storage interface consulted by ScenarioRunner. Implementations must

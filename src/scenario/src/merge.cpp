@@ -55,6 +55,11 @@ void pool_point(RunPoint& into, const RunPoint& from,
   into.chunks += from.chunks;
   into.rng_draws += from.rng_draws;
   into.wall_ns += from.wall_ns;
+  // Likelihood-ratio weight state pools exactly like the accumulators:
+  // sums of independent per-sample moments. n_eff/weight_cv are always
+  // recomputed from the pooled state, never averaged.
+  into.weights.merge(from.weights);
+  into.err_weight_sq += from.err_weight_sq;
   // Recompute the quartets from the POOLED accumulators -- mirroring
   // the runner's estimate_of -- never by averaging the inputs'.
   for (std::size_t m = 0; m < n_metrics; ++m) {

@@ -105,8 +105,26 @@ void save(const RunReport& report, const std::string& path) {
        << ", \"wall_ns\": " << p.wall_ns
        << ", \"iterations\": " << p.samples << ", \"chunks\": " << p.chunks
        << ", \"rng_draws_per_op\": " << static_cast<double>(p.rng_draws) / per_op
-       << ", \"rng_draws\": " << p.rng_draws
-       << ", \"metrics\": {";
+       << ", \"rng_draws\": " << p.rng_draws;
+    if (p.weights.active()) {
+      // Rare-event points only (additive; schema stays 2): the pooled
+      // likelihood-ratio weight state merge needs, plus the derived
+      // effective-sample diagnostics readers want directly. n_eff is
+      // the Kish effective sample size (sum w)^2 / sum w^2 -- the
+      // crude-MC sample count whose estimator variance the weighted
+      // estimate matches.
+      os << ", \"weight_sum\": ";
+      write_json_number(os, p.weights.sum());
+      os << ", \"weight_sum_sq\": ";
+      write_json_number(os, p.weights.sum_sq());
+      os << ", \"err_weight_sq\": ";
+      write_json_number(os, p.err_weight_sq);
+      os << ", \"n_eff\": ";
+      write_json_number(os, p.weights.n_eff());
+      os << ", \"weight_cv\": ";
+      write_json_number(os, p.weights.weight_cv());
+    }
+    os << ", \"metrics\": {";
     for (std::size_t m = 0; m < n_metrics; ++m) {
       os << (m == 0 ? " " : ", ");
       // Every metric is the full interval quartet; points that ran
@@ -487,6 +505,14 @@ RunReport load(const std::string& path) {
                        num_or(row, "ns_per_op", 0.0, path) *
                            static_cast<double>(std::max<std::uint64_t>(p.samples, 1)),
                        path);
+    // Absent on crude-MC points (and on documents written before the
+    // rare-event subsystem): stays the inactive zero state. The weight
+    // sum of a real rare-event point is positive by construction.
+    if (const double wsum = num_or(row, "weight_sum", 0.0, path); wsum > 0.0) {
+      p.weights = analysis::WeightStats::from_state(
+          wsum, num_or(row, "weight_sum_sq", 0.0, path), p.samples);
+      p.err_weight_sq = num_or(row, "err_weight_sq", 0.0, path);
+    }
 
     const JValue* metrics = row.find("metrics");
     if (metrics == nullptr || metrics->type != JValue::T::kObj) {

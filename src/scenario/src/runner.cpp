@@ -24,6 +24,7 @@
 #include "oci/link/wdm_link.hpp"
 #include "oci/modulation/frame.hpp"
 #include "oci/net/stack_network.hpp"
+#include "oci/rare/rare.hpp"
 #include "oci/tdc/calibration.hpp"
 
 namespace oci::scenario {
@@ -37,6 +38,11 @@ using util::Time;
 struct PointResult {
   std::vector<double> metrics;
   std::uint64_t rng_draws = 0;
+  /// Rare-event chunks only: per-sample likelihood-ratio weight state
+  /// (sum, sum of squares) plus the squared-weight mass on SER errors.
+  double weight_sum = 0.0;
+  double weight_sum_sq = 0.0;
+  double err_weight_sq = 0.0;
 };
 
 /// Index of the metric the stopping rule watches: the named metric, or
@@ -79,7 +85,7 @@ std::vector<std::size_t> unravel(std::size_t flat, const std::vector<SweepAxis>&
 }
 
 PointResult run_p2p_symbols(const ScenarioSpec& s, std::uint64_t samples, RngStream& rng,
-                            const fault::Realisation* fr) {
+                            const fault::Realisation* fr, std::size_t point_index) {
   RngStream process = rng.fork("process");
   link::OpticalLink link(s.device, process);
   std::uint64_t fault_draws = 0;
@@ -95,6 +101,39 @@ PointResult run_p2p_symbols(const ScenarioSpec& s, std::uint64_t samples, RngStr
       link.recalibrate(s.device.calibration_samples, process);
       ++recalibrations;
     }
+  }
+  if (s.variance.active()) {
+    // Rare-event acceleration: run the chunk as i.i.d. symbol windows
+    // under the tilted/stratified proposal and fold the likelihood-
+    // ratio-weighted counts into the SAME metric schema -- weighted
+    // rates feed RateAccumulator as fractional successes. validate()
+    // restricts active variance to plain symbol traffic, so the
+    // aggressor/window-fault branches below never coexist with this.
+    const rare::ChunkResult cr =
+        rare::run_chunk(link, s.variance, samples, point_index, rng);
+    const auto n =
+        static_cast<double>(std::max<std::uint64_t>(cr.stats.symbols_sent, 1));
+    const auto bits = static_cast<double>(
+        std::max<std::uint64_t>(cr.stats.total_bits, 1));
+    const double elapsed_s = cr.stats.elapsed.seconds();
+    PointResult r;
+    r.metrics = {(cr.w_symbol_errors + cr.w_erasures) / n,
+                 cr.w_bit_errors / bits,
+                 cr.w_erasures / n,
+                 cr.w_noise_captures / n,
+                 link.ppm().config().slot_width.picoseconds(),
+                 cr.stats.raw_throughput().bits_per_second(),
+                 elapsed_s > 0.0
+                     ? (static_cast<double>(cr.stats.total_bits) - cr.w_bit_errors) /
+                           elapsed_s
+                     : 0.0,
+                 cr.stats.energy_per_bit().joules(),
+                 static_cast<double>(recalibrations)};
+    r.rng_draws = process.draws() + cr.rng_draws + fault_draws;
+    r.weight_sum = cr.weights.sum();
+    r.weight_sum_sq = cr.weights.sum_sq();
+    r.err_weight_sq = cr.err_weight_sq;
+    return r;
   }
   RngStream tx = rng.fork("tx");
 
@@ -440,7 +479,7 @@ PointResult run_noc(const ScenarioSpec& s, std::uint64_t slots, RngStream& rng,
 }
 
 PointResult dispatch(const ScenarioSpec& s, std::uint64_t samples, RngStream& rng,
-                     const fault::Realisation* fr) {
+                     const fault::Realisation* fr, std::size_t point_index) {
   // Pixel faults never reach here: they fold analytically into the
   // point's SPAD parameters (Poisson thinning), so faulted specs still
   // ride the batched SIMD kernels. fr carries only the realisations an
@@ -453,7 +492,7 @@ PointResult dispatch(const ScenarioSpec& s, std::uint64_t samples, RngStream& rn
         case TrafficMode::kCodeDensity:
           return run_p2p_code_density(s, samples, rng);
         default:
-          return run_p2p_symbols(s, samples, rng, fr);
+          return run_p2p_symbols(s, samples, rng, fr, point_index);
       }
     case Topology::kWdm:
       return run_wdm(s, samples, rng, fr);
@@ -584,7 +623,21 @@ util::Table RunReport::to_table(int precision) const {
   for (const RunPoint& p : points) {
     t.new_row();
     for (const std::string& c : p.coordinate) t.add_cell(c);
-    for (const double v : p.metrics) {
+    for (std::size_t m = 0; m < p.metrics.size(); ++m) {
+      const double v = p.metrics[m];
+      // A rate with zero observed successes is NOT "0.0000": the Wilson
+      // interval still bounds it, so render the one-sided upper bound
+      // the estimate already carries ("<3.830e-03"). Still a pure
+      // function of the point's deterministic fields (CI diffs rows).
+      if (v == 0.0 && m < metric_kinds.size() && m < p.estimates.size() &&
+          metric_kinds[m] == MetricKind::kRate && p.estimates[m].n_samples > 0 &&
+          p.estimates[m].ci_high > 0.0) {
+        std::ostringstream cell;
+        cell << "<" << std::scientific << std::setprecision(precision - 1)
+             << p.estimates[m].ci_high;
+        t.add_cell(cell.str());
+        continue;
+      }
       // Scientific notation for values spanning many decades (bit
       // rates, tiny error rates) keeps columns readable AND keeps the
       // rendering a pure function of the value (CI diffs row text).
@@ -674,6 +727,8 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec, const RunOptions& option
     std::vector<analysis::MeanAccumulator> means;
     std::vector<double> sums;
     std::vector<double> last;
+    analysis::WeightStats weights;
+    double err_weight_sq = 0.0;
     std::uint64_t samples = 0;
     std::uint64_t chunks = 0;
     std::uint64_t rng_draws = 0;
@@ -787,10 +842,17 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec, const RunOptions& option
         bool cached = false;
         if (store != nullptr) {
           key = ChunkKey{report.spec_hash, base.seed, i, chunk};
+          // A rare-event point's record must carry weight state (the
+          // sum of weights is positive by construction): a record
+          // missing it is stale or torn, never a hit.
           if (auto rec = store->load(key);
-              rec && rec->samples == run_samples && rec->metrics.size() == defs.size()) {
+              rec && rec->samples == run_samples && rec->metrics.size() == defs.size() &&
+              (!st.point.variance.active() || rec->weight_sum > 0.0)) {
             r.metrics = std::move(rec->metrics);
             r.rng_draws = rec->rng_draws;
+            r.weight_sum = rec->weight_sum;
+            r.weight_sum_sq = rec->weight_sum_sq;
+            r.err_weight_sq = rec->err_weight_sq;
             cached = true;
           }
         }
@@ -798,13 +860,15 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec, const RunOptions& option
           ++st.cache_hits;
         } else {
           const auto t0 = std::chrono::steady_clock::now();
-          r = dispatch(st.point, run_samples, rng, st.faulted ? &st.fr : nullptr);
+          r = dispatch(st.point, run_samples, rng, st.faulted ? &st.fr : nullptr, i);
           st.wall_ns += std::chrono::duration<double, std::nano>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
           if (store != nullptr) {
             ++st.cache_misses;
-            if (!store->save(key, ChunkRecord{run_samples, r.rng_draws, r.metrics})) {
+            if (!store->save(key, ChunkRecord{run_samples, r.rng_draws, r.metrics,
+                                              r.weight_sum, r.weight_sum_sq,
+                                              r.err_weight_sq})) {
               ++st.cache_save_failures;
               warn_save_failure_once();
             }
@@ -825,6 +889,11 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec, const RunOptions& option
               break;
           }
           st.last[m] = r.metrics[m];
+        }
+        if (r.weight_sum > 0.0) {
+          st.weights.merge(analysis::WeightStats::from_state(
+              r.weight_sum, r.weight_sum_sq, run_samples));
+          st.err_weight_sq += r.err_weight_sq;
         }
         st.samples += run_samples;
         ++st.chunks;
@@ -855,6 +924,8 @@ RunReport ScenarioRunner::run(const ScenarioSpec& spec, const RunOptions& option
     p.means = std::move(st.means);
     p.sums = std::move(st.sums);
     p.last = std::move(st.last);
+    p.weights = st.weights;
+    p.err_weight_sq = st.err_weight_sq;
     p.rng_draws = st.rng_draws;
     p.samples = st.samples;
     p.chunks = st.chunks;

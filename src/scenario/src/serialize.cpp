@@ -309,6 +309,14 @@ std::string canonical_spec_text(const ScenarioSpec& s) {
   c.kv("fault.mac_reclaim", s.fault.mac_reclaim);
   c.kv("fault.salt", s.fault.salt);
 
+  // Rare-event acceleration changes the estimator's proposal measure,
+  // so every variance.* knob must re-key the result cache.
+  c.kv("variance.kind", std::string(rare::to_string(s.variance.kind)));
+  c.kv("variance.jitter_tilt", s.variance.jitter_tilt);
+  c.kv("variance.noise_tilt", s.variance.noise_tilt);
+  c.kv("variance.levels", s.variance.levels);
+  c.kv("variance.split_levels", s.variance.split_levels);
+
   return c.str();
 }
 

@@ -302,6 +302,27 @@ const std::map<std::string, Param>& registry() {
     cnt("fault.mac_reclaim", [](S& s, std::uint64_t v) { s.fault.mac_reclaim = v != 0; });
     cnt("fault.salt", [](S& s, std::uint64_t v) { s.fault.salt = v; });
 
+    // -- rare-event acceleration -------------------------------------
+    cat("variance.kind", [](S& s, const std::string& v) {
+      try {
+        s.variance.kind = rare::kind_from_string(v);
+      } catch (const std::invalid_argument&) {
+        bad_choice("variance.kind", v, "none, tilt, split");
+      }
+    });
+    num("variance.jitter_tilt", [](S& s, double v) { s.variance.jitter_tilt = v; });
+    num("variance.noise_tilt", [](S& s, double v) { s.variance.noise_tilt = v; });
+    cat("variance.levels", [](S& s, const std::string& v) {
+      // Syntax check at set time so a typo'd schedule fails with the
+      // spec file:line; validate() re-checks semantics (monotonicity
+      // against the kind).
+      (void)rare::parse_levels(v);
+      s.variance.levels = v;
+    });
+    cnt("variance.split_levels", [](S& s, std::uint64_t v) {
+      s.variance.split_levels = static_cast<std::uint32_t>(v);
+    });
+
     return r;
   }();
   return params;
@@ -577,6 +598,70 @@ void ScenarioSpec::validate() const {
           noc.dies >= 2 &&
           ::oci::fault::pick_count(noc.dies, fault.dead_node_fraction) > noc.dies - 2) {
         err("fault: dead_node_fraction must leave at least 2 live dies");
+      }
+    }
+  }
+
+  // Rare-event acceleration. Gating mirrors the fault block: each
+  // engine maps to exactly one path (the scalar p2p-symbols driver),
+  // and an armed spec anywhere else would silently run crude -- reject
+  // loudly instead. Tilt and split are distinct proposals whose
+  // likelihood ratios do not compose; combining their knobs is
+  // rejected rather than half-applied.
+  {
+    if (variance.jitter_tilt <= 0.0) err("variance: jitter_tilt must be > 0");
+    if (variance.noise_tilt <= 0.0) err("variance: noise_tilt must be > 0");
+    if (!variance.levels.empty()) {
+      try {
+        (void)rare::parse_levels(variance.levels);
+      } catch (const std::invalid_argument& e) {
+        err(e.what());
+      }
+    }
+    if (variance.active()) {
+      const bool p2p_symbols =
+          topology == Topology::kPointToPoint && m == TrafficMode::kSymbols;
+      if (!p2p_symbols) {
+        err("variance: rare-event acceleration applies to point-to-point "
+            "symbol traffic only");
+      }
+      if (!aggressors.empty()) {
+        err("variance: cannot be combined with aggressor pulses");
+      }
+      if (fault.window_active()) {
+        err("variance: cannot be combined with dark/flaky window faults");
+      }
+      if (variance.kind == rare::Kind::kTilt) {
+        if (!variance.levels.empty()) {
+          err("variance: kind = tilt does not take a level schedule "
+              "(variance.levels is a splitting knob); pick tilt or split");
+        }
+        if (variance.jitter_tilt == 1.0 && variance.noise_tilt == 1.0) {
+          err("variance: kind = tilt with both tilt factors at 1 is crude "
+              "Monte Carlo; set variance.jitter_tilt or variance.noise_tilt");
+        }
+      }
+      if (variance.kind == rare::Kind::kSplit) {
+        if (variance.jitter_tilt != 1.0 || variance.noise_tilt != 1.0) {
+          err("variance: kind = split does not take tilt factors; pick tilt "
+              "or split");
+        }
+        if (variance.levels.empty() && variance.split_levels == 0) {
+          err("variance: kind = split needs variance.levels or "
+              "variance.split_levels >= 1");
+        }
+      }
+      if (precision.enabled && !precision.metric.empty()) {
+        // Weighted acceleration reshapes RATE estimators only; the
+        // deterministic mean metrics (throughput, energy) gain nothing
+        // and their batch-means intervals are meaningless targets here.
+        for (const MetricDef& d : metrics_for(*this)) {
+          if (d.name == precision.metric && d.kind != MetricKind::kRate) {
+            err("variance: precision.metric '" + precision.metric +
+                "' is deterministic under weighting; target a rate metric "
+                "(ser, ber, erasure_rate, noise_capture_rate)");
+          }
+        }
       }
     }
   }

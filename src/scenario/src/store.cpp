@@ -71,6 +71,16 @@ std::optional<ChunkRecord> FsResultStore::load(const ChunkKey& key) const {
   for (std::uint64_t m = 0; m < metric_count; ++m) {
     if (!(in >> rec.metrics[m])) return std::nullopt;  // truncated = corrupt = miss
   }
+  // Optional trailing rare-event weight state:
+  //   weights <sum> <sum_sq> <err_weight_sq>
+  // Absent on crude-MC chunks; a present-but-torn line is corrupt.
+  std::string tag;
+  if (in >> tag) {
+    if (tag != "weights") return std::nullopt;
+    if (!(in >> rec.weight_sum >> rec.weight_sum_sq >> rec.err_weight_sq)) {
+      return std::nullopt;
+    }
+  }
   return rec;
 }
 
@@ -92,6 +102,12 @@ bool FsResultStore::save(const ChunkKey& key, const ChunkRecord& record) const {
     out << "oci-chunk-v1 samples=" << record.samples << " rng_draws="
         << record.rng_draws << " metrics=" << record.metrics.size() << "\n";
     for (const double v : record.metrics) out << fmt(v) << "\n";
+    if (record.weight_sum != 0.0 || record.weight_sum_sq != 0.0 ||
+        record.err_weight_sq != 0.0) {
+      out << "weights " << fmt(record.weight_sum) << " "
+          << fmt(record.weight_sum_sq) << " " << fmt(record.err_weight_sq)
+          << "\n";
+    }
     if (!out) {
       out.close();
       fs::remove(tmp_path, ec);

@@ -177,6 +177,99 @@ TEST(ScenarioParse, FaultKeysParse) {
   EXPECT_THROW(bad.validate(), std::invalid_argument);
 }
 
+TEST(ScenarioParse, VarianceKeysParse) {
+  const ScenarioSpec spec = parse_spec_text(
+      "name = rare\n"
+      "calibrate = 0\n"
+      "variance.kind = tilt\n"
+      "variance.jitter_tilt = 2.5\n"
+      "variance.noise_tilt = 3\n"
+      "sweep.jitter_ps = 60, 120\n"
+      "sweep.variance.kind = none, tilt\n");
+  EXPECT_EQ(spec.variance.kind, rare::Kind::kTilt);
+  EXPECT_DOUBLE_EQ(spec.variance.jitter_tilt, 2.5);
+  EXPECT_DOUBLE_EQ(spec.variance.noise_tilt, 3.0);
+  ASSERT_EQ(spec.sweep.size(), 2u);
+  EXPECT_EQ(spec.sweep[1].param, "variance.kind");
+  EXPECT_NO_THROW(spec.validate());
+
+  const ScenarioSpec split = parse_spec_text(
+      "variance.kind = split\n"
+      "variance.levels = 3:2:1:0.5\n"
+      "variance.split_levels = 4\n");
+  EXPECT_EQ(split.variance.kind, rare::Kind::kSplit);
+  EXPECT_EQ(split.variance.levels, "3:2:1:0.5");
+  EXPECT_EQ(split.variance.split_levels, 4u);
+  EXPECT_NO_THROW(split.validate());
+
+  // Unknown variance keys die with file:line, like every other family.
+  try {
+    (void)parse_spec_text("name = ok\nvariance.bogus = 1\n", "demo.spec");
+    FAIL() << "expected parse error for unknown variance key";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("demo.spec:2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unknown parameter 'variance.bogus'"), std::string::npos)
+        << msg;
+  }
+  // A typo'd level schedule fails at set time, carrying the file:line.
+  try {
+    (void)parse_spec_text("variance.levels = 3;2;1\n", "demo.spec");
+    FAIL() << "expected parse error for malformed level schedule";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("demo.spec:1"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)parse_spec_text("variance.kind = quantum\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_spec_text("variance.levels = 1:2:3\n"),
+               std::runtime_error);  // must strictly decrease
+}
+
+TEST(ScenarioParse, VarianceValidationRejectsBadCombinations) {
+  const auto invalid = [](const std::string& text) {
+    const ScenarioSpec spec = parse_spec_text(text);
+    EXPECT_THROW(spec.validate(), std::invalid_argument) << text;
+  };
+  // Tilt factors must be positive; a tilt that is crude MC in disguise
+  // and a tilt carrying a splitting schedule are both config bugs.
+  invalid("variance.kind = tilt\nvariance.jitter_tilt = 0\n");
+  invalid("variance.kind = tilt\nvariance.jitter_tilt = -2\n");
+  invalid("variance.kind = tilt\n");  // both factors at 1
+  invalid(
+      "variance.kind = tilt\nvariance.jitter_tilt = 2\n"
+      "variance.levels = 3:2:1\n");
+  // Split rejects tilt factors and needs a schedule from somewhere.
+  invalid("variance.kind = split\nvariance.jitter_tilt = 2\n");
+  invalid("variance.kind = split\nvariance.split_levels = 0\n");
+  // The engines drive the scalar point-to-point symbol path only.
+  invalid(
+      "topology = stack-noc\nvariance.kind = tilt\n"
+      "variance.jitter_tilt = 2\n");
+  invalid(
+      "mode = code-density\nvariance.kind = tilt\n"
+      "variance.jitter_tilt = 2\n");
+  {
+    ScenarioSpec spec =
+        parse_spec_text("variance.kind = tilt\nvariance.jitter_tilt = 2\n");
+    spec.aggressors.push_back({1.5, 40.0});
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  invalid(
+      "variance.kind = tilt\nvariance.jitter_tilt = 2\n"
+      "fault.dark_window_probability = 0.1\n");
+  // Weighted acceleration targets rate metrics; deterministic means
+  // make no sense as adaptive precision targets under weighting.
+  invalid(
+      "variance.kind = tilt\nvariance.jitter_tilt = 2\n"
+      "precision.metric = throughput_bps\nprecision.half_width = 1\n");
+  // And the well-formed neighbours of each rejection stay valid.
+  const ScenarioSpec ok = parse_spec_text(
+      "variance.kind = tilt\nvariance.jitter_tilt = 2\n"
+      "precision.metric = ser\nprecision.half_width = 0.001\n");
+  EXPECT_NO_THROW(ok.validate());
+}
+
 TEST(ScenarioParse, CheckedInSpecFilesParseAndValidate) {
   // The CI job runs these through tools/run_scenario; parsing must not
   // rot. The test binary runs from build/tests, so walk up to the repo
@@ -185,7 +278,8 @@ TEST(ScenarioParse, CheckedInSpecFilesParseAndValidate) {
 #ifdef OCI_SOURCE_DIR
   const std::string root = OCI_SOURCE_DIR;
   for (const std::string name :
-       {"link_jitter", "noc_saturation", "degraded_link", "noc_node_failure"}) {
+       {"link_jitter", "noc_saturation", "degraded_link", "noc_node_failure",
+        "deep_ser"}) {
     const ScenarioSpec spec = parse_spec_file(root + "/scenarios/" + name + ".spec");
     EXPECT_EQ(spec.name, name);
     EXPECT_NO_THROW(spec.validate());

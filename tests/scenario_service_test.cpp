@@ -89,6 +89,16 @@ ScenarioSpec adaptive_spec() {
   return spec;
 }
 
+/// Importance-sampled variant of the adaptive sweep: every chunk now
+/// carries likelihood-ratio weight state through the store, the shard
+/// planner and the merge path.
+ScenarioSpec tilted_spec() {
+  ScenarioSpec spec = adaptive_spec();
+  spec.variance.kind = rare::Kind::kTilt;
+  spec.variance.jitter_tilt = 1.8;
+  return spec;
+}
+
 /// Bitwise equality of everything deterministic in two reports (wall
 /// clock and cache counters excluded by design).
 void expect_identical(const RunReport& a, const RunReport& b) {
@@ -117,6 +127,11 @@ void expect_identical(const RunReport& a, const RunReport& b) {
       EXPECT_EQ(pa.estimates[m].ci_high, pb.estimates[m].ci_high) << i << "/" << m;
       EXPECT_EQ(pa.estimates[m].n_samples, pb.estimates[m].n_samples) << i << "/" << m;
     }
+    // Likelihood-ratio weight state (all zero for crude runs).
+    EXPECT_EQ(pa.weights.sum(), pb.weights.sum()) << "point " << i;
+    EXPECT_EQ(pa.weights.sum_sq(), pb.weights.sum_sq()) << "point " << i;
+    EXPECT_EQ(pa.weights.count(), pb.weights.count()) << "point " << i;
+    EXPECT_EQ(pa.err_weight_sq, pb.err_weight_sq) << "point " << i;
   }
 }
 
@@ -174,8 +189,16 @@ TEST(SpecHash, ChangesOnEverySemanticField) {
   hashes.insert(mutated([](ScenarioSpec& s) { s.fault.dark_window_probability = 0.1; }));
   hashes.insert(mutated([](ScenarioSpec& s) { s.fault.tdc_drift_c = 15.0; }));
   hashes.insert(mutated([](ScenarioSpec& s) { s.fault.salt = 1; }));
-  // Every mutation produced a distinct hash (base + 14 variants).
-  EXPECT_EQ(hashes.size(), 15u);
+  // Rare-event acceleration changes what every chunk simulates, so
+  // every variance.* knob must re-key the cache too.
+  hashes.insert(mutated([](ScenarioSpec& s) { s.variance.kind = rare::Kind::kTilt; }));
+  hashes.insert(mutated([](ScenarioSpec& s) { s.variance.kind = rare::Kind::kSplit; }));
+  hashes.insert(mutated([](ScenarioSpec& s) { s.variance.jitter_tilt = 1.8; }));
+  hashes.insert(mutated([](ScenarioSpec& s) { s.variance.noise_tilt = 4.0; }));
+  hashes.insert(mutated([](ScenarioSpec& s) { s.variance.levels = "3:2:1"; }));
+  hashes.insert(mutated([](ScenarioSpec& s) { s.variance.split_levels = 6; }));
+  // Every mutation produced a distinct hash (base + 20 variants).
+  EXPECT_EQ(hashes.size(), 21u);
   for (const std::string& h : hashes) EXPECT_EQ(h.size(), 64u);
 }
 
@@ -413,6 +436,66 @@ TEST(ScenarioService, ShardUnionMergeEqualsUnshardedRun) {
     const RunReport merged = scenario::merge_reports(parts);
     expect_identical(full, merged);
   }
+}
+
+TEST(ScenarioService, WeightedShardUnionMergeEqualsUnshardedRun) {
+  // Weight moments must pool across shards exactly like the rate
+  // accumulators -- summed, never averaged -- or the merged n_eff and
+  // variance diagnostics silently drift from the unsharded truth.
+  const ScenarioSpec spec = tilted_spec();
+  const RunReport full = ScenarioRunner(2).run(spec);
+  for (const RunPoint& p : full.points) {
+    EXPECT_TRUE(p.weights.active());
+    EXPECT_EQ(p.weights.count(), p.samples);
+  }
+
+  for (const std::size_t n_shards : {2u, 3u}) {
+    std::vector<RunReport> parts;
+    for (std::size_t i = 0; i < n_shards; ++i) {
+      RunOptions options;
+      options.shard = ShardSpec{i, n_shards};
+      parts.push_back(ScenarioRunner(2).run(spec, options));
+    }
+    const RunReport merged = scenario::merge_reports(parts);
+    expect_identical(full, merged);
+  }
+}
+
+TEST(ScenarioService, WeightedChunksRoundTripThroughTheCache) {
+  // Cold run persists every tilted chunk (metrics AND the trailing
+  // weights line); the warm run must serve all of them back and land
+  // on the bit-identical report.
+  const fs::path dir = scratch_dir("cache_weighted");
+  const FsResultStore store(dir.string());
+  RunOptions options;
+  options.store = &store;
+  const ScenarioSpec spec = tilted_spec();
+
+  const RunReport cold = ScenarioRunner(2).run(spec, options);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_GT(cold.cache_misses, 0u);
+
+  const RunReport warm = ScenarioRunner(8).run(spec, options);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(warm.cache_hits, cold.cache_misses);
+  expect_identical(cold, warm);
+
+  // The records on disk really carry the weight state: a weighted
+  // chunk whose weights line is torn off must read as a miss, not as
+  // a crude chunk.
+  std::vector<fs::path> chunks;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) chunks.push_back(entry.path());
+  }
+  ASSERT_EQ(chunks.size(), cold.cache_misses);
+  std::size_t weighted = 0;
+  for (const fs::path& chunk : chunks) {
+    std::ifstream in(chunk);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (text.find("\nweights ") != std::string::npos) ++weighted;
+  }
+  EXPECT_EQ(weighted, chunks.size());
 }
 
 TEST(ScenarioService, MergePoolsRunsFromDifferentSeeds) {

@@ -34,8 +34,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <iomanip>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -167,6 +169,42 @@ int cmd_run(int argc, char** argv, const std::string& spec_path_arg) {
     const scenario::ScenarioRunner runner;
     const scenario::RunReport report = runner.run(spec, options);
     report.print(std::cout);
+    // Variance-reduction diagnostics for rare-event points
+    // (variance.kind != none): the effective crude-MC sample count the
+    // weighted estimate is worth, the weight spread, and the estimator-
+    // variance speedup over crude MC at the same budget. Every figure
+    // is a pure function of (spec, seed), so this block is safely
+    // inside the CI-diffed deterministic stdout.
+    bool any_weighted = false;
+    for (const auto& p : report.points) any_weighted |= p.weights.active();
+    if (any_weighted) {
+      std::size_t ser_m = report.metric_names.size();
+      for (std::size_t m = 0; m < report.metric_names.size(); ++m) {
+        if (report.metric_names[m] == "ser") {
+          ser_m = m;
+          break;
+        }
+      }
+      std::cout << "variance reduction (vs crude MC at the same budget):\n";
+      for (const auto& p : report.points) {
+        if (!p.weights.active()) continue;
+        std::ostringstream line;
+        line << "  " << p.label(report.axis_names) << ": n_eff=" << std::fixed
+             << std::setprecision(1) << p.weights.n_eff() << ", weight_cv="
+             << std::setprecision(3) << p.weights.weight_cv();
+        if (ser_m < p.metrics.size() && p.samples > 0) {
+          const auto n = static_cast<double>(p.samples);
+          const double phat = p.metrics[ser_m];
+          const double var_acc = (p.err_weight_sq / n - phat * phat) / n;
+          const double var_crude = phat * (1.0 - phat) / n;
+          if (var_acc > 0.0 && var_crude > 0.0) {
+            line << ", speedup=" << std::setprecision(1) << var_crude / var_acc
+                 << "x";
+          }
+        }
+        std::cout << line.str() << "\n";
+      }
+    }
     if (store) {
       // Cache traffic is informational, and printed only when a store
       // is actually configured: the deterministic table above must stay
