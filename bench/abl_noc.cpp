@@ -13,7 +13,12 @@
 //      recovers;
 //  (c) layer coupling -- the per-transfer delivery probability comes
 //      from the photon-level Monte Carlo link (FEC frame delivery at
-//      measured jitter), and ARQ turns residual loss into latency.
+//      measured jitter), and ARQ turns residual loss into latency;
+//  (d) arbitration at scale -- CAC codeword schedules (net::CacMac,
+//      distributed slot/wavelength allocation) against TDMA and token
+//      as the stack grows toward thousand-die meshes: the centralized
+//      single-channel disciplines cap at 1 packet/slot while the CAC
+//      allocation unlocks the WDM parallelism.
 //
 // Each sub-experiment is a scenario::ScenarioSpec (stack-NoC topology)
 // resolved by ScenarioRunner; (c) uses the fec-probe delivery coupling,
@@ -166,6 +171,47 @@ void layer_coupling_table(const scenario::ScenarioRunner& runner,
          "the cross-layer story a link-only analysis cannot show.\n";
 }
 
+void cac_scale_table(const scenario::ScenarioRunner& runner, scenario::ScenarioSpec spec) {
+  spec.name = "noc_cac_scale";
+  spec.noc.offered_load = 1.4;  // past the single-channel ceiling
+  spec.noc.alloc_wavelengths = 4;
+  spec.noc.alloc_weight = 2;
+  spec.budget.samples = 40000;
+  spec.budget.floor = 800;
+  spec.sweep = {
+      scenario::SweepAxis::list("dies", {64.0, 256.0}),
+      scenario::SweepAxis::categories("mac", {"tdma", "token", "cac"}),
+  };
+  const scenario::RunReport report = runner.run(spec);
+
+  util::Table t({"dies", "tdma carried", "token carried", "cac carried",
+                 "cac p99", "cac fairness"});
+  for (double dies : {64.0, 256.0}) {
+    const std::string d = scenario::format_axis_value(dies);
+    auto point = [&](const std::string& mac) {
+      return report.find("dies=" + d + "/mac=" + mac);
+    };
+    const auto* tdma = point("tdma");
+    const auto* token = point("token");
+    const auto* cac = point("cac");
+    if (!tdma || !token || !cac) continue;
+    t.new_row()
+        .add_cell(dies, 0)
+        .add_cell(report.metric(*tdma, "carried_load"), 3)
+        .add_cell(report.metric(*token, "carried_load"), 3)
+        .add_cell(report.metric(*cac, "carried_load"), 3)
+        .add_cell(report.metric(*cac, "p99_slots"), 0)
+        .add_cell(report.metric(*cac, "fairness"), 3);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nShape check (d): at 1.4 offered the single-channel MACs pin to the\n"
+         "1 packet/slot medium ceiling regardless of die count; the CAC\n"
+         "schedule spreads codewords over 4 wavelengths and carries the\n"
+         "whole offered load with near-perfect fairness and no token ring\n"
+         "to serialise arbitration at scale.\n\n";
+}
+
 void print_reproduction(std::uint64_t seed) {
   analysis::print_banner(std::cout, "Ablation 13: MAC on the optical stack bus",
                          "TDMA vs token vs slotted ALOHA at packet granularity, "
@@ -175,6 +221,7 @@ void print_reproduction(std::uint64_t seed) {
   saturation_table(runner, base_spec(seed));
   hotspot_table(runner, base_spec(seed));
   layer_coupling_table(runner, base_spec(seed));
+  cac_scale_table(runner, base_spec(seed));
 }
 
 StackNetworkConfig bm_traffic_config(double aggregate_load) {

@@ -7,7 +7,16 @@
 //   * token -- work-conserving round-robin: the slot goes to the next
 //     backlogged die, skipping idle ones at a configurable pass cost;
 //   * slotted ALOHA -- uncoordinated random access; two simultaneous
-//     pulses in one TOA window garble both frames (collision).
+//     pulses in one TOA window garble both frames (collision);
+//   * CAC   -- conflict-avoiding-code schedules (cac.hpp): per-die
+//     codewords over a prime frame and a decentralised wavelength/slot
+//     allocation, collision-bounded (λ <= 1 per pair per frame) with
+//     no token ring and no global TDMA owner table.
+//
+// CAC allocations may span several WDM wavelengths, so one slot can
+// carry several clean transfers at once (one per wavelength). The
+// structured arbitrate_slot() entry point expresses that; the legacy
+// flat arbitrate() keeps the single-channel policies untouched.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +25,7 @@
 #include <vector>
 
 #include "oci/bus/arbitration.hpp"
+#include "oci/net/cac.hpp"
 #include "oci/util/random.hpp"
 
 namespace oci::net {
@@ -25,6 +35,16 @@ namespace oci::net {
 /// (possible only with random access).
 using SlotGrant = std::vector<std::size_t>;
 
+/// Structured arbitration result: `clean` dies transmit alone on their
+/// wavelength (each gets an independent delivery decision), `collided`
+/// dies shared a wavelength with another transmitter and lose the slot.
+/// Single-channel policies produce at most one clean die per slot;
+/// multi-wavelength CAC allocations can carry several.
+struct SlotOutcome {
+  SlotGrant clean;
+  SlotGrant collided;
+};
+
 /// Abstract MAC policy. `backlogged[i]` says whether die i has a
 /// packet ready; the policy returns who transmits in this slot.
 class MacPolicy {
@@ -33,6 +53,22 @@ class MacPolicy {
   [[nodiscard]] virtual SlotGrant arbitrate(std::uint64_t slot,
                                             const std::vector<bool>& backlogged,
                                             util::RngStream& rng) = 0;
+  /// Structured entry point StackNetwork drives. The default maps the
+  /// flat grant (1 entry = clean, > 1 = collision), so single-channel
+  /// policies keep their exact legacy semantics; wavelength-aware
+  /// policies (CacMac) override it.
+  [[nodiscard]] virtual SlotOutcome arbitrate_slot(std::uint64_t slot,
+                                                   const std::vector<bool>& backlogged,
+                                                   util::RngStream& rng) {
+    SlotOutcome out;
+    SlotGrant grant = arbitrate(slot, backlogged, rng);
+    if (grant.size() == 1) {
+      out.clean = std::move(grant);
+    } else if (grant.size() > 1) {
+      out.collided = std::move(grant);
+    }
+    return out;
+  }
   /// Human-readable policy name for reports.
   [[nodiscard]] virtual const char* name() const = 0;
 };
@@ -72,7 +108,11 @@ class TokenMac final : public MacPolicy {
 /// remaps between the full die index space and the compacted live one.
 /// With a TDMA inner policy this is slot reclamation (the dead dies'
 /// slots are redistributed over the survivors); with a token inner
-/// policy the ring simply bypasses dead dies. Dead dies are never
+/// policy the ring simply bypasses dead dies; with a CacMac inner
+/// policy it is CODEWORD reclamation -- the allocation is built for the
+/// live population only, so the dead dies' codewords (and their share
+/// of the wavelength/slot grid) return to the pool and the frame
+/// shrinks to the survivors' optimal prime length. Dead dies are never
 /// granted -- their backlog flags are dropped at the boundary.
 class SubsetMac final : public MacPolicy {
  public:
@@ -82,6 +122,12 @@ class SubsetMac final : public MacPolicy {
             std::size_t dies);
   [[nodiscard]] SlotGrant arbitrate(std::uint64_t slot, const std::vector<bool>& backlogged,
                                     util::RngStream& rng) override;
+  /// Structured pass-through: delegates to the inner policy's
+  /// arbitrate_slot (preserving multi-wavelength clean grants) and
+  /// remaps both lists back to the full die space.
+  [[nodiscard]] SlotOutcome arbitrate_slot(std::uint64_t slot,
+                                           const std::vector<bool>& backlogged,
+                                           util::RngStream& rng) override;
   [[nodiscard]] const char* name() const override { return "subset"; }
   [[nodiscard]] const MacPolicy& inner() const { return *inner_; }
   [[nodiscard]] const std::vector<std::size_t>& members() const { return members_; }
@@ -107,6 +153,54 @@ class AlohaMac final : public MacPolicy {
 
  private:
   double p_;
+};
+
+/// Conflict-avoiding-code MAC: every die transmits in the slots of its
+/// phased codeword (cac::Allocation), with no token ring and no global
+/// owner table. Same-wavelength transmitters sharing a slot collide;
+/// the CAC difference-set property bounds that to at most one slot per
+/// frame for any pair, and the allocator's refinement drives the
+/// residual overlap toward zero -- under full backlog the schedule is
+/// collision-free wherever the packing succeeded. Distinct wavelengths
+/// never interfere, so one slot can carry up to `wavelengths()` clean
+/// transfers (the WDM parallelism centralized single-channel MACs
+/// cannot reach).
+///
+/// Arbitration is O(owners of this frame slot), NOT O(dies): the
+/// constructor inverts the allocation into per-slot owner lists once,
+/// so thousand-die stacks pay per-slot work proportional to the
+/// (constant) codeword mass per slot.
+class CacMac final : public MacPolicy {
+ public:
+  /// `allocation` must cover exactly the dies the network arbitrates
+  /// (allocation.slots.size() participants).
+  explicit CacMac(cac::Allocation allocation);
+  /// Legacy flat view: every die transmitting in this slot, clean or
+  /// not. Single-wavelength allocations keep the exact flat semantics
+  /// (1 entry = clean, > 1 = collision); multi-wavelength callers must
+  /// use arbitrate_slot, which the network drives.
+  [[nodiscard]] SlotGrant arbitrate(std::uint64_t slot, const std::vector<bool>& backlogged,
+                                    util::RngStream& rng) override;
+  [[nodiscard]] SlotOutcome arbitrate_slot(std::uint64_t slot,
+                                           const std::vector<bool>& backlogged,
+                                           util::RngStream& rng) override;
+  [[nodiscard]] const char* name() const override { return "cac"; }
+  [[nodiscard]] std::uint64_t frame() const { return allocation_.frame; }
+  [[nodiscard]] std::size_t wavelengths() const { return allocation_.wavelengths; }
+  [[nodiscard]] const cac::Allocation& allocation() const { return allocation_; }
+
+ private:
+  struct Owner {
+    std::uint32_t wavelength;
+    std::uint32_t die;
+  };
+
+  cac::Allocation allocation_;
+  std::size_t dies_;
+  /// Frame slot -> owners, sorted by (wavelength, die). Wavelength
+  /// groups are contiguous, so arbitration resolves each group in one
+  /// linear pass with no per-slot scratch state.
+  std::vector<std::vector<Owner>> slot_owners_;
 };
 
 }  // namespace oci::net

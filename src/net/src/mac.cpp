@@ -1,5 +1,6 @@
 #include "oci/net/mac.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -74,6 +75,20 @@ SlotGrant SubsetMac::arbitrate(std::uint64_t slot, const std::vector<bool>& back
   return grant;
 }
 
+SlotOutcome SubsetMac::arbitrate_slot(std::uint64_t slot, const std::vector<bool>& backlogged,
+                                      util::RngStream& rng) {
+  if (backlogged.size() != dies_) {
+    throw std::invalid_argument("SubsetMac: backlog vector size mismatch");
+  }
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    inner_backlogged_[i] = backlogged[members_[i]];
+  }
+  SlotOutcome out = inner_->arbitrate_slot(slot, inner_backlogged_, rng);
+  for (std::size_t& g : out.clean) g = members_[g];
+  for (std::size_t& g : out.collided) g = members_[g];
+  return out;
+}
+
 AlohaMac::AlohaMac(double attempt_probability) : p_(attempt_probability) {
   if (p_ <= 0.0 || p_ > 1.0) {
     throw std::invalid_argument("AlohaMac: attempt probability must be in (0,1]");
@@ -87,6 +102,71 @@ SlotGrant AlohaMac::arbitrate(std::uint64_t /*slot*/, const std::vector<bool>& b
     if (backlogged[i] && rng.bernoulli(p_)) grant.push_back(i);
   }
   return grant;
+}
+
+CacMac::CacMac(cac::Allocation allocation)
+    : allocation_(std::move(allocation)), dies_(allocation_.slots.size()) {
+  if (dies_ == 0) throw std::invalid_argument("CacMac: allocation covers no dies");
+  if (allocation_.wavelength.size() != dies_) {
+    throw std::invalid_argument("CacMac: allocation wavelength/slots size mismatch");
+  }
+  if (allocation_.frame == 0) throw std::invalid_argument("CacMac: zero frame length");
+  slot_owners_.resize(static_cast<std::size_t>(allocation_.frame));
+  for (std::size_t die = 0; die < dies_; ++die) {
+    for (const std::uint32_t s : allocation_.slots[die]) {
+      if (s >= allocation_.frame) {
+        throw std::invalid_argument("CacMac: codeword slot outside the frame");
+      }
+      slot_owners_[s].push_back(
+          Owner{allocation_.wavelength[die], static_cast<std::uint32_t>(die)});
+    }
+  }
+  // Wavelength-major, die-minor order makes each wavelength's owners a
+  // contiguous group and fixes the deterministic grant order.
+  for (auto& owners : slot_owners_) {
+    std::sort(owners.begin(), owners.end(), [](const Owner& a, const Owner& b) {
+      return a.wavelength != b.wavelength ? a.wavelength < b.wavelength : a.die < b.die;
+    });
+  }
+}
+
+SlotOutcome CacMac::arbitrate_slot(std::uint64_t slot, const std::vector<bool>& backlogged,
+                                   util::RngStream& /*rng*/) {
+  if (backlogged.size() != dies_) {
+    throw std::invalid_argument("CacMac: backlog vector size mismatch");
+  }
+  SlotOutcome out;
+  const auto& owners = slot_owners_[static_cast<std::size_t>(slot % allocation_.frame)];
+  std::size_t begin = 0;
+  while (begin < owners.size()) {
+    std::size_t end = begin;
+    while (end < owners.size() && owners[end].wavelength == owners[begin].wavelength) ++end;
+    std::size_t active = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (backlogged[owners[i].die]) ++active;
+    }
+    if (active > 0) {
+      SlotGrant& dst = active == 1 ? out.clean : out.collided;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (backlogged[owners[i].die]) dst.push_back(owners[i].die);
+      }
+    }
+    begin = end;
+  }
+  return out;
+}
+
+SlotGrant CacMac::arbitrate(std::uint64_t slot, const std::vector<bool>& backlogged,
+                            util::RngStream& rng) {
+  const SlotOutcome out = arbitrate_slot(slot, backlogged, rng);
+  // Flat view: everyone pulsing this slot. Exact flat semantics for
+  // single-wavelength allocations; lossy (documented) beyond that.
+  SlotGrant all;
+  all.reserve(out.clean.size() + out.collided.size());
+  all.insert(all.end(), out.clean.begin(), out.clean.end());
+  all.insert(all.end(), out.collided.begin(), out.collided.end());
+  std::sort(all.begin(), all.end());
+  return all;
 }
 
 }  // namespace oci::net

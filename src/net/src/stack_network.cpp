@@ -175,18 +175,23 @@ NetworkRunResult StackNetwork::run(std::uint64_t slots, util::RngStream& rng) {
     for (std::size_t die = 0; die < config_.dies; ++die) {
       backlogged[die] = !queues_[die].empty();
     }
-    const SlotGrant grant =
-        mac_->arbitrate(slot, backlogged, rng);
+    // Structured arbitration: single-channel policies yield at most one
+    // clean die (exactly the legacy flat semantics, same RNG draw
+    // order); a multi-wavelength CacMac can land several clean
+    // transfers in one slot, resolved in the policy's deterministic
+    // grant order. All per-slot work below is proportional to the
+    // grant sizes, never to the die count.
+    const SlotOutcome outcome = mac_->arbitrate_slot(slot, backlogged, rng);
 
-    if (grant.empty()) {
+    if (outcome.clean.empty() && outcome.collided.empty()) {
       ++result.idle_slots;
       continue;
     }
-    if (grant.size() > 1) {
+    if (!outcome.collided.empty()) {
       // Collision: every participating frame is garbled; each counts a
       // transmission attempt and may exhaust its retry budget.
       ++result.collision_slots;
-      for (const std::size_t die : grant) {
+      for (const std::size_t die : outcome.collided) {
         auto& q = queues_[die];
         if (q.empty()) continue;  // defensive: policy granted an idle die
         Packet& head = q.front();
@@ -197,36 +202,36 @@ NetworkRunResult StackNetwork::run(std::uint64_t slots, util::RngStream& rng) {
           q.pop_front();
         }
       }
-      continue;
     }
 
-    const std::size_t die = grant.front();
-    auto& q = queues_[die];
-    if (q.empty()) {
-      ++result.idle_slots;  // defensive: policy granted an idle die
-      continue;
+    bool any_transfer = !outcome.collided.empty();
+    for (const std::size_t die : outcome.clean) {
+      auto& q = queues_[die];
+      if (q.empty()) continue;  // defensive: policy granted an idle die
+      any_transfer = true;
+      Packet& head = q.front();
+      ++result.per_die[die].transmissions;
+      // A unicast transfer to a dead die or across a broken (src -> dst)
+      // path fails deterministically -- the pulse is launched (the slot
+      // and the attempt are spent) but nothing can decode it, so no
+      // physical-layer delivery draw is consumed. Broadcasts keep the
+      // normal draw: the surviving receivers still decode the frame.
+      const bool unreachable =
+          head.dst != kBroadcast && (node_dead(head.dst) || link_broken(die, head.dst));
+      const bool delivered =
+          !unreachable && (config_.delivery_model
+                               ? config_.delivery_model(head, rng)
+                               : rng.bernoulli(config_.delivery_probability));
+      if (delivered) {
+        ++result.per_die[die].delivered;
+        latencies.push_back(static_cast<double>(slot - head.enqueued_slot + 1));
+        q.pop_front();
+      } else if (++head.attempts >= config_.max_attempts) {
+        ++result.per_die[die].retry_drops;
+        q.pop_front();
+      }
     }
-    Packet& head = q.front();
-    ++result.per_die[die].transmissions;
-    // A unicast transfer to a dead die or across a broken (src -> dst)
-    // path fails deterministically -- the pulse is launched (the slot
-    // and the attempt are spent) but nothing can decode it, so no
-    // physical-layer delivery draw is consumed. Broadcasts keep the
-    // normal draw: the surviving receivers still decode the frame.
-    const bool unreachable =
-        head.dst != kBroadcast && (node_dead(head.dst) || link_broken(die, head.dst));
-    const bool delivered =
-        !unreachable && (config_.delivery_model
-                             ? config_.delivery_model(head, rng)
-                             : rng.bernoulli(config_.delivery_probability));
-    if (delivered) {
-      ++result.per_die[die].delivered;
-      latencies.push_back(static_cast<double>(slot - head.enqueued_slot + 1));
-      q.pop_front();
-    } else if (++head.attempts >= config_.max_attempts) {
-      ++result.per_die[die].retry_drops;
-      q.pop_front();
-    }
+    if (!any_transfer) ++result.idle_slots;
   }
 
   result.latency = summarize_latencies(std::move(latencies));

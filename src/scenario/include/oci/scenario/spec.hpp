@@ -33,7 +33,7 @@ enum class TrafficMode { kAuto, kSymbols, kFrames, kCodeDensity, kPackets };
 enum class FecKind { kNone, kHamming };
 
 /// Spatial traffic shape of a stack-NoC scenario.
-enum class NocPattern { kUniform, kHotspot, kMasterBroadcast };
+enum class NocPattern { kUniform, kHotspot, kMasterBroadcast, kIncast, kBroadcastStorm };
 
 /// Where a stack-NoC scenario gets its per-transfer delivery decision.
 enum class NocDelivery {
@@ -154,14 +154,28 @@ struct BusSpec {
 struct NocSpec {
   std::size_t dies = 8;
   NocPattern pattern = NocPattern::kUniform;
-  /// Aggregate offered load [packets/slot] split evenly (kUniform), or
-  /// the background load under a hotspot (kHotspot).
+  /// Aggregate offered load [packets/slot] split evenly (kUniform,
+  /// kBroadcastStorm), the background load under a hotspot (kHotspot),
+  /// or the aggregate converging on hot_die (kIncast).
   double offered_load = 0.5;
+  /// kHotspot: the die sourcing hot_load; kIncast: the sink every
+  /// other die sends to.
   std::size_t hot_die = 3;
   double hot_load = 0.9;
   double master_load = 0.25;  ///< kMasterBroadcast: master's broadcast rate
   double worker_load = 0.03;  ///< kMasterBroadcast: per-die reply rate
-  std::string mac = "token";  ///< tdma | token | token+pass | aloha
+  std::string mac = "token";  ///< tdma | token | token+pass | aloha | cac
+  /// mac == "cac": the DistributedAllocator knobs (alloc.* keys).
+  /// Codeword weight w: transmission opportunities per frame per die.
+  std::size_t alloc_weight = 2;
+  /// Independent WDM channels the allocation may spread dies over; one
+  /// clean transfer per wavelength per slot.
+  std::size_t alloc_wavelengths = 1;
+  /// Prime frame length; 0 = auto (smallest prime that fits
+  /// ceil(dies / wavelengths) codewords per wavelength).
+  std::uint64_t alloc_frame = 0;
+  /// Max C-CoCoA refinement rounds (stops early on convergence).
+  unsigned alloc_rounds = 8;
   std::size_t queue_capacity = 256;
   unsigned max_attempts = 4;
   NocDelivery delivery = NocDelivery::kScalar;

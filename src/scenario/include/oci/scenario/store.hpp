@@ -35,7 +35,10 @@ namespace oci::scenario {
 ///      p2p symbol path grew a recalibrations metric column)
 ///   4  rare-event subsystem (variance.* in the canonical text; chunk
 ///      records grew likelihood-ratio weight state)
-inline constexpr unsigned kEngineRevision = 4;
+///   5  CAC MAC + distributed slot/wavelength allocation (noc.alloc_*
+///      in the canonical text; new incast/broadcast-storm patterns;
+///      the NoC slot loop arbitrates through structured SlotOutcomes)
+inline constexpr unsigned kEngineRevision = 5;
 
 /// Address of one simulation chunk.
 struct ChunkKey {

@@ -341,6 +341,22 @@ std::unique_ptr<net::MacPolicy> make_mac(const std::string& kind, std::size_t di
   throw std::invalid_argument("scenario: unknown MAC policy '" + kind + "'");
 }
 
+/// CAC schedule over `participants` transmitters. The allocation is a
+/// pure function of the spec knobs and `alloc_rng`, which run_noc keys
+/// as (seed, "alloc/<point>") -- fixed hardware per sweep point, like
+/// the fault realisation, identical across chunks/threads/shards.
+std::unique_ptr<net::MacPolicy> make_cac_mac(const NocSpec& n, std::size_t participants,
+                                             RngStream& alloc_rng) {
+  net::cac::AllocConfig ac;
+  ac.nodes = participants;
+  ac.wavelengths = std::min(n.alloc_wavelengths, participants);
+  ac.weight = n.alloc_weight;
+  ac.frame = n.alloc_frame;
+  ac.rounds = n.alloc_rounds;
+  const net::cac::DistributedAllocator allocator(ac);
+  return std::make_unique<net::CacMac>(allocator.allocate(alloc_rng));
+}
+
 net::StackNetworkConfig noc_config(const NocSpec& n) {
   net::StackNetworkConfig cfg;
   cfg.dies = n.dies;
@@ -368,6 +384,24 @@ net::StackNetworkConfig noc_config(const NocSpec& n) {
         cfg.traffic[die].destination = 0;
       }
       break;
+    case NocPattern::kIncast:
+      // Many-to-one convergence: every die except the sink sends its
+      // share of the aggregate straight at hot_die.
+      for (std::size_t die = 0; die < n.dies; ++die) {
+        if (die == n.hot_die) continue;
+        cfg.traffic[die].packets_per_slot =
+            n.offered_load / std::max(dies - 1.0, 1.0);
+        cfg.traffic[die].destination = n.hot_die;
+      }
+      break;
+    case NocPattern::kBroadcastStorm:
+      // Every die floods the stack with broadcasts: the worst case for
+      // any arbitration (no spatial reuse, every frame contends).
+      for (auto& t : cfg.traffic) {
+        t.packets_per_slot = n.offered_load / dies;
+        t.destination = net::kBroadcast;
+      }
+      break;
   }
   for (auto& t : cfg.traffic) t.payload_bytes = n.payload_bytes;
   cfg.queue_capacity = n.queue_capacity;
@@ -377,7 +411,7 @@ net::StackNetworkConfig noc_config(const NocSpec& n) {
 }
 
 PointResult run_noc(const ScenarioSpec& s, std::uint64_t slots, RngStream& rng,
-                    const fault::Realisation* fr) {
+                    const fault::Realisation* fr, std::size_t point_index) {
   net::StackNetworkConfig cfg = noc_config(s.noc);
   if (fr != nullptr && fr->noc_faults()) {
     cfg.dead_nodes = fr->dead_nodes;
@@ -422,20 +456,31 @@ PointResult run_noc(const ScenarioSpec& s, std::uint64_t slots, RngStream& rng,
     }
   }
 
+  // CAC allocations are per-point hardware state, like the fault
+  // realisation: the stream is keyed on the GLOBAL sweep point, so
+  // every chunk of a point rebuilds the identical schedule regardless
+  // of threads, shards or resume order. Non-CAC paths never draw from
+  // it (constructing the stream consumes nothing).
+  RngStream alloc_rng(s.seed, "alloc/" + std::to_string(point_index));
+  auto build_mac = [&](std::size_t participants) {
+    return s.noc.mac == "cac" ? make_cac_mac(s.noc, participants, alloc_rng)
+                              : make_mac(s.noc.mac, participants);
+  };
   std::unique_ptr<net::MacPolicy> mac;
   if (fr != nullptr && fr->mac_reclaim && !fr->dead_nodes.empty() &&
       fr->live_nodes() < s.noc.dies) {
     // MAC re-arbitration over the survivors: the inner policy is built
     // for the live population (TDMA slots reclaimed, token ring
-    // shortened) and SubsetMac remaps it onto the full die space.
+    // shortened, CAC codewords and wavelength shares reallocated over
+    // the survivors) and SubsetMac remaps it onto the full die space.
     std::vector<std::size_t> members;
     for (std::size_t die = 0; die < s.noc.dies; ++die) {
       if (fr->dead_nodes[die] == 0) members.push_back(die);
     }
-    mac = std::make_unique<net::SubsetMac>(make_mac(s.noc.mac, members.size()),
-                                           std::move(members), s.noc.dies);
+    mac = std::make_unique<net::SubsetMac>(build_mac(members.size()), std::move(members),
+                                           s.noc.dies);
   } else {
-    mac = make_mac(s.noc.mac, s.noc.dies);
+    mac = build_mac(s.noc.dies);
   }
   net::StackNetwork network(cfg, std::move(mac));
   RngStream run_rng = rng.fork("run");
@@ -474,7 +519,7 @@ PointResult run_noc(const ScenarioSpec& s, std::uint64_t slots, RngStream& rng,
                hot_rate,
                static_cast<double>(retry_drops),
                static_cast<double>(queue_drops)};
-  r.rng_draws = process.draws() + probe_draws + run_rng.draws();
+  r.rng_draws = alloc_rng.draws() + process.draws() + probe_draws + run_rng.draws();
   return r;
 }
 
@@ -499,7 +544,7 @@ PointResult dispatch(const ScenarioSpec& s, std::uint64_t samples, RngStream& rn
     case Topology::kVerticalBus:
       return run_bus(s, samples, rng);
     case Topology::kStackNoc:
-      return run_noc(s, samples, rng, fr);
+      return run_noc(s, samples, rng, fr, point_index);
   }
   throw std::logic_error("scenario: unhandled topology");
 }

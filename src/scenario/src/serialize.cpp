@@ -252,6 +252,10 @@ std::string canonical_spec_text(const ScenarioSpec& s) {
   c.kv("noc.master_load", s.noc.master_load);
   c.kv("noc.worker_load", s.noc.worker_load);
   c.kv("noc.mac", s.noc.mac);
+  c.kv("noc.alloc_weight", s.noc.alloc_weight);
+  c.kv("noc.alloc_wavelengths", s.noc.alloc_wavelengths);
+  c.kv("noc.alloc_frame", s.noc.alloc_frame);
+  c.kv("noc.alloc_rounds", s.noc.alloc_rounds);
   c.kv("noc.queue_capacity", s.noc.queue_capacity);
   c.kv("noc.max_attempts", s.noc.max_attempts);
   c.kv("noc.delivery", s.noc.delivery);

@@ -12,6 +12,7 @@
 
 #include "oci/analysis/report.hpp"
 #include "oci/electrical/scaling.hpp"
+#include "oci/net/cac.hpp"          // frame feasibility of mac = cac specs
 #include "oci/scenario/runner.hpp"  // metrics_for: precision.metric validation
 
 namespace oci::scenario {
@@ -236,8 +237,8 @@ const std::map<std::string, Param>& registry() {
     });
     cnt("master", [](S& s, std::uint64_t v) { s.bus.master = static_cast<std::size_t>(v); });
     cat("mac", [](S& s, const std::string& v) {
-      if (v != "tdma" && v != "token" && v != "token+pass" && v != "aloha") {
-        bad_choice("mac", v, "tdma, token, token+pass, aloha");
+      if (v != "tdma" && v != "token" && v != "token+pass" && v != "aloha" && v != "cac") {
+        bad_choice("mac", v, "tdma, token, token+pass, aloha, cac");
       }
       s.noc.mac = v;
     });
@@ -245,7 +246,20 @@ const std::map<std::string, Param>& registry() {
       if (v == "uniform") s.noc.pattern = NocPattern::kUniform;
       else if (v == "hotspot") s.noc.pattern = NocPattern::kHotspot;
       else if (v == "master-broadcast") s.noc.pattern = NocPattern::kMasterBroadcast;
-      else bad_choice("pattern", v, "uniform, hotspot, master-broadcast");
+      else if (v == "incast") s.noc.pattern = NocPattern::kIncast;
+      else if (v == "broadcast-storm") s.noc.pattern = NocPattern::kBroadcastStorm;
+      else bad_choice("pattern", v,
+                      "uniform, hotspot, master-broadcast, incast, broadcast-storm");
+    });
+    cnt("alloc.weight", [](S& s, std::uint64_t v) {
+      s.noc.alloc_weight = static_cast<std::size_t>(v);
+    });
+    cnt("alloc.wavelengths", [](S& s, std::uint64_t v) {
+      s.noc.alloc_wavelengths = static_cast<std::size_t>(v);
+    });
+    cnt("alloc.frame", [](S& s, std::uint64_t v) { s.noc.alloc_frame = v; });
+    cnt("alloc.rounds", [](S& s, std::uint64_t v) {
+      s.noc.alloc_rounds = static_cast<unsigned>(v);
     });
     num("offered_load", [](S& s, double v) { s.noc.offered_load = v; });
     cnt("hot_die", [](S& s, std::uint64_t v) { s.noc.hot_die = static_cast<std::size_t>(v); });
@@ -534,10 +548,32 @@ void ScenarioSpec::validate() const {
         (noc.delivery_probability <= 0.0 || noc.delivery_probability > 1.0)) {
       err("stack-noc delivery_probability must be in (0, 1]");
     }
-    if (noc.pattern == NocPattern::kHotspot && noc.hot_die >= noc.dies) {
+    if ((noc.pattern == NocPattern::kHotspot || noc.pattern == NocPattern::kIncast) &&
+        noc.hot_die >= noc.dies) {
       err("stack-noc hot_die must be one of the dies");
     }
     if (noc.payload_bytes == 0) err("stack-noc payload_bytes must be >= 1");
+    if (noc.mac == "cac") {
+      if (noc.alloc_weight == 0 || noc.alloc_weight > 16) {
+        err("stack-noc alloc.weight must be in [1, 16]");
+      }
+      if (noc.alloc_wavelengths == 0 || noc.alloc_wavelengths > 64) {
+        err("stack-noc alloc.wavelengths must be in [1, 64]");
+      }
+      if (noc.alloc_rounds == 0) err("stack-noc alloc.rounds must be >= 1");
+      if (noc.alloc_frame != 0 && noc.alloc_weight >= 1 && noc.alloc_wavelengths >= 1) {
+        // Mirror the DistributedAllocator feasibility check so a bad
+        // frame fails at validate() with the spec file, not mid-sweep.
+        const std::size_t per_wavelength =
+            (noc.dies + noc.alloc_wavelengths - 1) / noc.alloc_wavelengths;
+        if (net::cac::frame_capacity(noc.alloc_frame, noc.alloc_weight) < per_wavelength) {
+          err("stack-noc alloc.frame = " + std::to_string(noc.alloc_frame) +
+              " is not a prime with capacity for " + std::to_string(per_wavelength) +
+              " weight-" + std::to_string(noc.alloc_weight) +
+              " codewords per wavelength (use alloc.frame = 0 for auto)");
+        }
+      }
+    }
   }
 
   // Fault injection. Range checks first, then topology gating: every
